@@ -1,0 +1,61 @@
+// CoreMark (artifact appendix A.6.3): the openly-available workload the
+// paper's artifact offers for users without a SPEC license. Reports LFI
+// overheads at every optimization level on both core models, plus the
+// per-sandbox Spectre-isolation cost on top of O2 (Section 7.1).
+
+#include "harness.h"
+
+namespace lfi::bench {
+namespace {
+
+constexpr uint64_t kScale = 1500000;
+
+void RunCore(const arch::CoreParams& core) {
+  const std::string src = workloads::Generate("coremark", kScale);
+  const Outcome base = Run(BuildLfi(src, Config::kNative), core, false);
+  if (!base.ok) {
+    std::printf("%s: ERROR %s\n", core.name.c_str(), base.error.c_str());
+    return;
+  }
+  std::printf("\ncoremark - %s (native: %llu cycles, %llu insts)\n",
+              core.name.c_str(),
+              static_cast<unsigned long long>(base.cycles),
+              static_cast<unsigned long long>(base.insts));
+  for (Config c : {Config::kO0, Config::kO1, Config::kO2,
+                   Config::kO2NoLoads}) {
+    const Outcome o =
+        Run(BuildLfi(src, c), core, true, c != Config::kO2NoLoads);
+    if (!o.ok || o.status != base.status) {
+      std::printf("  %-18s ERROR %s\n", ConfigName(c), o.error.c_str());
+      continue;
+    }
+    std::printf("  %-18s %6.1f%% overhead\n", ConfigName(c),
+                OverheadPct(base.cycles, o.cycles));
+  }
+  // O2 with per-sandbox predictor contexts (a second sandbox runs
+  // alongside, so domain crossings actually happen).
+  {
+    const Built b = BuildLfi(src, Config::kO2);
+    runtime::RuntimeConfig cfg;
+    cfg.core = core;
+    cfg.spectre_ctx_isolation = true;
+    runtime::Runtime rt(cfg);
+    auto p1 = rt.Load({b.elf.data(), b.elf.size()});
+    auto p2 = rt.Load({b.elf.data(), b.elf.size()});
+    if (p1.ok() && p2.ok()) {
+      rt.RunUntilIdle(uint64_t{2000} * 1000 * 1000);
+      std::printf("  %-18s %6.1f%% overhead (2 sandboxes, vs 2x native)\n",
+                  "O2 + SCXTNUM", OverheadPct(2 * base.cycles, rt.Cycles()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lfi::bench
+
+int main() {
+  std::printf("=== CoreMark-like workload (artifact appendix A.6.3) ===\n");
+  lfi::bench::RunCore(lfi::arch::AppleM1LikeParams());
+  lfi::bench::RunCore(lfi::arch::GcpT2aLikeParams());
+  return 0;
+}

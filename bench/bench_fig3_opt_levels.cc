@@ -1,0 +1,62 @@
+// Figure 3: runtime overhead of LFI optimization levels over native, per
+// SPEC-subset benchmark, on both core models (GCP T2A and Apple M1).
+//
+// Expected shape (paper): O0 >> O1 > O2; geomean O2 ~= 6-7%; "no loads"
+// ~= 1%; the O0 -> O1 jump (the zero-instruction guard) is the largest
+// single improvement.
+
+#include "harness.h"
+
+namespace lfi::bench {
+namespace {
+
+constexpr uint64_t kScale = 1200000;
+
+void RunCore(const arch::CoreParams& core) {
+  std::printf("\nOverhead on SPEC 2017 stand-ins - %s (%% over native)\n",
+              core.name.c_str());
+  std::printf("%-16s %9s %9s %9s %12s\n", "benchmark", "LFI O0", "LFI O1",
+              "LFI O2", "O2 no-loads");
+  Geomean g[4];
+  for (const auto& name : SpecNames()) {
+    const std::string src = workloads::Generate(name, kScale);
+    const Built native = BuildLfi(src, Config::kNative);
+    const Outcome base = Run(native, core, /*verify=*/false);
+    if (!base.ok) {
+      std::printf("%-16s ERROR %s\n", name.c_str(), base.error.c_str());
+      continue;
+    }
+    double pct[4];
+    const Config configs[4] = {Config::kO0, Config::kO1, Config::kO2,
+                               Config::kO2NoLoads};
+    bool all_ok = true;
+    for (int k = 0; k < 4; ++k) {
+      const Built b = BuildLfi(src, configs[k]);
+      const Outcome o = Run(b, core, /*verify=*/true,
+                            configs[k] != Config::kO2NoLoads);
+      if (!o.ok || o.status != base.status) {
+        std::printf("%-16s ERROR %s (status %d vs %d)\n", name.c_str(),
+                    o.error.c_str(), o.status, base.status);
+        all_ok = false;
+        break;
+      }
+      pct[k] = OverheadPct(base.cycles, o.cycles);
+      g[k].Add(pct[k]);
+    }
+    if (!all_ok) continue;
+    std::printf("%-16s %8.1f%% %8.1f%% %8.1f%% %11.1f%%\n", name.c_str(),
+                pct[0], pct[1], pct[2], pct[3]);
+  }
+  std::printf("%-16s %8.1f%% %8.1f%% %8.1f%% %11.1f%%\n", "geomean",
+              g[0].Pct(), g[1].Pct(), g[2].Pct(), g[3].Pct());
+}
+
+}  // namespace
+}  // namespace lfi::bench
+
+int main() {
+  std::printf("=== Figure 3: LFI optimization levels vs native ===\n");
+  lfi::bench::RunCore(lfi::arch::GcpT2aLikeParams());
+  lfi::bench::RunCore(lfi::arch::AppleM1LikeParams());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 4 + Table 4: LFI vs WebAssembly engines on the 7 Wasm-compatible
+// benchmarks, both core models.
+//
+// Expected shape (paper, Table 4): Wasmtime worst (47-67%), Wasm2c ~40%,
+// no-barrier ~21%, WAMR ~18-22%, pinned-reg ~16%, LFI 6-7% - less than
+// half the best Wasm configuration.
+
+#include "harness.h"
+
+namespace lfi::bench {
+namespace {
+
+constexpr uint64_t kScale = 1000000;
+
+const wasm::Engine kEngines[] = {
+    wasm::Engine::kWasmtime,        wasm::Engine::kWasm2c,
+    wasm::Engine::kWasm2cNoBarrier, wasm::Engine::kWasm2cPinnedReg,
+    wasm::Engine::kWamr,
+};
+
+void RunCore(const arch::CoreParams& core) {
+  std::printf("\nLFI vs Wasm on SPEC 2017 stand-ins - %s (%% over native)\n",
+              core.name.c_str());
+  std::printf("%-15s", "benchmark");
+  for (auto e : kEngines) std::printf(" %16s", wasm::EngineName(e));
+  std::printf(" %16s\n", "LFI");
+  Geomean g[6];
+  for (const auto& name : WasmNames()) {
+    const std::string src = workloads::Generate(name, kScale);
+    const Outcome base =
+        Run(BuildLfi(src, Config::kNative), core, /*verify=*/false);
+    if (!base.ok) {
+      std::printf("%-15s ERROR %s\n", name.c_str(), base.error.c_str());
+      continue;
+    }
+    std::printf("%-15s", name.c_str());
+    int col = 0;
+    for (auto e : kEngines) {
+      const Outcome o = Run(BuildWasm(src, e), core, /*verify=*/false);
+      if (!o.ok || o.status != base.status) {
+        std::printf(" %15s", "ERR");
+      } else {
+        const double pct = OverheadPct(base.cycles, o.cycles);
+        g[col].Add(pct);
+        std::printf(" %15.1f%%", pct);
+      }
+      ++col;
+    }
+    const Outcome lfi = Run(BuildLfi(src, Config::kO2), core, true);
+    if (lfi.ok && lfi.status == base.status) {
+      const double pct = OverheadPct(base.cycles, lfi.cycles);
+      g[5].Add(pct);
+      std::printf(" %15.1f%%\n", pct);
+    } else {
+      std::printf(" %15s\n", "ERR");
+    }
+  }
+  std::printf("%-15s", "geomean");
+  for (int k = 0; k < 6; ++k) std::printf(" %15.1f%%", g[k].Pct());
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace lfi::bench
+
+int main() {
+  std::printf(
+      "=== Figure 4 / Table 4: LFI vs WebAssembly engines ===\n"
+      "(all engines AOT; native baseline runs inside the LFI runtime)\n");
+  lfi::bench::RunCore(lfi::arch::GcpT2aLikeParams());
+  lfi::bench::RunCore(lfi::arch::AppleM1LikeParams());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Section 6.3: code-size overhead.
+//
+// Expected shape (paper): LFI geomean text-segment increase ~12.9%,
+// whole-binary increase ~8.3% (no alignment padding, zero-instruction
+// guards, redundant guard elimination); WAMR whole-binary increase ~22%.
+
+#include "harness.h"
+
+namespace lfi::bench {
+namespace {
+
+constexpr uint64_t kScale = 400000;
+
+void Table() {
+  std::printf("%-16s %12s %12s %12s %12s\n", "benchmark", "text(nat)",
+              "LFI text+%", "LFI file+%", "WAMR file+%");
+  Geomean text_g, file_g, wamr_g;
+  for (const auto& w : workloads::AllWorkloads()) {
+    if (w.name == "coremark") continue;
+    const std::string src = workloads::Generate(w.name, kScale);
+    const Built native = BuildLfi(src, Config::kNative);
+    const Built lfi = BuildLfi(src, Config::kO2);
+    if (!native.ok || !lfi.ok) {
+      std::printf("%-16s build error\n", w.name.c_str());
+      continue;
+    }
+    const double text_pct = OverheadPct(native.text_bytes, lfi.text_bytes);
+    const double file_pct = OverheadPct(native.file_bytes, lfi.file_bytes);
+    text_g.Add(text_pct);
+    file_g.Add(file_pct);
+    std::printf("%-16s %12zu %11.1f%% %11.1f%%", w.name.c_str(),
+                native.text_bytes, text_pct, file_pct);
+    if (w.wasm_compatible) {
+      const Built wamr = BuildWasm(src, wasm::Engine::kWamr);
+      if (wamr.ok) {
+        const double wamr_pct =
+            OverheadPct(native.file_bytes, wamr.file_bytes);
+        wamr_g.Add(wamr_pct);
+        std::printf(" %11.1f%%", wamr_pct);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("%-16s %12s %11.1f%% %11.1f%% %11.1f%%\n", "geomean", "",
+              text_g.Pct(), file_g.Pct(), wamr_g.Pct());
+}
+
+}  // namespace
+}  // namespace lfi::bench
+
+int main() {
+  std::printf(
+      "=== Section 6.3: code size overhead ===\n"
+      "(LFI at O2; WAMR column only for the Wasm-compatible subset)\n");
+  lfi::bench::Table();
+  return 0;
+}

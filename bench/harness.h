@@ -1,0 +1,207 @@
+// Shared experiment harness for the paper-reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (Section 6). Because the substrate is a deterministic
+// simulator, results are exact and repeatable; "time" means simulated
+// cycles/nanoseconds under the core models in arch/cost_model.h.
+#ifndef LFI_BENCH_HARNESS_H_
+#define LFI_BENCH_HARNESS_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "asmtext/assemble.h"
+#include "asmtext/parser.h"
+#include "elf/elf.h"
+#include "rewriter/rewriter.h"
+#include "runtime/runtime.h"
+#include "wasm/wasm.h"
+#include "workloads/workloads.h"
+
+namespace lfi::bench {
+
+// A built sandbox executable plus size accounting for Section 6.3.
+struct Built {
+  std::vector<uint8_t> elf;
+  size_t text_bytes = 0;
+  size_t file_bytes = 0;
+  bool ok = false;
+  std::string error;
+};
+
+// LFI build configurations matching the paper's evaluation.
+enum class Config {
+  kNative,        // no guards (baseline; runs inside the LFI runtime)
+  kO0,
+  kO1,
+  kO2,
+  kO2NoLoads,     // stores+jumps only ("O2, no loads")
+};
+
+inline const char* ConfigName(Config c) {
+  switch (c) {
+    case Config::kNative: return "native";
+    case Config::kO0: return "LFI O0";
+    case Config::kO1: return "LFI O1";
+    case Config::kO2: return "LFI O2";
+    case Config::kO2NoLoads: return "LFI O2, no loads";
+  }
+  return "?";
+}
+
+inline Built BuildLfi(const std::string& src, Config config,
+                      rewriter::RewriteStats* stats = nullptr) {
+  Built b;
+  auto file = asmtext::Parse(src);
+  if (!file) {
+    b.error = file.error();
+    return b;
+  }
+  rewriter::RewriteOptions opts;
+  switch (config) {
+    case Config::kNative: opts.insert_guards = false; break;
+    case Config::kO0: opts.level = rewriter::OptLevel::kO0; break;
+    case Config::kO1: opts.level = rewriter::OptLevel::kO1; break;
+    case Config::kO2: opts.level = rewriter::OptLevel::kO2; break;
+    case Config::kO2NoLoads:
+      opts.level = rewriter::OptLevel::kO2;
+      opts.sandbox_loads = false;
+      break;
+  }
+  auto rewritten = rewriter::Rewrite(*file, opts, stats);
+  if (!rewritten) {
+    b.error = rewritten.error();
+    return b;
+  }
+  asmtext::LayoutSpec spec;
+  spec.text_offset = runtime::kProgramStart;
+  auto img = asmtext::Assemble(*rewritten, spec);
+  if (!img) {
+    b.error = img.error();
+    return b;
+  }
+  b.text_bytes = img->text.size();
+  b.elf = elf::Write(elf::FromAssembled(*img));
+  b.file_bytes = b.elf.size();
+  b.ok = true;
+  return b;
+}
+
+inline Built BuildWasm(const std::string& src, wasm::Engine engine) {
+  Built b;
+  auto file = asmtext::Parse(src);
+  if (!file) {
+    b.error = file.error();
+    return b;
+  }
+  auto instrumented = wasm::Instrument(*file, engine);
+  if (!instrumented) {
+    b.error = instrumented.error();
+    return b;
+  }
+  rewriter::RewriteOptions opts;
+  opts.insert_guards = false;
+  auto expanded = rewriter::Rewrite(*instrumented, opts);
+  if (!expanded) {
+    b.error = expanded.error();
+    return b;
+  }
+  asmtext::LayoutSpec spec;
+  spec.text_offset = runtime::kProgramStart;
+  auto img = asmtext::Assemble(*expanded, spec);
+  if (!img) {
+    b.error = img.error();
+    return b;
+  }
+  b.text_bytes = img->text.size();
+  b.elf = elf::Write(elf::FromAssembled(*img));
+  b.file_bytes = b.elf.size();
+  b.ok = true;
+  return b;
+}
+
+struct Outcome {
+  bool ok = false;
+  uint64_t cycles = 0;
+  uint64_t insts = 0;
+  int status = 0;
+  std::string error;
+};
+
+// Runs a built executable to completion on the given core model.
+inline Outcome Run(const Built& built, const arch::CoreParams& core,
+                   bool verify, bool check_loads = true,
+                   bool nested_pagetables = false) {
+  Outcome o;
+  if (!built.ok) {
+    o.error = built.error;
+    return o;
+  }
+  runtime::RuntimeConfig cfg;
+  cfg.core = core;
+  cfg.enforce_verification = verify;
+  cfg.verify.check_loads = check_loads;
+  runtime::Runtime rt(cfg);
+  rt.machine().timing().set_nested_pagetables(nested_pagetables);
+  auto pid = rt.Load({built.elf.data(), built.elf.size()});
+  if (!pid.ok()) {
+    o.error = pid.error();
+    return o;
+  }
+  rt.RunUntilIdle(uint64_t{2000} * 1000 * 1000);
+  const auto* p = rt.proc(*pid);
+  if (p->exit_kind != runtime::ExitKind::kExited) {
+    o.error = "killed: " + p->fault_detail;
+    return o;
+  }
+  o.ok = true;
+  o.cycles = rt.Cycles();
+  o.insts = rt.machine().timing().Retired();
+  o.status = p->exit_status;
+  return o;
+}
+
+inline double OverheadPct(uint64_t base, uint64_t value) {
+  return 100.0 * (static_cast<double>(value) / static_cast<double>(base) -
+                  1.0);
+}
+
+// Geometric mean of (1 + overhead) terms, reported back as a percentage,
+// matching how the paper aggregates per-benchmark overheads.
+class Geomean {
+ public:
+  void Add(double pct) {
+    log_sum_ += std::log(1.0 + pct / 100.0);
+    ++n_;
+  }
+  double Pct() const {
+    return n_ == 0 ? 0.0 : 100.0 * (std::exp(log_sum_ / n_) - 1.0);
+  }
+
+ private:
+  double log_sum_ = 0.0;
+  int n_ = 0;
+};
+
+// The 14 SPEC-subset workload names (excluding coremark).
+inline std::vector<std::string> SpecNames() {
+  std::vector<std::string> names;
+  for (const auto& w : workloads::AllWorkloads()) {
+    if (w.name != "coremark") names.push_back(w.name);
+  }
+  return names;
+}
+
+inline std::vector<std::string> WasmNames() {
+  std::vector<std::string> names;
+  for (const auto& w : workloads::AllWorkloads()) {
+    if (w.wasm_compatible) names.push_back(w.name);
+  }
+  return names;
+}
+
+}  // namespace lfi::bench
+
+#endif  // LFI_BENCH_HARNESS_H_

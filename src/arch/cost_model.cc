@@ -1,0 +1,152 @@
+#include "arch/cost_model.h"
+
+namespace lfi::arch {
+
+CoreParams AppleM1LikeParams() {
+  CoreParams p;
+  p.name = "apple-m1";
+  p.ghz = 3.2;
+  p.issue_width = 8;
+  p.mem_ports = 4;
+  p.load_latency = 4;
+  p.l2_latency = 16;
+  p.mem_latency = 100;
+  p.tlb_walk_cycles = 20;
+  p.tlb_entries = 3072;
+  p.l1d_kib = 128;
+  p.mispredict_penalty = 13;
+  p.mlp = 10;
+  return p;
+}
+
+CoreParams GcpT2aLikeParams() {
+  CoreParams p;
+  p.name = "gcp-t2a";
+  p.ghz = 3.0;
+  p.issue_width = 5;
+  p.mem_ports = 3;
+  p.load_latency = 4;
+  p.l2_latency = 13;
+  p.mem_latency = 110;
+  p.tlb_walk_cycles = 24;
+  p.tlb_entries = 1280;
+  p.l1d_kib = 64;
+  p.mispredict_penalty = 11;
+  p.mlp = 6;
+  return p;
+}
+
+InstCost CostOf(const Inst& i, const CoreParams& p) {
+  InstCost c;
+  switch (i.mn) {
+    // Plain ALU: 1-cycle latency, full throughput.
+    case Mn::kAddImm: case Mn::kAddsImm: case Mn::kSubImm: case Mn::kSubsImm:
+    case Mn::kAndImm: case Mn::kAndsImm: case Mn::kOrrImm: case Mn::kEorImm:
+    case Mn::kMovz: case Mn::kMovn: case Mn::kMovk:
+    case Mn::kAdr: case Mn::kAdrp:
+    case Mn::kCsel: case Mn::kCsinc: case Mn::kCsinv: case Mn::kCsneg:
+    case Mn::kClz: case Mn::kRbit: case Mn::kRev:
+      c.latency = 1;
+      break;
+    // Register ALU: 1 cycle when unshifted; a shifted/extended operand
+    // costs an extra cycle and issues on fewer ports ("2-cycle latency and
+    // half-throughput" - the basic LFI guard).
+    case Mn::kAddReg: case Mn::kAddsReg: case Mn::kSubReg: case Mn::kSubsReg:
+    case Mn::kAndReg: case Mn::kAndsReg: case Mn::kOrrReg: case Mn::kEorReg:
+    case Mn::kBicReg:
+      if (i.shift_amount != 0) {
+        c.latency = 2;
+        c.slots = 2;
+      } else {
+        c.latency = 1;
+      }
+      break;
+    case Mn::kAddExt: case Mn::kSubExt:
+      // The zero/sign-extending add used as the LFI guard. uxtx #0 is a
+      // plain add in disguise (used for SP moves) and stays 1 cycle.
+      if (i.ext == Extend::kUxtx && i.shift_amount == 0) {
+        c.latency = 1;
+      } else {
+        c.latency = 2;
+        c.slots = 2;
+      }
+      break;
+    case Mn::kUbfm: case Mn::kSbfm:
+      c.latency = 1;
+      break;
+    case Mn::kMadd: case Mn::kMsub:
+    case Mn::kUmulh: case Mn::kSmulh:
+      c.latency = 3;
+      break;
+    case Mn::kCcmp: case Mn::kCcmpImm: case Mn::kCcmn: case Mn::kCcmnImm:
+    case Mn::kExtr:
+      c.latency = 1;
+      break;
+    case Mn::kSdiv: case Mn::kUdiv:
+      c.latency = i.width == Width::kX ? 13 : 9;
+      c.slots = 4;
+      break;
+    // Loads: address-generation + L1 latency. The register-offset form
+    // (including the guarded [x21, wN, uxtw] mode) has the same latency as
+    // the immediate form on both modeled cores - this equivalence is the
+    // heart of the zero-instruction guard (Section 4.1).
+    case Mn::kLdr: case Mn::kLdp: case Mn::kLdxr: case Mn::kLdar:
+    case Mn::kLdrF:
+      c.latency = p.load_latency;
+      c.is_mem = true;
+      break;
+    case Mn::kStr: case Mn::kStp: case Mn::kStxr: case Mn::kStlr:
+    case Mn::kStrF:
+      c.latency = 1;
+      c.is_mem = true;
+      break;
+    // Branches: cost is mostly in misprediction, handled dynamically.
+    case Mn::kB: case Mn::kBl: case Mn::kBCond: case Mn::kCbz: case Mn::kCbnz:
+    case Mn::kTbz: case Mn::kTbnz: case Mn::kBr: case Mn::kBlr: case Mn::kRet:
+      c.latency = 1;
+      break;
+    // Scalar FP.
+    case Mn::kFadd: case Mn::kFsub:
+      c.latency = 3;
+      break;
+    case Mn::kFmul:
+      c.latency = 4;
+      break;
+    case Mn::kFmadd:
+      c.latency = 4;
+      break;
+    case Mn::kFdiv:
+      c.latency = i.fsize == FpSize::kS ? 10 : 15;
+      c.slots = 4;
+      break;
+    case Mn::kFsqrt:
+      c.latency = i.fsize == FpSize::kS ? 10 : 16;
+      c.slots = 4;
+      break;
+    case Mn::kFcmp:
+      c.latency = 2;
+      break;
+    case Mn::kScvtf: case Mn::kFcvtzs: case Mn::kFmov:
+      c.latency = 3;
+      break;
+    // Vector.
+    case Mn::kVAdd:
+      c.latency = 2;
+      break;
+    case Mn::kVFadd:
+      c.latency = 3;
+      break;
+    case Mn::kVFmul:
+      c.latency = 4;
+      break;
+    case Mn::kNop:
+      c.latency = 0;
+      break;
+    case Mn::kSvc: case Mn::kBrk: case Mn::kMrs: case Mn::kMsr:
+      c.latency = 10;
+      break;
+  }
+  return c;
+}
+
+}  // namespace lfi::arch

@@ -1,0 +1,684 @@
+#include "arch/decode.h"
+
+#include "arch/encode.h"
+
+#include <bit>
+#include <cassert>
+
+namespace lfi::arch {
+
+namespace {
+
+using R = Result<Inst>;
+
+Error Err(const std::string& m) { return Error{"decode: " + m}; }
+
+uint32_t Bits(uint32_t w, unsigned hi, unsigned lo) {
+  return (w >> lo) & ((1u << (hi - lo + 1)) - 1);
+}
+
+int64_t SignExtend(uint32_t v, unsigned bits) {
+  const int64_t shifted = static_cast<int64_t>(uint64_t{v} << (64 - bits));
+  return shifted >> (64 - bits);
+}
+
+Width SfWidth(uint32_t w) { return Bits(w, 31, 31) ? Width::kX : Width::kW; }
+
+Reg RegZr(uint32_t enc) {
+  return enc == 31 ? Reg::Zr() : Reg::X(static_cast<uint8_t>(enc));
+}
+
+Reg RegSp(uint32_t enc) {
+  return enc == 31 ? Reg::Sp() : Reg::X(static_cast<uint8_t>(enc));
+}
+
+R DecodeAddSubImm(uint32_t w) {
+  Inst i;
+  const bool sub = Bits(w, 30, 30);
+  const bool s = Bits(w, 29, 29);
+  i.mn = sub ? (s ? Mn::kSubsImm : Mn::kSubImm)
+             : (s ? Mn::kAddsImm : Mn::kAddImm);
+  i.width = SfWidth(w);
+  i.rd = s ? RegZr(Bits(w, 4, 0)) : RegSp(Bits(w, 4, 0));
+  i.rn = RegSp(Bits(w, 9, 5));
+  i.imm = Bits(w, 21, 10);
+  if (Bits(w, 22, 22)) i.imm <<= 12;
+  if (Bits(w, 23, 23)) return Err("add/sub imm sh=1x unallocated");
+  return i;
+}
+
+R DecodeAddSubShifted(uint32_t w) {
+  Inst i;
+  const bool sub = Bits(w, 30, 30);
+  const bool s = Bits(w, 29, 29);
+  i.mn = sub ? (s ? Mn::kSubsReg : Mn::kSubReg)
+             : (s ? Mn::kAddsReg : Mn::kAddReg);
+  i.width = SfWidth(w);
+  const uint32_t shift = Bits(w, 23, 22);
+  if (shift == 3) return Err("add/sub shifted with ror");
+  i.shift = static_cast<Shift>(shift);
+  i.shift_amount = static_cast<uint8_t>(Bits(w, 15, 10));
+  if (i.width == Width::kW && i.shift_amount >= 32) {
+    return Err("32-bit shift amount >= 32");
+  }
+  i.rd = RegZr(Bits(w, 4, 0));
+  i.rn = RegZr(Bits(w, 9, 5));
+  i.rm = RegZr(Bits(w, 20, 16));
+  return i;
+}
+
+R DecodeAddSubExt(uint32_t w) {
+  Inst i;
+  const bool sub = Bits(w, 30, 30);
+  if (Bits(w, 29, 29)) return Err("adds/subs ext unsupported");
+  i.mn = sub ? Mn::kSubExt : Mn::kAddExt;
+  i.width = SfWidth(w);
+  i.ext = static_cast<Extend>(Bits(w, 15, 13));
+  i.shift_amount = static_cast<uint8_t>(Bits(w, 12, 10));
+  if (i.shift_amount > 4) return Err("extend shift > 4");
+  i.rd = RegSp(Bits(w, 4, 0));
+  i.rn = RegSp(Bits(w, 9, 5));
+  i.rm = RegZr(Bits(w, 20, 16));
+  return i;
+}
+
+R DecodeLogical(uint32_t w) {
+  Inst i;
+  const uint32_t opc = Bits(w, 30, 29);
+  const uint32_t n = Bits(w, 21, 21);
+  if (opc == 0b00 && n == 0) i.mn = Mn::kAndReg;
+  else if (opc == 0b00 && n == 1) i.mn = Mn::kBicReg;
+  else if (opc == 0b01 && n == 0) i.mn = Mn::kOrrReg;
+  else if (opc == 0b10 && n == 0) i.mn = Mn::kEorReg;
+  else if (opc == 0b11 && n == 0) i.mn = Mn::kAndsReg;
+  else return Err("orn/eon/bics unsupported");
+  i.width = SfWidth(w);
+  i.shift = static_cast<Shift>(Bits(w, 23, 22));
+  i.shift_amount = static_cast<uint8_t>(Bits(w, 15, 10));
+  if (i.width == Width::kW && i.shift_amount >= 32) {
+    return Err("32-bit shift amount >= 32");
+  }
+  i.rd = RegZr(Bits(w, 4, 0));
+  i.rn = RegZr(Bits(w, 9, 5));
+  i.rm = RegZr(Bits(w, 20, 16));
+  return i;
+}
+
+R DecodeMovWide(uint32_t w) {
+  Inst i;
+  switch (Bits(w, 30, 29)) {
+    case 0b00: i.mn = Mn::kMovn; break;
+    case 0b10: i.mn = Mn::kMovz; break;
+    case 0b11: i.mn = Mn::kMovk; break;
+    default: return Err("movwide opc=01 unallocated");
+  }
+  i.width = SfWidth(w);
+  i.shift_amount = static_cast<uint8_t>(Bits(w, 22, 21) * 16);
+  if (i.width == Width::kW && i.shift_amount > 16) {
+    return Err("32-bit mov with hw > 1");
+  }
+  i.imm = Bits(w, 20, 5);
+  i.rd = RegZr(Bits(w, 4, 0));
+  return i;
+}
+
+R DecodeBitfield(uint32_t w) {
+  Inst i;
+  switch (Bits(w, 30, 29)) {
+    case 0b00: i.mn = Mn::kSbfm; break;
+    case 0b10: i.mn = Mn::kUbfm; break;
+    default: return Err("bfm unsupported");
+  }
+  i.width = SfWidth(w);
+  if (Bits(w, 22, 22) != Bits(w, 31, 31)) return Err("bitfield N != sf");
+  i.immr = static_cast<uint8_t>(Bits(w, 21, 16));
+  i.imms = static_cast<uint8_t>(Bits(w, 15, 10));
+  const uint8_t max = i.width == Width::kX ? 64 : 32;
+  if (i.immr >= max || i.imms >= max) return Err("bitfield field too large");
+  i.rd = RegZr(Bits(w, 4, 0));
+  i.rn = RegZr(Bits(w, 9, 5));
+  return i;
+}
+
+R DecodeMulAdd(uint32_t w) {
+  Inst i;
+  i.mn = Bits(w, 15, 15) ? Mn::kMsub : Mn::kMadd;
+  i.width = SfWidth(w);
+  i.rd = RegZr(Bits(w, 4, 0));
+  i.rn = RegZr(Bits(w, 9, 5));
+  i.rm = RegZr(Bits(w, 20, 16));
+  i.ra = RegZr(Bits(w, 14, 10));
+  return i;
+}
+
+R DecodeMulHigh(uint32_t w) {
+  Inst i;
+  if (Bits(w, 31, 31) != 1) return Err("mulh requires sf=1");
+  if (Bits(w, 14, 10) != 0b11111 || Bits(w, 15, 15) != 0) {
+    return Err("mulh Ra/o0 bits");
+  }
+  i.mn = Bits(w, 23, 23) ? Mn::kUmulh : Mn::kSmulh;
+  i.width = Width::kX;
+  i.rd = RegZr(Bits(w, 4, 0));
+  i.rn = RegZr(Bits(w, 9, 5));
+  i.rm = RegZr(Bits(w, 20, 16));
+  return i;
+}
+
+R DecodeCondCompare(uint32_t w) {
+  Inst i;
+  const bool immform = Bits(w, 11, 11);
+  const bool neg = !Bits(w, 30, 30);
+  i.mn = immform ? (neg ? Mn::kCcmnImm : Mn::kCcmpImm)
+                 : (neg ? Mn::kCcmn : Mn::kCcmp);
+  i.width = SfWidth(w);
+  i.cond = static_cast<Cond>(Bits(w, 15, 12));
+  i.rn = RegZr(Bits(w, 9, 5));
+  if (immform) {
+    i.imm = Bits(w, 20, 16);
+  } else {
+    i.rm = RegZr(Bits(w, 20, 16));
+  }
+  i.nzcv = static_cast<uint8_t>(Bits(w, 3, 0));
+  return i;
+}
+
+R DecodeExtr(uint32_t w) {
+  Inst i;
+  i.mn = Mn::kExtr;
+  i.width = SfWidth(w);
+  if (Bits(w, 22, 22) != Bits(w, 31, 31)) return Err("extr N != sf");
+  i.imms = static_cast<uint8_t>(Bits(w, 15, 10));
+  if (i.width == Width::kW && i.imms >= 32) return Err("extr lsb range");
+  i.rd = RegZr(Bits(w, 4, 0));
+  i.rn = RegZr(Bits(w, 9, 5));
+  i.rm = RegZr(Bits(w, 20, 16));
+  return i;
+}
+
+R DecodeDiv(uint32_t w) {
+  Inst i;
+  i.mn = Bits(w, 10, 10) ? Mn::kSdiv : Mn::kUdiv;
+  i.width = SfWidth(w);
+  i.rd = RegZr(Bits(w, 4, 0));
+  i.rn = RegZr(Bits(w, 9, 5));
+  i.rm = RegZr(Bits(w, 20, 16));
+  return i;
+}
+
+R DecodeCondSel(uint32_t w) {
+  Inst i;
+  const uint32_t op = Bits(w, 30, 30);
+  const uint32_t o2 = Bits(w, 10, 10);
+  if (op == 0) i.mn = o2 ? Mn::kCsinc : Mn::kCsel;
+  else i.mn = o2 ? Mn::kCsneg : Mn::kCsinv;
+  i.width = SfWidth(w);
+  i.cond = static_cast<Cond>(Bits(w, 15, 12));
+  i.rd = RegZr(Bits(w, 4, 0));
+  i.rn = RegZr(Bits(w, 9, 5));
+  i.rm = RegZr(Bits(w, 20, 16));
+  return i;
+}
+
+R DecodeDataProc1(uint32_t w) {
+  Inst i;
+  i.width = SfWidth(w);
+  switch (Bits(w, 15, 10)) {
+    case 0b000000: i.mn = Mn::kRbit; break;
+    case 0b000010:
+      if (i.width == Width::kX) return Err("rev32 unsupported");
+      i.mn = Mn::kRev;
+      break;
+    case 0b000011:
+      if (i.width == Width::kW) return Err("rev64 on w reg");
+      i.mn = Mn::kRev;
+      break;
+    case 0b000100: i.mn = Mn::kClz; break;
+    default: return Err("dataproc1 opcode unsupported");
+  }
+  i.rd = RegZr(Bits(w, 4, 0));
+  i.rn = RegZr(Bits(w, 9, 5));
+  return i;
+}
+
+R DecodeAdr(uint32_t w) {
+  Inst i;
+  const bool page = Bits(w, 31, 31);
+  i.mn = page ? Mn::kAdrp : Mn::kAdr;
+  const uint32_t immlo = Bits(w, 30, 29);
+  const uint32_t immhi = Bits(w, 23, 5);
+  i.imm = SignExtend((immhi << 2) | immlo, 21);
+  if (page) i.imm <<= 12;
+  i.rd = RegZr(Bits(w, 4, 0));
+  return i;
+}
+
+// Decodes the opc/size fields of an integer load/store into Inst fields.
+// Returns false for combinations we do not support (e.g. prefetch).
+bool DecodeIntLsKind(Inst* i, uint32_t size, uint32_t opc) {
+  i->msize = 1u << size;
+  switch (opc) {
+    case 0b00:
+      i->mn = Mn::kStr;
+      i->width = size == 3 ? Width::kX : Width::kW;
+      return true;
+    case 0b01:
+      i->mn = Mn::kLdr;
+      i->msigned = false;
+      i->width = size == 3 ? Width::kX : Width::kW;
+      return true;
+    case 0b10:  // sign-extend to 64 bits (prfm when size == 3)
+      if (size == 3) return false;
+      i->mn = Mn::kLdr;
+      i->msigned = true;
+      i->width = Width::kX;
+      return true;
+    case 0b11:  // sign-extend to 32 bits
+      if (size >= 2) return false;
+      i->mn = Mn::kLdr;
+      i->msigned = true;
+      i->width = Width::kW;
+      return true;
+  }
+  return false;
+}
+
+bool DecodeFpLsKind(Inst* i, uint32_t size, uint32_t opc) {
+  if (size == 0b10 && (opc == 0b00 || opc == 0b01)) {
+    i->fsize = FpSize::kS;
+    i->msize = 4;
+  } else if (size == 0b11 && (opc == 0b00 || opc == 0b01)) {
+    i->fsize = FpSize::kD;
+    i->msize = 8;
+  } else if (size == 0b00 && (opc == 0b10 || opc == 0b11)) {
+    i->fsize = FpSize::kQ;
+    i->msize = 16;
+  } else {
+    return false;  // b/h FP accesses unsupported
+  }
+  i->mn = (opc & 1) ? Mn::kLdrF : Mn::kStrF;
+  return true;
+}
+
+R DecodeLoadStoreUImm(uint32_t w) {
+  Inst i;
+  const uint32_t size = Bits(w, 31, 30);
+  const uint32_t v = Bits(w, 26, 26);
+  const uint32_t opc = Bits(w, 23, 22);
+  if (v == 0) {
+    if (!DecodeIntLsKind(&i, size, opc)) return Err("ls opc unsupported");
+    i.rt = RegZr(Bits(w, 4, 0));
+  } else {
+    if (!DecodeFpLsKind(&i, size, opc)) return Err("fp ls unsupported");
+    i.vt = VReg::V(static_cast<uint8_t>(Bits(w, 4, 0)));
+  }
+  i.mem.base = RegSp(Bits(w, 9, 5));
+  i.mem.mode = AddrMode::kImm;
+  i.mem.imm = int64_t{Bits(w, 21, 10)} * i.msize;
+  return i;
+}
+
+R DecodeLoadStoreOther(uint32_t w) {
+  Inst i;
+  const uint32_t size = Bits(w, 31, 30);
+  const uint32_t v = Bits(w, 26, 26);
+  const uint32_t opc = Bits(w, 23, 22);
+  if (v == 0) {
+    if (!DecodeIntLsKind(&i, size, opc)) return Err("ls opc unsupported");
+    i.rt = RegZr(Bits(w, 4, 0));
+  } else {
+    if (!DecodeFpLsKind(&i, size, opc)) return Err("fp ls unsupported");
+    i.vt = VReg::V(static_cast<uint8_t>(Bits(w, 4, 0)));
+  }
+  i.mem.base = RegSp(Bits(w, 9, 5));
+  if (Bits(w, 21, 21)) {  // register offset
+    if (Bits(w, 11, 10) != 0b10) return Err("ls regoffset bits");
+    const uint32_t option = Bits(w, 15, 13);
+    switch (option) {
+      case 0b010: i.mem.mode = AddrMode::kRegUxtw; break;
+      case 0b011: i.mem.mode = AddrMode::kRegLsl; break;
+      case 0b110: i.mem.mode = AddrMode::kRegSxtw; break;
+      case 0b111: i.mem.mode = AddrMode::kRegLsl; break;  // sxtx == lsl
+      default: return Err("ls regoffset option unsupported");
+    }
+    i.mem.index = RegZr(Bits(w, 20, 16));
+    i.mem.shift = Bits(w, 12, 12)
+                      ? static_cast<uint8_t>(std::countr_zero(i.msize))
+                      : 0;
+    return i;
+  }
+  const int64_t imm9 = SignExtend(Bits(w, 20, 12), 9);
+  switch (Bits(w, 11, 10)) {
+    case 0b00: i.mem.mode = AddrMode::kImm; break;       // ldur/stur
+    case 0b01: i.mem.mode = AddrMode::kPostIndex; break;
+    case 0b11: i.mem.mode = AddrMode::kPreIndex; break;
+    default: return Err("unprivileged ls unsupported");
+  }
+  i.mem.imm = imm9;
+  return i;
+}
+
+R DecodePair(uint32_t w) {
+  Inst i;
+  const uint32_t opc = Bits(w, 31, 30);
+  if (opc == 0b00) i.width = Width::kW;
+  else if (opc == 0b10) i.width = Width::kX;
+  else return Err("ldp/stp opc unsupported");
+  i.mn = Bits(w, 22, 22) ? Mn::kLdp : Mn::kStp;
+  switch (Bits(w, 25, 23)) {
+    case 0b001: i.mem.mode = AddrMode::kPostIndex; break;
+    case 0b010: i.mem.mode = AddrMode::kImm; break;
+    case 0b011: i.mem.mode = AddrMode::kPreIndex; break;
+    default: return Err("ldp/stp mode unsupported");
+  }
+  const unsigned bytes = i.width == Width::kX ? 8 : 4;
+  i.msize = static_cast<uint8_t>(bytes);
+  i.mem.imm = SignExtend(Bits(w, 21, 15), 7) * int64_t{bytes};
+  i.mem.base = RegSp(Bits(w, 9, 5));
+  i.rt = RegZr(Bits(w, 4, 0));
+  i.rt2 = RegZr(Bits(w, 14, 10));
+  return i;
+}
+
+R DecodeExclusive(uint32_t w) {
+  Inst i;
+  const uint32_t o2 = Bits(w, 23, 23);
+  const uint32_t l = Bits(w, 22, 22);
+  const uint32_t o1 = Bits(w, 21, 21);
+  const uint32_t o0 = Bits(w, 15, 15);
+  if (o1 != 0) return Err("ldxp/stxp unsupported");
+  if (Bits(w, 14, 10) != 0b11111) return Err("exclusive rt2 must be 11111");
+  if (o2 == 0 && l == 1 && o0 == 0) i.mn = Mn::kLdxr;
+  else if (o2 == 0 && l == 0 && o0 == 0) i.mn = Mn::kStxr;
+  else if (o2 == 1 && l == 1 && o0 == 1) i.mn = Mn::kLdar;
+  else if (o2 == 1 && l == 0 && o0 == 1) i.mn = Mn::kStlr;
+  else return Err("exclusive variant unsupported");
+  const uint32_t size = Bits(w, 31, 30);
+  i.msize = static_cast<uint8_t>(1u << size);
+  i.width = size == 3 ? Width::kX : Width::kW;
+  if (i.mn == Mn::kStxr) {
+    i.rs = RegZr(Bits(w, 20, 16));
+  } else if (Bits(w, 20, 16) != 0b11111) {
+    return Err("exclusive rs must be 11111");
+  }
+  i.mem.base = RegSp(Bits(w, 9, 5));
+  i.mem.mode = AddrMode::kImm;
+  i.rt = RegZr(Bits(w, 4, 0));
+  return i;
+}
+
+R DecodeFp(uint32_t w) {
+  Inst i;
+  const uint32_t type = Bits(w, 23, 22);
+  if (type > 1) return Err("fp type unsupported");
+  i.fsize = type == 0 ? FpSize::kS : FpSize::kD;
+  // Int<->FP conversions: bits 10-15 == 0 and bit 21 == 1.
+  if (Bits(w, 15, 10) == 0 && Bits(w, 21, 21) == 1 &&
+      Bits(w, 30, 29) == 0) {
+    const uint32_t rmode = Bits(w, 20, 19);
+    const uint32_t opcode = Bits(w, 18, 16);
+    i.width = SfWidth(w);
+    if (rmode == 0b00 && opcode == 0b010) {
+      i.mn = Mn::kScvtf;
+      i.rn = RegZr(Bits(w, 9, 5));
+      i.vd = VReg::V(static_cast<uint8_t>(Bits(w, 4, 0)));
+      return i;
+    }
+    if (rmode == 0b11 && opcode == 0b000) {
+      i.mn = Mn::kFcvtzs;
+      i.vn = VReg::V(static_cast<uint8_t>(Bits(w, 9, 5)));
+      i.rd = RegZr(Bits(w, 4, 0));
+      return i;
+    }
+    if (rmode == 0b00 && opcode == 0b110) {  // fmov gpr <- fp
+      i.mn = Mn::kFmov;
+      i.vn = VReg::V(static_cast<uint8_t>(Bits(w, 9, 5)));
+      i.rd = RegZr(Bits(w, 4, 0));
+      return i;
+    }
+    if (rmode == 0b00 && opcode == 0b111) {  // fmov fp <- gpr
+      i.mn = Mn::kFmov;
+      i.rn = RegZr(Bits(w, 9, 5));
+      i.vd = VReg::V(static_cast<uint8_t>(Bits(w, 4, 0)));
+      return i;
+    }
+    return Err("int<->fp conversion unsupported");
+  }
+  if (Bits(w, 31, 24) != 0b00011110) return Err("fp pattern");
+  if (Bits(w, 21, 21) != 1) return Err("fp bit21");
+  // FCMP: bits 10-15 == 001000, bits 0-4 == 0.
+  if (Bits(w, 15, 10) == 0b001000 && Bits(w, 4, 0) == 0) {
+    i.mn = Mn::kFcmp;
+    i.vn = VReg::V(static_cast<uint8_t>(Bits(w, 9, 5)));
+    i.vm = VReg::V(static_cast<uint8_t>(Bits(w, 20, 16)));
+    return i;
+  }
+  // 1-source: bits 10-14 == 10000.
+  if (Bits(w, 14, 10) == 0b10000) {
+    switch (Bits(w, 20, 15)) {
+      case 0b000000: i.mn = Mn::kFmov; break;
+      case 0b000011: i.mn = Mn::kFsqrt; break;
+      default: return Err("fp 1src opcode unsupported");
+    }
+    i.vd = VReg::V(static_cast<uint8_t>(Bits(w, 4, 0)));
+    i.vn = VReg::V(static_cast<uint8_t>(Bits(w, 9, 5)));
+    return i;
+  }
+  // 2-source: bits 10-11 == 10.
+  if (Bits(w, 11, 10) == 0b10) {
+    switch (Bits(w, 15, 12)) {
+      case 0b0000: i.mn = Mn::kFmul; break;
+      case 0b0001: i.mn = Mn::kFdiv; break;
+      case 0b0010: i.mn = Mn::kFadd; break;
+      case 0b0011: i.mn = Mn::kFsub; break;
+      default: return Err("fp 2src opcode unsupported");
+    }
+    i.vd = VReg::V(static_cast<uint8_t>(Bits(w, 4, 0)));
+    i.vn = VReg::V(static_cast<uint8_t>(Bits(w, 9, 5)));
+    i.vm = VReg::V(static_cast<uint8_t>(Bits(w, 20, 16)));
+    return i;
+  }
+  return Err("fp pattern unsupported");
+}
+
+R DecodeFmadd(uint32_t w) {
+  if (Bits(w, 21, 21) != 0 || Bits(w, 15, 15) != 0) {
+    return Err("fmsub/fnm* unsupported");
+  }
+  Inst i;
+  const uint32_t type = Bits(w, 23, 22);
+  if (type > 1) return Err("fp type unsupported");
+  i.mn = Mn::kFmadd;
+  i.fsize = type == 0 ? FpSize::kS : FpSize::kD;
+  i.vd = VReg::V(static_cast<uint8_t>(Bits(w, 4, 0)));
+  i.vn = VReg::V(static_cast<uint8_t>(Bits(w, 9, 5)));
+  i.vm = VReg::V(static_cast<uint8_t>(Bits(w, 20, 16)));
+  i.va = VReg::V(static_cast<uint8_t>(Bits(w, 14, 10)));
+  return i;
+}
+
+R DecodeVector(uint32_t w) {
+  Inst i;
+  if (Bits(w, 30, 30) != 1) return Err("64-bit vectors unsupported");
+  const uint32_t u = Bits(w, 29, 29);
+  const uint32_t size = Bits(w, 23, 22);
+  const uint32_t opcode = Bits(w, 15, 11);
+  if (u == 0 && opcode == 0b10000 && (size == 0b10 || size == 0b11)) {
+    i.mn = Mn::kVAdd;
+    i.fsize = size == 0b10 ? FpSize::kV4S : FpSize::kV2D;
+  } else if (u == 0 && opcode == 0b11010 && (size == 0b00 || size == 0b01)) {
+    i.mn = Mn::kVFadd;
+    i.fsize = size == 0b00 ? FpSize::kV4S : FpSize::kV2D;
+  } else if (u == 1 && opcode == 0b11011 && (size == 0b00 || size == 0b01)) {
+    i.mn = Mn::kVFmul;
+    i.fsize = size == 0b00 ? FpSize::kV4S : FpSize::kV2D;
+  } else {
+    return Err("vector op unsupported");
+  }
+  i.vd = VReg::V(static_cast<uint8_t>(Bits(w, 4, 0)));
+  i.vn = VReg::V(static_cast<uint8_t>(Bits(w, 9, 5)));
+  i.vm = VReg::V(static_cast<uint8_t>(Bits(w, 20, 16)));
+  return i;
+}
+
+}  // namespace
+
+Result<Inst> Decode(uint32_t w) {
+  // Fixed words first.
+  if (w == 0xD503201Fu) {
+    Inst i;
+    i.mn = Mn::kNop;
+    return i;
+  }
+  if ((w & 0xFFE0001Fu) == 0xD4000001u) {
+    Inst i;
+    i.mn = Mn::kSvc;
+    i.imm = Bits(w, 20, 5);
+    return i;
+  }
+  if ((w & 0xFFE0001Fu) == 0xD4200000u) {
+    Inst i;
+    i.mn = Mn::kBrk;
+    i.imm = Bits(w, 20, 5);
+    return i;
+  }
+  if ((w & 0xFFF00000u) == 0xD5300000u) {
+    Inst i;
+    i.mn = Mn::kMrs;
+    i.imm = Bits(w, 19, 5);
+    i.rt = RegZr(Bits(w, 4, 0));
+    return i;
+  }
+  if ((w & 0xFFF00000u) == 0xD5100000u) {
+    Inst i;
+    i.mn = Mn::kMsr;
+    i.imm = Bits(w, 19, 5);
+    i.rt = RegZr(Bits(w, 4, 0));
+    return i;
+  }
+  // Indirect branches.
+  if ((w & 0xFFFFFC1Fu) == 0xD61F0000u || (w & 0xFFFFFC1Fu) == 0xD63F0000u ||
+      (w & 0xFFFFFC1Fu) == 0xD65F0000u) {
+    Inst i;
+    const uint32_t opc = Bits(w, 22, 21);
+    i.mn = opc == 0 ? Mn::kBr : opc == 1 ? Mn::kBlr : Mn::kRet;
+    i.rn = RegZr(Bits(w, 9, 5));
+    return i;
+  }
+  // Direct branches.
+  if ((w & 0x7C000000u) == 0x14000000u) {
+    Inst i;
+    i.mn = Bits(w, 31, 31) ? Mn::kBl : Mn::kB;
+    i.imm = SignExtend(Bits(w, 25, 0), 26) * 4;
+    return i;
+  }
+  if ((w & 0xFF000010u) == 0x54000000u) {
+    Inst i;
+    i.mn = Mn::kBCond;
+    i.cond = static_cast<Cond>(Bits(w, 3, 0));
+    if (i.cond == Cond::kAl) return Err("b.al unsupported");
+    if (Bits(w, 3, 0) == 15) return Err("b.nv unsupported");
+    i.imm = SignExtend(Bits(w, 23, 5), 19) * 4;
+    return i;
+  }
+  if ((w & 0x7E000000u) == 0x34000000u) {
+    Inst i;
+    i.mn = Bits(w, 24, 24) ? Mn::kCbnz : Mn::kCbz;
+    i.width = SfWidth(w);
+    i.imm = SignExtend(Bits(w, 23, 5), 19) * 4;
+    i.rt = RegZr(Bits(w, 4, 0));
+    return i;
+  }
+  if ((w & 0x7E000000u) == 0x36000000u) {
+    Inst i;
+    i.mn = Bits(w, 24, 24) ? Mn::kTbnz : Mn::kTbz;
+    i.bit = static_cast<uint8_t>((Bits(w, 31, 31) << 5) | Bits(w, 23, 19));
+    i.width = i.bit >= 32 ? Width::kX : Width::kW;
+    i.imm = SignExtend(Bits(w, 18, 5), 14) * 4;
+    i.rt = RegZr(Bits(w, 4, 0));
+    return i;
+  }
+  // PC-relative.
+  if ((w & 0x1F000000u) == 0x10000000u) return DecodeAdr(w);
+  // Data processing, immediate.
+  if ((w & 0x1F800000u) == 0x12000000u) {
+    // Logical immediate.
+    Inst i;
+    switch (Bits(w, 30, 29)) {
+      case 0b00: i.mn = Mn::kAndImm; break;
+      case 0b01: i.mn = Mn::kOrrImm; break;
+      case 0b10: i.mn = Mn::kEorImm; break;
+      default: i.mn = Mn::kAndsImm; break;
+    }
+    i.width = SfWidth(w);
+    if (i.width == Width::kW && Bits(w, 22, 22)) {
+      return Err("logical imm: N=1 with 32-bit register");
+    }
+    auto mask = DecodeBitmaskImm(
+        static_cast<uint8_t>(Bits(w, 22, 22)),
+        static_cast<uint8_t>(Bits(w, 21, 16)),
+        static_cast<uint8_t>(Bits(w, 15, 10)), i.width);
+    if (!mask) return Err(mask.error());
+    i.imm = static_cast<int64_t>(*mask);
+    i.rd = i.mn == Mn::kAndsImm ? RegZr(Bits(w, 4, 0))
+                                : RegSp(Bits(w, 4, 0));
+    i.rn = RegZr(Bits(w, 9, 5));
+    return i;
+  }
+  if ((w & 0x1F800000u) == 0x11000000u) return DecodeAddSubImm(w);
+  if ((w & 0x1F800000u) == 0x12800000u) return DecodeMovWide(w);
+  if ((w & 0x1F800000u) == 0x13000000u) return DecodeBitfield(w);
+  // Data processing, register.
+  if ((w & 0x1F200000u) == 0x0B000000u) return DecodeAddSubShifted(w);
+  if ((w & 0x1FE00000u) == 0x0B200000u) return DecodeAddSubExt(w);
+  if ((w & 0x1F000000u) == 0x0A000000u) return DecodeLogical(w);
+  if ((w & 0x7FE08000u) == 0x1B000000u || (w & 0x7FE08000u) == 0x1B008000u) {
+    return DecodeMulAdd(w);
+  }
+  if ((w & 0x7FE08000u) == 0x1B400000u || (w & 0x7FE08000u) == 0x1BC00000u) {
+    return DecodeMulHigh(w);
+  }
+  if ((w & 0x3FE00410u) == 0x3A400000u) return DecodeCondCompare(w);
+  if ((w & 0x7FA00000u) == 0x13800000u) return DecodeExtr(w);
+  if ((w & 0x7FE0F800u) == 0x1AC00800u) return DecodeDiv(w);
+  if ((w & 0x7FFF0000u) == 0x5AC00000u) return DecodeDataProc1(w);
+  if ((w & 0x3FE00800u) == 0x1A800000u) return DecodeCondSel(w);
+  // Loads and stores.
+  if ((w & 0x3F000000u) == 0x08000000u) return DecodeExclusive(w);
+  if ((w & 0x3C000000u) == 0x28000000u) return DecodePair(w);
+  if ((w & 0x3B000000u) == 0x39000000u) return DecodeLoadStoreUImm(w);
+  if ((w & 0x3B000000u) == 0x38000000u) return DecodeLoadStoreOther(w);
+  // Floating point and SIMD.
+  if ((w & 0xFF000000u) == 0x1F000000u) return DecodeFmadd(w);
+  if ((w & 0x5F200000u) == 0x1E200000u && Bits(w, 30, 30) == 0 &&
+      Bits(w, 28, 24) == 0b11110) {
+    return DecodeFp(w);
+  }
+  if ((w & 0x9F200400u) == 0x0E200400u) return DecodeVector(w);
+  return Err("unrecognized instruction word");
+}
+
+uint32_t ReadWordLE(std::span<const uint8_t> bytes, size_t offset) {
+  assert(offset + 4 <= bytes.size());
+  return uint32_t{bytes[offset]} | (uint32_t{bytes[offset + 1]} << 8) |
+         (uint32_t{bytes[offset + 2]} << 16) |
+         (uint32_t{bytes[offset + 3]} << 24);
+}
+
+Result<std::vector<Inst>> DecodeAll(std::span<const uint8_t> bytes) {
+  if (bytes.size() % 4 != 0) {
+    return Error{"decode: byte stream not a multiple of 4"};
+  }
+  std::vector<Inst> out;
+  out.reserve(bytes.size() / 4);
+  for (size_t off = 0; off < bytes.size(); off += 4) {
+    auto inst = Decode(ReadWordLE(bytes, off));
+    if (!inst) {
+      return Error{"at offset " + std::to_string(off) + ": " + inst.error()};
+    }
+    out.push_back(*inst);
+  }
+  return out;
+}
+
+}  // namespace lfi::arch

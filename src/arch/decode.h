@@ -1,0 +1,33 @@
+// Binary decoder: 32-bit ARM64 machine word -> Inst.
+//
+// The decoder is deliberately *closed world*: any word that is not one of
+// the encodings this library supports decodes to an error. The static
+// verifier builds directly on this property - an instruction that cannot be
+// decoded is not on the allowlist and the program is rejected (property 3 in
+// Section 5.2 of the paper).
+#ifndef LFI_ARCH_DECODE_H_
+#define LFI_ARCH_DECODE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/inst.h"
+#include "support/result.h"
+
+namespace lfi::arch {
+
+// Decodes a single machine word.
+Result<Inst> Decode(uint32_t word);
+
+// Decodes a little-endian byte stream. `bytes.size()` must be a multiple
+// of 4. Fails on the first undecodable word, reporting its byte offset.
+Result<std::vector<Inst>> DecodeAll(std::span<const uint8_t> bytes);
+
+// Reads the little-endian word at `offset` of `bytes` (no bounds check
+// beyond assert).
+uint32_t ReadWordLE(std::span<const uint8_t> bytes, size_t offset);
+
+}  // namespace lfi::arch
+
+#endif  // LFI_ARCH_DECODE_H_

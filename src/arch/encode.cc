@@ -1,0 +1,770 @@
+#include "arch/encode.h"
+
+#include <bit>
+
+namespace lfi::arch {
+
+namespace {
+
+using R = Result<uint32_t>;
+
+Error Err(const std::string& m) { return Error{"encode: " + m}; }
+
+// Register fields where 31 means xzr (SP not allowed).
+Result<uint32_t> GprOrZr(Reg r, const char* what) {
+  if (r.IsSp() || r.IsNone()) {
+    return Err(std::string("sp/none not allowed as ") + what);
+  }
+  return uint32_t{r.Encoding()};
+}
+
+// Register fields where 31 means sp (xzr not allowed).
+Result<uint32_t> GprOrSp(Reg r, const char* what) {
+  if (r.IsZr() || r.IsNone()) {
+    return Err(std::string("zr/none not allowed as ") + what);
+  }
+  return uint32_t{r.Encoding()};
+}
+
+uint32_t Sf(Width w) { return w == Width::kX ? 1u : 0u; }
+
+bool FitsSigned(int64_t v, unsigned bits) {
+  const int64_t lo = -(int64_t{1} << (bits - 1));
+  const int64_t hi = (int64_t{1} << (bits - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+// size field (bits 30-31) for an integer access of `bytes`.
+Result<uint32_t> SizeField(unsigned bytes) {
+  switch (bytes) {
+    case 1: return 0u;
+    case 2: return 1u;
+    case 4: return 2u;
+    case 8: return 3u;
+  }
+  return Err("bad access size");
+}
+
+R EncodeAddSubImm(const Inst& i, bool sub, bool setflags) {
+  auto rd = setflags ? GprOrZr(i.rd, "rd") : GprOrSp(i.rd, "rd");
+  auto rn = GprOrSp(i.rn, "rn");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  uint64_t imm = static_cast<uint64_t>(i.imm);
+  uint32_t sh = 0;
+  if (i.imm < 0) return Err("negative add/sub immediate");
+  if (imm >= (1u << 12)) {
+    if ((imm & 0xfffu) != 0 || imm >= (uint64_t{1} << 24)) {
+      return Err("add/sub immediate out of range");
+    }
+    sh = 1;
+    imm >>= 12;
+  }
+  return (Sf(i.width) << 31) | (uint32_t(sub) << 30) |
+         (uint32_t(setflags) << 29) | (0b100010u << 23) | (sh << 22) |
+         (uint32_t(imm) << 10) | (*rn << 5) | *rd;
+}
+
+R EncodeAddSubShifted(const Inst& i, bool sub, bool setflags) {
+  auto rd = GprOrZr(i.rd, "rd");
+  auto rn = GprOrZr(i.rn, "rn");
+  auto rm = GprOrZr(i.rm, "rm");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  if (!rm) return rm;
+  if (i.shift == Shift::kRor) return Err("ror invalid for add/sub");
+  if (i.shift_amount >= (i.width == Width::kX ? 64 : 32)) {
+    return Err("shift amount out of range");
+  }
+  return (Sf(i.width) << 31) | (uint32_t(sub) << 30) |
+         (uint32_t(setflags) << 29) | (0b01011u << 24) |
+         (uint32_t(i.shift) << 22) | (*rm << 16) |
+         (uint32_t(i.shift_amount) << 10) | (*rn << 5) | *rd;
+}
+
+R EncodeAddSubExt(const Inst& i, bool sub) {
+  auto rd = GprOrSp(i.rd, "rd");
+  auto rn = GprOrSp(i.rn, "rn");
+  auto rm = GprOrZr(i.rm, "rm");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  if (!rm) return rm;
+  if (i.shift_amount > 4) return Err("extend shift > 4");
+  return (Sf(i.width) << 31) | (uint32_t(sub) << 30) | (0b01011u << 24) |
+         (0b001u << 21) | (*rm << 16) | (uint32_t(i.ext) << 13) |
+         (uint32_t(i.shift_amount) << 10) | (*rn << 5) | *rd;
+}
+
+R EncodeLogicalShifted(const Inst& i, uint32_t opc, uint32_t n) {
+  auto rd = GprOrZr(i.rd, "rd");
+  auto rn = GprOrZr(i.rn, "rn");
+  auto rm = GprOrZr(i.rm, "rm");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  if (!rm) return rm;
+  if (i.shift_amount >= (i.width == Width::kX ? 64 : 32)) {
+    return Err("shift amount out of range");
+  }
+  return (Sf(i.width) << 31) | (opc << 29) | (0b01010u << 24) |
+         (uint32_t(i.shift) << 22) | (n << 21) | (*rm << 16) |
+         (uint32_t(i.shift_amount) << 10) | (*rn << 5) | *rd;
+}
+
+R EncodeMovWide(const Inst& i, uint32_t opc) {
+  auto rd = GprOrZr(i.rd, "rd");
+  if (!rd) return rd;
+  if (i.imm < 0 || i.imm > 0xffff) return Err("mov immediate out of range");
+  if (i.shift_amount % 16 != 0 ||
+      i.shift_amount > (i.width == Width::kX ? 48 : 16)) {
+    return Err("mov shift must be 0/16/32/48");
+  }
+  const uint32_t hw = i.shift_amount / 16;
+  return (Sf(i.width) << 31) | (opc << 29) | (0b100101u << 23) | (hw << 21) |
+         (uint32_t(i.imm) << 5) | *rd;
+}
+
+R EncodeBitfield(const Inst& i, uint32_t opc) {
+  auto rd = GprOrZr(i.rd, "rd");
+  auto rn = GprOrZr(i.rn, "rn");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  const uint32_t n = Sf(i.width);
+  const uint32_t max = i.width == Width::kX ? 64 : 32;
+  if (i.immr >= max || i.imms >= max) return Err("bitfield field too large");
+  return (Sf(i.width) << 31) | (opc << 29) | (0b100110u << 23) | (n << 22) |
+         (uint32_t(i.immr) << 16) | (uint32_t(i.imms) << 10) | (*rn << 5) |
+         *rd;
+}
+
+R EncodeMulAdd(const Inst& i, uint32_t o0) {
+  auto rd = GprOrZr(i.rd, "rd");
+  auto rn = GprOrZr(i.rn, "rn");
+  auto rm = GprOrZr(i.rm, "rm");
+  auto ra = GprOrZr(i.ra, "ra");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  if (!rm) return rm;
+  if (!ra) return ra;
+  return (Sf(i.width) << 31) | (0b0011011000u << 21) | (*rm << 16) |
+         (o0 << 15) | (*ra << 10) | (*rn << 5) | *rd;
+}
+
+R EncodeMulHigh(const Inst& i, uint32_t u) {
+  auto rd = GprOrZr(i.rd, "rd");
+  auto rn = GprOrZr(i.rn, "rn");
+  auto rm = GprOrZr(i.rm, "rm");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  if (!rm) return rm;
+  if (i.width != Width::kX) return Err("umulh/smulh are 64-bit only");
+  return (1u << 31) | (0b11011u << 24) | (u << 23) | (1u << 22) |
+         (0u << 21) | (*rm << 16) | (0b11111u << 10) | (*rn << 5) | *rd;
+}
+
+R EncodeCondCompare(const Inst& i, bool neg, bool immform) {
+  auto rn = GprOrZr(i.rn, "rn");
+  if (!rn) return rn;
+  if (i.nzcv > 15) return Err("ccmp nzcv out of range");
+  uint32_t op2;
+  if (immform) {
+    if (i.imm < 0 || i.imm > 31) return Err("ccmp imm5 out of range");
+    op2 = static_cast<uint32_t>(i.imm);
+  } else {
+    auto rm = GprOrZr(i.rm, "rm");
+    if (!rm) return rm;
+    op2 = *rm;
+  }
+  return (Sf(i.width) << 31) | (uint32_t(!neg) << 30) | (1u << 29) |
+         (0b11010010u << 21) | (op2 << 16) | (uint32_t(i.cond) << 12) |
+         (uint32_t(immform) << 11) | (*rn << 5) | i.nzcv;
+}
+
+R EncodeExtr(const Inst& i) {
+  auto rd = GprOrZr(i.rd, "rd");
+  auto rn = GprOrZr(i.rn, "rn");
+  auto rm = GprOrZr(i.rm, "rm");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  if (!rm) return rm;
+  const uint32_t bits = i.width == Width::kX ? 64 : 32;
+  if (i.imms >= bits) return Err("extr lsb out of range");
+  const uint32_t n = Sf(i.width);
+  return (Sf(i.width) << 31) | (0b00100111u << 23) | (n << 22) |
+         (*rm << 16) | (uint32_t(i.imms) << 10) | (*rn << 5) | *rd;
+}
+
+R EncodeDiv(const Inst& i, uint32_t o1) {
+  auto rd = GprOrZr(i.rd, "rd");
+  auto rn = GprOrZr(i.rn, "rn");
+  auto rm = GprOrZr(i.rm, "rm");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  if (!rm) return rm;
+  return (Sf(i.width) << 31) | (0b11010110u << 21) | (*rm << 16) |
+         (0b00001u << 11) | (o1 << 10) | (*rn << 5) | *rd;
+}
+
+R EncodeCondSel(const Inst& i, uint32_t op, uint32_t o2) {
+  auto rd = GprOrZr(i.rd, "rd");
+  auto rn = GprOrZr(i.rn, "rn");
+  auto rm = GprOrZr(i.rm, "rm");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  if (!rm) return rm;
+  return (Sf(i.width) << 31) | (op << 30) | (0b11010100u << 21) |
+         (*rm << 16) | (uint32_t(i.cond) << 12) | (o2 << 10) | (*rn << 5) |
+         *rd;
+}
+
+R EncodeDataProc1(const Inst& i, uint32_t opcode) {
+  auto rd = GprOrZr(i.rd, "rd");
+  auto rn = GprOrZr(i.rn, "rn");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  return (Sf(i.width) << 31) | (1u << 30) | (0b11010110u << 21) |
+         (opcode << 10) | (*rn << 5) | *rd;
+}
+
+R EncodeAdr(const Inst& i, bool page) {
+  auto rd = GprOrZr(i.rd, "rd");
+  if (!rd) return rd;
+  int64_t imm = i.imm;
+  if (page) {
+    if (imm % 4096 != 0) return Err("adrp offset not page-aligned");
+    imm >>= 12;
+  }
+  if (!FitsSigned(imm, 21)) return Err("adr(p) offset out of range");
+  const uint32_t u = static_cast<uint32_t>(imm & 0x1fffff);
+  return (uint32_t(page) << 31) | ((u & 3) << 29) | (0b10000u << 24) |
+         ((u >> 2) << 5) | *rd;
+}
+
+// Common load/store encodings. `size` = size field bits, `v` = SIMD bit,
+// `opc` = opc field bits, `rt` = transfer register encoding.
+R EncodeLoadStoreCommon(const MemOperand& mem, unsigned bytes, uint32_t size,
+                        uint32_t v, uint32_t opc, uint32_t rt) {
+  auto rn = GprOrSp(mem.base, "mem base");
+  if (!rn) return rn;
+  switch (mem.mode) {
+    case AddrMode::kImm: {
+      if (FitsScaledImm12(mem.imm, bytes)) {
+        const uint32_t imm12 = static_cast<uint32_t>(mem.imm / bytes);
+        return (size << 30) | (0b111u << 27) | (v << 26) | (0b01u << 24) |
+               (opc << 22) | (imm12 << 10) | (*rn << 5) | rt;
+      }
+      if (FitsImm9(mem.imm)) {  // ldur/stur form
+        const uint32_t imm9 = static_cast<uint32_t>(mem.imm & 0x1ff);
+        return (size << 30) | (0b111u << 27) | (v << 26) | (opc << 22) |
+               (imm9 << 12) | (*rn << 5) | rt;
+      }
+      return Err("load/store immediate out of range");
+    }
+    case AddrMode::kPreIndex:
+    case AddrMode::kPostIndex: {
+      if (!FitsImm9(mem.imm)) return Err("index immediate out of range");
+      const uint32_t imm9 = static_cast<uint32_t>(mem.imm & 0x1ff);
+      const uint32_t idx = mem.mode == AddrMode::kPreIndex ? 0b11u : 0b01u;
+      return (size << 30) | (0b111u << 27) | (v << 26) | (opc << 22) |
+             (imm9 << 12) | (idx << 10) | (*rn << 5) | rt;
+    }
+    case AddrMode::kRegLsl:
+    case AddrMode::kRegUxtw:
+    case AddrMode::kRegSxtw: {
+      auto rm = GprOrZr(mem.index, "mem index");
+      if (!rm) return rm;
+      uint32_t option;
+      switch (mem.mode) {
+        case AddrMode::kRegLsl: option = 0b011; break;
+        case AddrMode::kRegUxtw: option = 0b010; break;
+        default: option = 0b110; break;
+      }
+      uint32_t s;
+      if (mem.shift == 0) {
+        s = 0;
+      } else if (bytes != 0 && mem.shift == std::countr_zero(bytes)) {
+        s = 1;
+      } else {
+        return Err("register-offset shift must be 0 or log2(size)");
+      }
+      return (size << 30) | (0b111u << 27) | (v << 26) | (opc << 22) |
+             (1u << 21) | (*rm << 16) | (option << 13) | (s << 12) |
+             (0b10u << 10) | (*rn << 5) | rt;
+    }
+  }
+  return Err("bad addressing mode");
+}
+
+R EncodeIntLoadStore(const Inst& i, bool load) {
+  auto rt = GprOrZr(i.rt, "rt");
+  if (!rt) return rt;
+  auto size = SizeField(i.msize);
+  if (!size) return size;
+  uint32_t opc;
+  if (!load) {
+    opc = 0b00;
+  } else if (!i.msigned) {
+    opc = 0b01;
+  } else {
+    // Sign-extending load: opc 10 extends to 64 bits, 11 to 32 bits.
+    if (i.msize == 8) return Err("ldrs with 8-byte size");
+    opc = (i.width == Width::kX) ? 0b10 : 0b11;
+    if (i.msize == 4 && i.width == Width::kW) {
+      return Err("ldrsw must target an x register");
+    }
+  }
+  return EncodeLoadStoreCommon(i.mem, i.msize, *size, 0, opc, *rt);
+}
+
+R EncodeFpLoadStore(const Inst& i, bool load) {
+  if (i.vt.IsNone()) return Err("fp load/store without vt");
+  uint32_t size, opc;
+  unsigned bytes;
+  switch (i.fsize) {
+    case FpSize::kS: size = 0b10; opc = load ? 0b01 : 0b00; bytes = 4; break;
+    case FpSize::kD: size = 0b11; opc = load ? 0b01 : 0b00; bytes = 8; break;
+    case FpSize::kQ: size = 0b00; opc = load ? 0b11 : 0b10; bytes = 16; break;
+    default: return Err("bad fp load/store size");
+  }
+  return EncodeLoadStoreCommon(i.mem, bytes, size, 1, opc, i.vt.Encoding());
+}
+
+R EncodePair(const Inst& i, bool load) {
+  auto rt = GprOrZr(i.rt, "rt");
+  auto rt2 = GprOrZr(i.rt2, "rt2");
+  auto rn = GprOrSp(i.mem.base, "mem base");
+  if (!rt) return rt;
+  if (!rt2) return rt2;
+  if (!rn) return rn;
+  const unsigned bytes = i.width == Width::kX ? 8 : 4;
+  if (!FitsPairImm7(i.mem.imm, bytes)) return Err("pair offset out of range");
+  const uint32_t imm7 =
+      static_cast<uint32_t>((i.mem.imm / int64_t{bytes}) & 0x7f);
+  uint32_t mode;
+  switch (i.mem.mode) {
+    case AddrMode::kImm: mode = 0b010; break;
+    case AddrMode::kPreIndex: mode = 0b011; break;
+    case AddrMode::kPostIndex: mode = 0b001; break;
+    default: return Err("bad pair addressing mode");
+  }
+  const uint32_t opc = i.width == Width::kX ? 0b10u : 0b00u;
+  return (opc << 30) | (0b101u << 27) | (mode << 23) |
+         (uint32_t(load) << 22) | (imm7 << 15) | (*rt2 << 10) | (*rn << 5) |
+         *rt;
+}
+
+// Exclusive / acquire-release. All use base-register-only addressing.
+R EncodeExclusive(const Inst& i, uint32_t o2, uint32_t l, uint32_t o0,
+                  uint32_t rs) {
+  auto rt = GprOrZr(i.rt, "rt");
+  auto rn = GprOrSp(i.mem.base, "mem base");
+  if (!rt) return rt;
+  if (!rn) return rn;
+  if (i.mem.mode != AddrMode::kImm || i.mem.imm != 0) {
+    return Err("exclusive access requires [reg] addressing");
+  }
+  auto size = SizeField(i.msize);
+  if (!size) return size;
+  return (*size << 30) | (0b001000u << 24) | (o2 << 23) | (l << 22) |
+         (rs << 16) | (o0 << 15) | (0b11111u << 10) | (*rn << 5) | *rt;
+}
+
+R EncodeBranchImm(const Inst& i, bool link) {
+  if (i.imm % 4 != 0) return Err("branch offset not 4-aligned");
+  const int64_t off = i.imm / 4;
+  if (!FitsSigned(off, 26)) return Err("branch offset out of range");
+  return (uint32_t(link) << 31) | (0b00101u << 26) |
+         static_cast<uint32_t>(off & 0x3ffffff);
+}
+
+R EncodeCondBranch(const Inst& i) {
+  if (i.imm % 4 != 0) return Err("branch offset not 4-aligned");
+  const int64_t off = i.imm / 4;
+  if (!FitsSigned(off, 19)) return Err("b.cond offset out of range");
+  return (0b0101010u << 25) | (static_cast<uint32_t>(off & 0x7ffff) << 5) |
+         uint32_t(i.cond);
+}
+
+R EncodeCompareBranch(const Inst& i, uint32_t op) {
+  auto rt = GprOrZr(i.rt, "rt");
+  if (!rt) return rt;
+  if (i.imm % 4 != 0) return Err("branch offset not 4-aligned");
+  const int64_t off = i.imm / 4;
+  if (!FitsSigned(off, 19)) return Err("cbz offset out of range");
+  return (Sf(i.width) << 31) | (0b011010u << 25) | (op << 24) |
+         (static_cast<uint32_t>(off & 0x7ffff) << 5) | *rt;
+}
+
+R EncodeTestBranch(const Inst& i, uint32_t op) {
+  auto rt = GprOrZr(i.rt, "rt");
+  if (!rt) return rt;
+  if (i.bit > 63) return Err("tbz bit out of range");
+  if (i.imm % 4 != 0) return Err("branch offset not 4-aligned");
+  const int64_t off = i.imm / 4;
+  if (!FitsSigned(off, 14)) return Err("tbz offset out of range");
+  const uint32_t b5 = i.bit >> 5;
+  const uint32_t b40 = i.bit & 0x1f;
+  return (b5 << 31) | (0b011011u << 25) | (op << 24) | (b40 << 19) |
+         (static_cast<uint32_t>(off & 0x3fff) << 5) | *rt;
+}
+
+R EncodeBranchReg(const Inst& i, uint32_t opc) {
+  Reg target = i.rn;
+  auto rn = GprOrZr(target, "rn");
+  if (!rn) return rn;
+  return (0b1101011u << 25) | (opc << 21) | (0b11111u << 16) | (*rn << 5);
+}
+
+uint32_t FpType(FpSize s) { return s == FpSize::kS ? 0b00u : 0b01u; }
+
+R EncodeFp2Src(const Inst& i, uint32_t opcode) {
+  if (i.fsize != FpSize::kS && i.fsize != FpSize::kD) {
+    return Err("scalar fp op needs s/d size");
+  }
+  return (0b00011110u << 24) | (FpType(i.fsize) << 22) | (1u << 21) |
+         (uint32_t(i.vm.Encoding()) << 16) | (opcode << 12) | (0b10u << 10) |
+         (uint32_t(i.vn.Encoding()) << 5) | i.vd.Encoding();
+}
+
+R EncodeFp1Src(const Inst& i, uint32_t opcode) {
+  if (i.fsize != FpSize::kS && i.fsize != FpSize::kD) {
+    return Err("scalar fp op needs s/d size");
+  }
+  return (0b00011110u << 24) | (FpType(i.fsize) << 22) | (1u << 21) |
+         (opcode << 15) | (0b10000u << 10) |
+         (uint32_t(i.vn.Encoding()) << 5) | i.vd.Encoding();
+}
+
+R EncodeFmadd(const Inst& i) {
+  if (i.fsize != FpSize::kS && i.fsize != FpSize::kD) {
+    return Err("fmadd needs s/d size");
+  }
+  return (0b00011111u << 24) | (FpType(i.fsize) << 22) |
+         (uint32_t(i.vm.Encoding()) << 16) |
+         (uint32_t(i.va.Encoding()) << 10) |
+         (uint32_t(i.vn.Encoding()) << 5) | i.vd.Encoding();
+}
+
+R EncodeFcmp(const Inst& i) {
+  if (i.fsize != FpSize::kS && i.fsize != FpSize::kD) {
+    return Err("fcmp needs s/d size");
+  }
+  return (0b00011110u << 24) | (FpType(i.fsize) << 22) | (1u << 21) |
+         (uint32_t(i.vm.Encoding()) << 16) | (0b001000u << 10) |
+         (uint32_t(i.vn.Encoding()) << 5);
+}
+
+// Conversions between integer and FP registers share one format:
+// sf 0 0 11110 type 1 rmode(2) opcode(3) 000000 Rn Rd
+R EncodeIntFp(const Inst& i, uint32_t rmode, uint32_t opcode, uint32_t rn,
+              uint32_t rd) {
+  return (Sf(i.width) << 31) | (0b0011110u << 24) | (FpType(i.fsize) << 22) |
+         (1u << 21) | (rmode << 19) | (opcode << 16) | (rn << 5) | rd;
+}
+
+R EncodeVector3Same(const Inst& i, uint32_t u, uint32_t size,
+                    uint32_t opcode) {
+  return (1u << 30) | (u << 29) | (0b01110u << 24) | (size << 22) |
+         (1u << 21) | (uint32_t(i.vm.Encoding()) << 16) | (opcode << 11) |
+         (1u << 10) | (uint32_t(i.vn.Encoding()) << 5) | i.vd.Encoding();
+}
+
+}  // namespace
+
+bool FitsScaledImm12(int64_t imm, unsigned size) {
+  return imm >= 0 && imm % size == 0 && imm / size < 4096;
+}
+
+bool FitsImm9(int64_t imm) { return imm >= -256 && imm <= 255; }
+
+bool FitsPairImm7(int64_t imm, unsigned size) {
+  return imm % size == 0 && imm / int64_t{size} >= -64 &&
+         imm / int64_t{size} <= 63;
+}
+
+bool FitsLoadStoreImm(int64_t imm, unsigned size) {
+  return FitsScaledImm12(imm, size) || FitsImm9(imm);
+}
+
+bool FitsAddSubImm(int64_t imm) {
+  if (imm < 0) return false;
+  const uint64_t u = static_cast<uint64_t>(imm);
+  return u < (1u << 12) || ((u & 0xfff) == 0 && u < (uint64_t{1} << 24));
+}
+
+Result<BitmaskEncoding> EncodeBitmaskImm(uint64_t value, Width width) {
+  const unsigned bits = width == Width::kX ? 64 : 32;
+  if (width == Width::kW) {
+    if (value > 0xffffffffu) return Error{"bitmask: value wider than 32"};
+  }
+  const uint64_t all = bits == 64 ? ~uint64_t{0} : 0xffffffffu;
+  if (value == 0 || value == all) {
+    return Error{"bitmask: 0 / all-ones not encodable"};
+  }
+  // Find the smallest element size whose replication reproduces value.
+  unsigned esize = bits;
+  for (unsigned e = 2; e < bits; e *= 2) {
+    const uint64_t mask = e == 64 ? ~uint64_t{0} : ((uint64_t{1} << e) - 1);
+    const uint64_t elem = value & mask;
+    bool replicates = true;
+    for (unsigned pos = e; pos < bits; pos += e) {
+      if (((value >> pos) & mask) != elem) {
+        replicates = false;
+        break;
+      }
+    }
+    if (replicates) {
+      esize = e;
+      break;
+    }
+  }
+  const uint64_t emask =
+      esize == 64 ? ~uint64_t{0} : ((uint64_t{1} << esize) - 1);
+  const uint64_t elem = value & emask;
+  const unsigned ones = static_cast<unsigned>(std::popcount(elem));
+  if (ones == 0 || ones == esize) return Error{"bitmask: element not a run"};
+  // Find the rotation r with ROR(run, r) == elem, matching the decoder's
+  // convention (the element is the low run of ones rotated right by immr).
+  const uint64_t run = (ones == 64) ? ~uint64_t{0}
+                                    : ((uint64_t{1} << ones) - 1);
+  unsigned rot = esize;
+  for (unsigned r = 0; r < esize; ++r) {
+    const uint64_t rotated =
+        r == 0 ? run : (((run >> r) | (run << (esize - r))) & emask);
+    if (rotated == elem) {
+      rot = r;
+      break;
+    }
+  }
+  if (rot == esize) return Error{"bitmask: element not a rotated run"};
+  BitmaskEncoding enc;
+  enc.n = esize == 64 ? 1 : 0;
+  enc.immr = static_cast<uint8_t>(rot);
+  // imms: high bits encode the element size, low bits ones-1.
+  const uint8_t size_field =
+      esize == 64 ? 0 : static_cast<uint8_t>((~(2 * esize - 1)) & 0x3f);
+  enc.imms = static_cast<uint8_t>(size_field | (ones - 1));
+  return enc;
+}
+
+Result<uint64_t> DecodeBitmaskImm(uint8_t n, uint8_t immr, uint8_t imms,
+                                  Width width) {
+  const unsigned bits = width == Width::kX ? 64 : 32;
+  // len = index of the highest set bit of N:NOT(imms).
+  const unsigned composite =
+      (static_cast<unsigned>(n) << 6) | ((~imms) & 0x3f);
+  if (composite == 0) return Error{"bitmask: unallocated"};
+  unsigned len = 31 - static_cast<unsigned>(std::countl_zero(composite));
+  if (len < 1) return Error{"bitmask: unallocated"};
+  const unsigned esize = 1u << len;
+  if (esize > bits) return Error{"bitmask: element wider than register"};
+  const unsigned levels = esize - 1;
+  const unsigned s = imms & levels;
+  const unsigned r = immr & levels;
+  if (s == levels) return Error{"bitmask: all-ones element"};
+  // Hardware ignores immr bits above the element size; we reject such
+  // non-canonical encodings so that decode(encode(x)) round-trips exactly
+  // (conservative rejection is always safe for a verifier).
+  if ((immr & ~levels & 0x3f) != 0) {
+    return Error{"bitmask: non-canonical immr"};
+  }
+  const unsigned ones = s + 1;
+  uint64_t elem =
+      ones == 64 ? ~uint64_t{0} : ((uint64_t{1} << ones) - 1);
+  const uint64_t emask =
+      esize == 64 ? ~uint64_t{0} : ((uint64_t{1} << esize) - 1);
+  if (r != 0) {
+    elem = ((elem >> r) | (elem << (esize - r))) & emask;
+  }
+  uint64_t value = 0;
+  for (unsigned pos = 0; pos < bits; pos += esize) {
+    value |= elem << pos;
+  }
+  return value;
+}
+
+namespace {
+R EncodeLogicalImm(const Inst& i, uint32_t opc) {
+  auto rd = (opc == 0b11) ? GprOrZr(i.rd, "rd") : GprOrSp(i.rd, "rd");
+  auto rn = GprOrZr(i.rn, "rn");
+  if (!rd) return rd;
+  if (!rn) return rn;
+  auto enc = EncodeBitmaskImm(static_cast<uint64_t>(i.imm), i.width);
+  if (!enc) return Err(enc.error());
+  return (Sf(i.width) << 31) | (opc << 29) | (0b100100u << 23) |
+         (uint32_t(enc->n) << 22) | (uint32_t(enc->immr) << 16) |
+         (uint32_t(enc->imms) << 10) | (*rn << 5) | *rd;
+}
+}  // namespace
+
+Result<uint32_t> Encode(const Inst& i) {
+  switch (i.mn) {
+    case Mn::kAddImm: return EncodeAddSubImm(i, false, false);
+    case Mn::kAddsImm: return EncodeAddSubImm(i, false, true);
+    case Mn::kSubImm: return EncodeAddSubImm(i, true, false);
+    case Mn::kSubsImm: return EncodeAddSubImm(i, true, true);
+    case Mn::kAddReg:
+      // `add sp, x21, x22` and other SP-involving moves must use the
+      // extended-register form in the machine encoding; `add (shifted
+      // register)` cannot name SP. Encode the SP case as extended with
+      // uxtx #0, which has identical semantics.
+      if ((i.rd.IsSp() || i.rn.IsSp()) && i.shift_amount == 0) {
+        Inst ext = i;
+        ext.mn = Mn::kAddExt;
+        ext.ext = Extend::kUxtx;
+        return EncodeAddSubExt(ext, false);
+      }
+      return EncodeAddSubShifted(i, false, false);
+    case Mn::kAddsReg: return EncodeAddSubShifted(i, false, true);
+    case Mn::kSubReg:
+      if ((i.rd.IsSp() || i.rn.IsSp()) && i.shift_amount == 0) {
+        Inst ext = i;
+        ext.mn = Mn::kSubExt;
+        ext.ext = Extend::kUxtx;
+        return EncodeAddSubExt(ext, true);
+      }
+      return EncodeAddSubShifted(i, true, false);
+    case Mn::kSubsReg: return EncodeAddSubShifted(i, true, true);
+    case Mn::kAndImm: return EncodeLogicalImm(i, 0b00);
+    case Mn::kOrrImm: return EncodeLogicalImm(i, 0b01);
+    case Mn::kEorImm: return EncodeLogicalImm(i, 0b10);
+    case Mn::kAndsImm: return EncodeLogicalImm(i, 0b11);
+    case Mn::kAndReg: return EncodeLogicalShifted(i, 0b00, 0);
+    case Mn::kBicReg: return EncodeLogicalShifted(i, 0b00, 1);
+    case Mn::kOrrReg: return EncodeLogicalShifted(i, 0b01, 0);
+    case Mn::kEorReg: return EncodeLogicalShifted(i, 0b10, 0);
+    case Mn::kAndsReg: return EncodeLogicalShifted(i, 0b11, 0);
+    case Mn::kAddExt: return EncodeAddSubExt(i, false);
+    case Mn::kSubExt: return EncodeAddSubExt(i, true);
+    case Mn::kMovn: return EncodeMovWide(i, 0b00);
+    case Mn::kMovz: return EncodeMovWide(i, 0b10);
+    case Mn::kMovk: return EncodeMovWide(i, 0b11);
+    case Mn::kSbfm: return EncodeBitfield(i, 0b00);
+    case Mn::kUbfm: return EncodeBitfield(i, 0b10);
+    case Mn::kMadd: return EncodeMulAdd(i, 0);
+    case Mn::kMsub: return EncodeMulAdd(i, 1);
+    case Mn::kUdiv: return EncodeDiv(i, 0);
+    case Mn::kSdiv: return EncodeDiv(i, 1);
+    case Mn::kSmulh: return EncodeMulHigh(i, 0);
+    case Mn::kUmulh: return EncodeMulHigh(i, 1);
+    case Mn::kCcmp: return EncodeCondCompare(i, false, false);
+    case Mn::kCcmpImm: return EncodeCondCompare(i, false, true);
+    case Mn::kCcmn: return EncodeCondCompare(i, true, false);
+    case Mn::kCcmnImm: return EncodeCondCompare(i, true, true);
+    case Mn::kExtr: return EncodeExtr(i);
+    case Mn::kCsel: return EncodeCondSel(i, 0, 0);
+    case Mn::kCsinc: return EncodeCondSel(i, 0, 1);
+    case Mn::kCsinv: return EncodeCondSel(i, 1, 0);
+    case Mn::kCsneg: return EncodeCondSel(i, 1, 1);
+    case Mn::kRbit: return EncodeDataProc1(i, 0b000000);
+    case Mn::kRev:
+      return EncodeDataProc1(i, i.width == Width::kX ? 0b000011 : 0b000010);
+    case Mn::kClz: return EncodeDataProc1(i, 0b000100);
+    case Mn::kAdr: return EncodeAdr(i, false);
+    case Mn::kAdrp: return EncodeAdr(i, true);
+    case Mn::kLdr: return EncodeIntLoadStore(i, true);
+    case Mn::kStr: return EncodeIntLoadStore(i, false);
+    case Mn::kLdp: return EncodePair(i, true);
+    case Mn::kStp: return EncodePair(i, false);
+    case Mn::kLdxr: return EncodeExclusive(i, 0, 1, 0, 0b11111);
+    case Mn::kStxr: {
+      auto rs = GprOrZr(i.rs, "rs");
+      if (!rs) return rs;
+      return EncodeExclusive(i, 0, 0, 0, *rs);
+    }
+    case Mn::kLdar: return EncodeExclusive(i, 1, 1, 1, 0b11111);
+    case Mn::kStlr: return EncodeExclusive(i, 1, 0, 1, 0b11111);
+    case Mn::kLdrF: return EncodeFpLoadStore(i, true);
+    case Mn::kStrF: return EncodeFpLoadStore(i, false);
+    case Mn::kB: return EncodeBranchImm(i, false);
+    case Mn::kBl: return EncodeBranchImm(i, true);
+    case Mn::kBCond: return EncodeCondBranch(i);
+    case Mn::kCbz: return EncodeCompareBranch(i, 0);
+    case Mn::kCbnz: return EncodeCompareBranch(i, 1);
+    case Mn::kTbz: return EncodeTestBranch(i, 0);
+    case Mn::kTbnz: return EncodeTestBranch(i, 1);
+    case Mn::kBr: return EncodeBranchReg(i, 0b0000);
+    case Mn::kBlr: return EncodeBranchReg(i, 0b0001);
+    case Mn::kRet: return EncodeBranchReg(i, 0b0010);
+    case Mn::kFmul: return EncodeFp2Src(i, 0b0000);
+    case Mn::kFdiv: return EncodeFp2Src(i, 0b0001);
+    case Mn::kFadd: return EncodeFp2Src(i, 0b0010);
+    case Mn::kFsub: return EncodeFp2Src(i, 0b0011);
+    case Mn::kFsqrt: return EncodeFp1Src(i, 0b000011);
+    case Mn::kFmadd: return EncodeFmadd(i);
+    case Mn::kFcmp: return EncodeFcmp(i);
+    case Mn::kScvtf: {
+      auto rn = GprOrZr(i.rn, "rn");
+      if (!rn) return rn;
+      return EncodeIntFp(i, 0b00, 0b010, *rn, i.vd.Encoding());
+    }
+    case Mn::kFcvtzs: {
+      auto rd = GprOrZr(i.rd, "rd");
+      if (!rd) return rd;
+      return EncodeIntFp(i, 0b11, 0b000, i.vn.Encoding(), *rd);
+    }
+    case Mn::kFmov: {
+      // Four forms: fp<-fp, gpr<-fp, fp<-gpr.
+      if (!i.vd.IsNone() && !i.vn.IsNone()) {
+        return EncodeFp1Src(i, 0b000000);
+      }
+      if (!i.rd.IsNone()) {  // gpr <- fp
+        auto rd = GprOrZr(i.rd, "rd");
+        if (!rd) return rd;
+        return EncodeIntFp(i, 0b00, 0b110, i.vn.Encoding(), *rd);
+      }
+      if (!i.rn.IsNone()) {  // fp <- gpr
+        auto rn = GprOrZr(i.rn, "rn");
+        if (!rn) return rn;
+        return EncodeIntFp(i, 0b00, 0b111, *rn, i.vd.Encoding());
+      }
+      return Err("fmov without operands");
+    }
+    case Mn::kVAdd:
+      return EncodeVector3Same(i, 0, i.fsize == FpSize::kV4S ? 0b10 : 0b11,
+                               0b10000);
+    case Mn::kVFadd:
+      return EncodeVector3Same(i, 0, i.fsize == FpSize::kV4S ? 0b00 : 0b01,
+                               0b11010);
+    case Mn::kVFmul:
+      return EncodeVector3Same(i, 1, i.fsize == FpSize::kV4S ? 0b00 : 0b01,
+                               0b11011);
+    case Mn::kNop: return 0xD503201Fu;
+    case Mn::kSvc: {
+      if (i.imm < 0 || i.imm > 0xffff) return Err("svc immediate");
+      return 0xD4000001u | (static_cast<uint32_t>(i.imm) << 5);
+    }
+    case Mn::kBrk: {
+      if (i.imm < 0 || i.imm > 0xffff) return Err("brk immediate");
+      return 0xD4200000u | (static_cast<uint32_t>(i.imm) << 5);
+    }
+    case Mn::kMrs: {
+      auto rt = GprOrZr(i.rt, "rt");
+      if (!rt) return rt;
+      return 0xD5300000u | (static_cast<uint32_t>(i.imm & 0x7fff) << 5) | *rt;
+    }
+    case Mn::kMsr: {
+      auto rt = GprOrZr(i.rt, "rt");
+      if (!rt) return rt;
+      return 0xD5100000u | (static_cast<uint32_t>(i.imm & 0x7fff) << 5) | *rt;
+    }
+  }
+  return Err("unsupported mnemonic");
+}
+
+Status EncodeAll(const std::vector<Inst>& insts, std::vector<uint8_t>* out) {
+  out->reserve(out->size() + insts.size() * 4);
+  for (size_t k = 0; k < insts.size(); ++k) {
+    auto w = Encode(insts[k]);
+    if (!w) {
+      return Status::Fail("instruction " + std::to_string(k) + " (" +
+                          MnName(insts[k]) + "): " + w.error());
+    }
+    out->push_back(*w & 0xff);
+    out->push_back((*w >> 8) & 0xff);
+    out->push_back((*w >> 16) & 0xff);
+    out->push_back((*w >> 24) & 0xff);
+  }
+  return Status::Ok();
+}
+
+}  // namespace lfi::arch

@@ -1,0 +1,56 @@
+// Binary encoder: Inst -> 32-bit ARM64 machine word.
+//
+// Encodings follow the Arm Architecture Reference Manual (ARMv8.0-A). Every
+// instruction in the supported subset encodes to exactly one 4-byte word;
+// there is no compressed encoding (Section 2 of the paper), which is what
+// makes the single-linear-pass verifier possible.
+#ifndef LFI_ARCH_ENCODE_H_
+#define LFI_ARCH_ENCODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/inst.h"
+#include "support/result.h"
+
+namespace lfi::arch {
+
+// Encodes one instruction. Fails (with a message) if an operand is out of
+// encodable range, e.g. a load immediate that does not fit the 12-bit
+// scaled or 9-bit unscaled forms, or a branch offset out of range.
+Result<uint32_t> Encode(const Inst& inst);
+
+// Encodes a sequence, appending little-endian words to `out`.
+Status EncodeAll(const std::vector<Inst>& insts, std::vector<uint8_t>* out);
+
+// Immediate-range helpers shared with the rewriter (which must know when an
+// offset still fits an addressing mode after transformation).
+
+// True if `imm` fits the scaled-unsigned-12-bit form for an access of
+// `size` bytes.
+bool FitsScaledImm12(int64_t imm, unsigned size);
+// True if `imm` fits the signed 9-bit unscaled/pre/post-index form.
+bool FitsImm9(int64_t imm);
+// True if `imm` fits the signed 7-bit scaled pair-access form.
+bool FitsPairImm7(int64_t imm, unsigned size);
+// True if `imm` fits a load/store immediate addressing mode of any form.
+bool FitsLoadStoreImm(int64_t imm, unsigned size);
+// True if `imm` fits the 12-bit add/sub immediate (optionally shifted by 12).
+bool FitsAddSubImm(int64_t imm);
+
+// ARM64 bitmask-immediate support (logical immediates). A bitmask
+// immediate is a rotated run of ones replicated across the register; the
+// machine encoding is the (N, immr, imms) triple.
+struct BitmaskEncoding {
+  uint8_t n = 0, immr = 0, imms = 0;
+};
+// Encodes `value` as a bitmask immediate for the given width; fails if the
+// value is not expressible (0 and all-ones are never expressible).
+Result<BitmaskEncoding> EncodeBitmaskImm(uint64_t value, Width width);
+// Decodes an (N, immr, imms) triple; fails on unallocated combinations.
+Result<uint64_t> DecodeBitmaskImm(uint8_t n, uint8_t immr, uint8_t imms,
+                                  Width width);
+
+}  // namespace lfi::arch
+
+#endif  // LFI_ARCH_ENCODE_H_

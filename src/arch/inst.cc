@@ -1,0 +1,249 @@
+#include "arch/inst.h"
+
+namespace lfi::arch {
+
+bool IsMemAccess(const Inst& i) {
+  switch (i.mn) {
+    case Mn::kLdr: case Mn::kStr: case Mn::kLdp: case Mn::kStp:
+    case Mn::kLdxr: case Mn::kStxr: case Mn::kLdar: case Mn::kStlr:
+    case Mn::kLdrF: case Mn::kStrF:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLoad(const Inst& i) {
+  switch (i.mn) {
+    case Mn::kLdr: case Mn::kLdp: case Mn::kLdxr: case Mn::kLdar:
+    case Mn::kLdrF:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsStore(const Inst& i) {
+  switch (i.mn) {
+    case Mn::kStr: case Mn::kStp: case Mn::kStxr: case Mn::kStlr:
+    case Mn::kStrF:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsIndirectBranch(const Inst& i) {
+  return i.mn == Mn::kBr || i.mn == Mn::kBlr || i.mn == Mn::kRet;
+}
+
+bool IsBranch(const Inst& i) {
+  return IsIndirectBranch(i) || IsDirectBranch(i);
+}
+
+bool IsDirectBranch(const Inst& i) {
+  switch (i.mn) {
+    case Mn::kB: case Mn::kBl: case Mn::kBCond:
+    case Mn::kCbz: case Mn::kCbnz: case Mn::kTbz: case Mn::kTbnz:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsCondBranch(const Inst& i) {
+  switch (i.mn) {
+    case Mn::kBCond: case Mn::kCbz: case Mn::kCbnz:
+    case Mn::kTbz: case Mn::kTbnz:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<Reg> DestGpr(const Inst& i) {
+  switch (i.mn) {
+    case Mn::kAddImm: case Mn::kAddsImm: case Mn::kSubImm: case Mn::kSubsImm:
+    case Mn::kAddReg: case Mn::kAddsReg: case Mn::kSubReg: case Mn::kSubsReg:
+    case Mn::kAndReg: case Mn::kAndsReg: case Mn::kOrrReg: case Mn::kEorReg:
+    case Mn::kBicReg: case Mn::kAddExt: case Mn::kSubExt:
+    case Mn::kAndImm: case Mn::kAndsImm: case Mn::kOrrImm: case Mn::kEorImm:
+    case Mn::kMovz: case Mn::kMovn: case Mn::kMovk:
+    case Mn::kUbfm: case Mn::kSbfm:
+    case Mn::kMadd: case Mn::kMsub: case Mn::kSdiv: case Mn::kUdiv:
+    case Mn::kUmulh: case Mn::kSmulh: case Mn::kExtr:
+    case Mn::kCsel: case Mn::kCsinc: case Mn::kCsinv: case Mn::kCsneg:
+    case Mn::kClz: case Mn::kRbit: case Mn::kRev:
+    case Mn::kAdr: case Mn::kAdrp:
+      return i.rd.IsZr() ? std::nullopt : std::optional<Reg>(i.rd);
+    case Mn::kFcvtzs:
+      return i.rd.IsZr() ? std::nullopt : std::optional<Reg>(i.rd);
+    case Mn::kFmov:
+      // fmov xD, dN form has a GPR destination.
+      if (!i.rd.IsNone() && !i.rd.IsZr()) return i.rd;
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool WritesGpr(const Inst& i, Reg r) {
+  if (r.IsZr() || r.IsNone()) return false;
+  if (auto d = DestGpr(i); d && *d == r) return true;
+  // Loads write their transfer register(s).
+  if (IsLoad(i) && i.mn != Mn::kLdrF) {
+    if (i.rt == r) return true;
+    if (i.mn == Mn::kLdp && i.rt2 == r) return true;
+  }
+  // stxr writes the status register.
+  if (i.mn == Mn::kStxr && i.rs == r) return true;
+  // Addressing-mode writeback updates the base register.
+  if (IsMemAccess(i) && i.mem.HasWriteback() && i.mem.base == r) return true;
+  // bl/blr write the link register.
+  if ((i.mn == Mn::kBl || i.mn == Mn::kBlr) && r == kRegLink) return true;
+  return false;
+}
+
+bool WriteZeroExtends(const Inst& i, Reg r) {
+  // Writeback and link-register writes are always full 64-bit values.
+  if (IsMemAccess(i) && i.mem.HasWriteback() && i.mem.base == r) return false;
+  if ((i.mn == Mn::kBl || i.mn == Mn::kBlr) && r == kRegLink) return false;
+  if (IsLoad(i) && (i.rt == r || (i.mn == Mn::kLdp && i.rt2 == r))) {
+    // A W-width load target zero-extends; so does any sub-word unsigned
+    // load. A sign-extending load to X width does not.
+    if (i.width == Width::kW) return true;
+    return i.mn == Mn::kLdr && i.msize < 8 && !i.msigned;
+  }
+  if (i.mn == Mn::kStxr && i.rs == r) return true;  // status is a W value
+  if (auto d = DestGpr(i); d && *d == r) {
+    if (i.mn == Mn::kAdr || i.mn == Mn::kAdrp) return false;
+    return i.width == Width::kW;
+  }
+  return false;
+}
+
+bool IsGuardFor(const Inst& i, Reg dest) {
+  return i.mn == Mn::kAddExt && i.width == Width::kX && i.rd == dest &&
+         i.rn == kRegBase && i.ext == Extend::kUxtw && i.shift_amount == 0 &&
+         i.rm.IsGpr();
+}
+
+bool IsSpGuard(const Inst& i) {
+  // `add sp, x21, x22`. At the assembly level this is a plain register
+  // add; in the machine encoding, adds involving SP use the
+  // extended-register form with uxtx #0, so accept both shapes.
+  if (!(i.width == Width::kX && i.rd.IsSp() && i.rn == kRegBase &&
+        i.rm == kRegScratch && i.shift_amount == 0)) {
+    return false;
+  }
+  if (i.mn == Mn::kAddReg) return i.shift == Shift::kLsl;
+  return i.mn == Mn::kAddExt && i.ext == Extend::kUxtx;
+}
+
+namespace {
+
+const char* CondName(Cond c) {
+  switch (c) {
+    case Cond::kEq: return "eq"; case Cond::kNe: return "ne";
+    case Cond::kHs: return "hs"; case Cond::kLo: return "lo";
+    case Cond::kMi: return "mi"; case Cond::kPl: return "pl";
+    case Cond::kVs: return "vs"; case Cond::kVc: return "vc";
+    case Cond::kHi: return "hi"; case Cond::kLs: return "ls";
+    case Cond::kGe: return "ge"; case Cond::kLt: return "lt";
+    case Cond::kGt: return "gt"; case Cond::kLe: return "le";
+    case Cond::kAl: return "al";
+  }
+  return "??";
+}
+
+std::string LoadStoreName(const Inst& i, bool load) {
+  std::string base = load ? "ldr" : "str";
+  if (load && i.msigned) {
+    if (i.msize == 1) return "ldrsb";
+    if (i.msize == 2) return "ldrsh";
+    if (i.msize == 4) return "ldrsw";
+  }
+  if (i.msize == 1) return base + "b";
+  if (i.msize == 2) return base + "h";
+  return base;
+}
+
+}  // namespace
+
+std::string MnName(const Inst& i) {
+  switch (i.mn) {
+    case Mn::kAddImm: case Mn::kAddReg: case Mn::kAddExt: return "add";
+    case Mn::kAddsImm: case Mn::kAddsReg: return "adds";
+    case Mn::kSubImm: case Mn::kSubReg: case Mn::kSubExt: return "sub";
+    case Mn::kSubsImm: case Mn::kSubsReg: return "subs";
+    case Mn::kAndReg: case Mn::kAndImm: return "and";
+    case Mn::kAndsReg: case Mn::kAndsImm: return "ands";
+    case Mn::kOrrReg: case Mn::kOrrImm: return "orr";
+    case Mn::kEorReg: case Mn::kEorImm: return "eor";
+    case Mn::kBicReg: return "bic";
+    case Mn::kMovz: return "movz";
+    case Mn::kMovn: return "movn";
+    case Mn::kMovk: return "movk";
+    case Mn::kUbfm: return "ubfm";
+    case Mn::kSbfm: return "sbfm";
+    case Mn::kMadd: return "madd";
+    case Mn::kMsub: return "msub";
+    case Mn::kSdiv: return "sdiv";
+    case Mn::kUdiv: return "udiv";
+    case Mn::kUmulh: return "umulh";
+    case Mn::kSmulh: return "smulh";
+    case Mn::kExtr: return "extr";
+    case Mn::kCcmp: case Mn::kCcmpImm: return "ccmp";
+    case Mn::kCcmn: case Mn::kCcmnImm: return "ccmn";
+    case Mn::kCsel: return "csel";
+    case Mn::kCsinc: return "csinc";
+    case Mn::kCsinv: return "csinv";
+    case Mn::kCsneg: return "csneg";
+    case Mn::kClz: return "clz";
+    case Mn::kRbit: return "rbit";
+    case Mn::kRev: return "rev";
+    case Mn::kAdr: return "adr";
+    case Mn::kAdrp: return "adrp";
+    case Mn::kLdr: return LoadStoreName(i, true);
+    case Mn::kStr: return LoadStoreName(i, false);
+    case Mn::kLdp: return "ldp";
+    case Mn::kStp: return "stp";
+    case Mn::kLdxr: return "ldxr";
+    case Mn::kStxr: return "stxr";
+    case Mn::kLdar: return "ldar";
+    case Mn::kStlr: return "stlr";
+    case Mn::kLdrF: return "ldr";
+    case Mn::kStrF: return "str";
+    case Mn::kB: return "b";
+    case Mn::kBl: return "bl";
+    case Mn::kBCond: return std::string("b.") + CondName(i.cond);
+    case Mn::kCbz: return "cbz";
+    case Mn::kCbnz: return "cbnz";
+    case Mn::kTbz: return "tbz";
+    case Mn::kTbnz: return "tbnz";
+    case Mn::kBr: return "br";
+    case Mn::kBlr: return "blr";
+    case Mn::kRet: return "ret";
+    case Mn::kFadd: return "fadd";
+    case Mn::kFsub: return "fsub";
+    case Mn::kFmul: return "fmul";
+    case Mn::kFdiv: return "fdiv";
+    case Mn::kFsqrt: return "fsqrt";
+    case Mn::kFmadd: return "fmadd";
+    case Mn::kFcmp: return "fcmp";
+    case Mn::kScvtf: return "scvtf";
+    case Mn::kFcvtzs: return "fcvtzs";
+    case Mn::kFmov: return "fmov";
+    case Mn::kVAdd: return "add";
+    case Mn::kVFadd: return "fadd";
+    case Mn::kVFmul: return "fmul";
+    case Mn::kNop: return "nop";
+    case Mn::kSvc: return "svc";
+    case Mn::kBrk: return "brk";
+    case Mn::kMrs: return "mrs";
+    case Mn::kMsr: return "msr";
+  }
+  return "??";
+}
+
+}  // namespace lfi::arch

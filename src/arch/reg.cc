@@ -1,0 +1,34 @@
+#include "arch/reg.h"
+
+namespace lfi::arch {
+
+bool IsReservedGpr(Reg r) {
+  return r == kRegBase || r == kRegAddr || r == kRegScratch ||
+         r == kRegHoist0 || r == kRegHoist1;
+}
+
+bool IsAddressReserved(Reg r) {
+  return r == kRegBase || r == kRegAddr || r == kRegHoist0 || r == kRegHoist1;
+}
+
+std::string RegName(Reg r, Width w) {
+  const char prefix = (w == Width::kX) ? 'x' : 'w';
+  if (r.IsZr()) return std::string(1, prefix) + "zr";
+  if (r.IsSp()) return (w == Width::kX) ? "sp" : "wsp";
+  if (r.IsNone()) return "<none>";
+  return std::string(1, prefix) + std::to_string(r.id());
+}
+
+std::string VRegName(VReg r, FpSize s) {
+  if (r.IsNone()) return "<vnone>";
+  switch (s) {
+    case FpSize::kS: return "s" + std::to_string(r.id());
+    case FpSize::kD: return "d" + std::to_string(r.id());
+    case FpSize::kQ: return "q" + std::to_string(r.id());
+    case FpSize::kV4S: return "v" + std::to_string(r.id()) + ".4s";
+    case FpSize::kV2D: return "v" + std::to_string(r.id()) + ".2d";
+  }
+  return "<vbad>";
+}
+
+}  // namespace lfi::arch

@@ -1,0 +1,107 @@
+// Register model for the ARM64 (AArch64) subset used by LFI.
+//
+// ARM64 has 31 general-purpose 64-bit registers x0..x30, a zero register
+// (xzr) and a dedicated stack pointer (sp). Register number 31 encodes
+// either xzr or sp depending on instruction context; in this model the two
+// are distinct ids so that code never has to carry that context around.
+#ifndef LFI_ARCH_REG_H_
+#define LFI_ARCH_REG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lfi::arch {
+
+// Operand width for integer operations (the `sf` bit in most encodings).
+enum class Width : uint8_t {
+  kW,  // 32-bit view (w0..w30, wzr, wsp)
+  kX,  // 64-bit view (x0..x30, xzr, sp)
+};
+
+// A general-purpose register id. Values 0..30 are x0..x30; kZr is the zero
+// register and kSp the stack pointer. Width is carried separately (by the
+// instruction), matching how the ISA treats w/x as views of one register.
+class Reg {
+ public:
+  static constexpr uint8_t kZrId = 31;
+  static constexpr uint8_t kSpId = 32;
+  static constexpr uint8_t kNoneId = 33;
+
+  constexpr Reg() = default;
+  constexpr explicit Reg(uint8_t id) : id_(id) {}
+
+  static constexpr Reg X(uint8_t n) { return Reg(n); }
+  static constexpr Reg Zr() { return Reg(kZrId); }
+  static constexpr Reg Sp() { return Reg(kSpId); }
+  static constexpr Reg None() { return Reg(kNoneId); }
+
+  constexpr uint8_t id() const { return id_; }
+  constexpr bool IsZr() const { return id_ == kZrId; }
+  constexpr bool IsSp() const { return id_ == kSpId; }
+  constexpr bool IsNone() const { return id_ == kNoneId; }
+  constexpr bool IsGpr() const { return id_ <= 30; }
+
+  // The 5-bit machine encoding. xzr and sp share encoding 31.
+  constexpr uint8_t Encoding() const { return id_ >= 31 ? 31 : id_; }
+
+  constexpr bool operator==(const Reg& o) const { return id_ == o.id_; }
+  constexpr bool operator!=(const Reg& o) const { return id_ != o.id_; }
+
+ private:
+  uint8_t id_ = kNoneId;
+};
+
+// Registers reserved by the LFI scheme (Section 3 of the paper).
+inline constexpr Reg kRegBase = Reg::X(21);   // sandbox base address
+inline constexpr Reg kRegAddr = Reg::X(18);   // always a valid sandbox address
+inline constexpr Reg kRegScratch = Reg::X(22);  // always a 32-bit value
+inline constexpr Reg kRegHoist0 = Reg::X(23);   // hoisting register #1
+inline constexpr Reg kRegHoist1 = Reg::X(24);   // hoisting register #2
+inline constexpr Reg kRegLink = Reg::X(30);     // link register (guarded)
+
+// True if `r` is one of the five reserved general-purpose registers.
+bool IsReservedGpr(Reg r);
+
+// True if `r` is guaranteed to always hold a valid sandbox address
+// (x18, x21, x23, x24 - and sp, which is special-cased by callers).
+bool IsAddressReserved(Reg r);
+
+// Floating point / SIMD register arrangement.
+enum class FpSize : uint8_t {
+  kS,    // 32-bit scalar
+  kD,    // 64-bit scalar
+  kQ,    // 128-bit (whole vector register, for loads/stores)
+  kV4S,  // vector of 4 x 32-bit
+  kV2D,  // vector of 2 x 64-bit
+};
+
+// A SIMD&FP register v0..v31 (also named s0/d0/q0 depending on use).
+class VReg {
+ public:
+  static constexpr uint8_t kNoneId = 32;
+
+  constexpr VReg() = default;
+  constexpr explicit VReg(uint8_t id) : id_(id) {}
+
+  static constexpr VReg V(uint8_t n) { return VReg(n); }
+  static constexpr VReg None() { return VReg(kNoneId); }
+
+  constexpr uint8_t id() const { return id_; }
+  constexpr bool IsNone() const { return id_ == kNoneId; }
+  constexpr uint8_t Encoding() const { return id_ & 31; }
+
+  constexpr bool operator==(const VReg& o) const { return id_ == o.id_; }
+  constexpr bool operator!=(const VReg& o) const { return id_ != o.id_; }
+
+ private:
+  uint8_t id_ = kNoneId;
+};
+
+// Assembly names, e.g. RegName(Reg::X(3), Width::kX) == "x3",
+// RegName(Reg::Sp(), Width::kW) == "wsp".
+std::string RegName(Reg r, Width w);
+std::string VRegName(VReg r, FpSize s);
+
+}  // namespace lfi::arch
+
+#endif  // LFI_ARCH_REG_H_

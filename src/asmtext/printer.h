@@ -1,0 +1,24 @@
+// Assembly printer: AsmFile -> GNU assembly text.
+//
+// Together with the parser this gives the same pipeline shape as the paper's
+// tool: consume compiler-emitted `.s` text, transform, and re-emit text for
+// the assembler. Printing then re-parsing must be the identity on the AST
+// (tested as a property).
+#ifndef LFI_ASMTEXT_PRINTER_H_
+#define LFI_ASMTEXT_PRINTER_H_
+
+#include <string>
+
+#include "asmtext/ast.h"
+
+namespace lfi::asmtext {
+
+// Renders one statement (no trailing newline).
+std::string PrintStmt(const AsmStmt& stmt);
+
+// Renders a whole file.
+std::string Print(const AsmFile& file);
+
+}  // namespace lfi::asmtext
+
+#endif  // LFI_ASMTEXT_PRINTER_H_

@@ -1,0 +1,195 @@
+#include "emu/address_space.h"
+
+#include <cstring>
+
+namespace lfi::emu {
+
+namespace {
+bool PageAligned(uint64_t v) { return (v & kPageMask) == 0; }
+}  // namespace
+
+Status AddressSpace::Map(uint64_t addr, uint64_t len, uint8_t perms) {
+  if (!PageAligned(addr) || !PageAligned(len)) {
+    return Status::Fail("map: unaligned range");
+  }
+  for (uint64_t p = addr / kPageSize; p < (addr + len) / kPageSize; ++p) {
+    Page page;
+    page.data = std::make_shared<PageData>();
+    page.data->fill(0);
+    page.perms = perms;
+    pages_[p] = std::move(page);
+  }
+  return Status::Ok();
+}
+
+Status AddressSpace::Unmap(uint64_t addr, uint64_t len) {
+  if (!PageAligned(addr) || !PageAligned(len)) {
+    return Status::Fail("unmap: unaligned range");
+  }
+  for (uint64_t p = addr / kPageSize; p < (addr + len) / kPageSize; ++p) {
+    pages_.erase(p);
+  }
+  return Status::Ok();
+}
+
+Status AddressSpace::Protect(uint64_t addr, uint64_t len, uint8_t perms) {
+  if (!PageAligned(addr) || !PageAligned(len)) {
+    return Status::Fail("protect: unaligned range");
+  }
+  for (uint64_t p = addr / kPageSize; p < (addr + len) / kPageSize; ++p) {
+    auto it = pages_.find(p);
+    if (it == pages_.end()) return Status::Fail("protect: unmapped page");
+    it->second.perms = perms;
+  }
+  return Status::Ok();
+}
+
+bool AddressSpace::Check(uint64_t addr, uint64_t len, uint8_t perms) const {
+  for (uint64_t p = addr / kPageSize; p <= (addr + len - 1) / kPageSize;
+       ++p) {
+    auto it = pages_.find(p);
+    if (it == pages_.end() || (it->second.perms & perms) != perms) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const AddressSpace::Page* AddressSpace::FindPage(uint64_t addr) const {
+  auto it = pages_.find(addr / kPageSize);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+uint8_t* AddressSpace::WritablePage(Page* page) {
+  if (page->data.use_count() > 1) {
+    page->data = std::make_shared<PageData>(*page->data);
+  }
+  return page->data->data();
+}
+
+Result<uint64_t> AddressSpace::Read(uint64_t addr, unsigned size) const {
+  // Fast path: access within a single page.
+  if (((addr ^ (addr + size - 1)) & ~kPageMask) == 0) {
+    const Page* page = FindPage(addr);
+    if (page == nullptr) {
+      last_fault_ = {MemFault::Kind::kUnmapped, Access::kRead, addr};
+      return Error{"read fault"};
+    }
+    if (!(page->perms & kPermRead)) {
+      last_fault_ = {MemFault::Kind::kPermission, Access::kRead, addr};
+      return Error{"read fault"};
+    }
+    uint64_t value = 0;
+    std::memcpy(&value, page->data->data() + (addr & kPageMask),
+                size <= 8 ? size : 8);
+    if (size < 8) value &= (uint64_t{1} << (8 * size)) - 1;
+    return value;
+  }
+  // Slow path: the access straddles a page boundary.
+  uint64_t value = 0;
+  for (unsigned k = 0; k < size && k < 8; ++k) {
+    const uint64_t a = addr + k;
+    const Page* page = FindPage(a);
+    if (page == nullptr) {
+      last_fault_ = {MemFault::Kind::kUnmapped, Access::kRead, a};
+      return Error{"read fault"};
+    }
+    if (!(page->perms & kPermRead)) {
+      last_fault_ = {MemFault::Kind::kPermission, Access::kRead, a};
+      return Error{"read fault"};
+    }
+    value |= uint64_t{(*page->data)[a & kPageMask]} << (8 * k);
+  }
+  return value;
+}
+
+Status AddressSpace::Write(uint64_t addr, uint64_t value, unsigned size) {
+  // Fast path: access within a single page.
+  if (((addr ^ (addr + size - 1)) & ~kPageMask) == 0) {
+    auto it = pages_.find(addr / kPageSize);
+    if (it == pages_.end()) {
+      last_fault_ = {MemFault::Kind::kUnmapped, Access::kWrite, addr};
+      return Status::Fail("write fault");
+    }
+    if (!(it->second.perms & kPermWrite)) {
+      last_fault_ = {MemFault::Kind::kPermission, Access::kWrite, addr};
+      return Status::Fail("write fault");
+    }
+    std::memcpy(WritablePage(&it->second) + (addr & kPageMask), &value,
+                size <= 8 ? size : 8);
+    return Status::Ok();
+  }
+  // Check permissions on all touched pages before modifying anything.
+  for (unsigned k = 0; k < size; ++k) {
+    const uint64_t a = addr + k;
+    const Page* page = FindPage(a);
+    if (page == nullptr) {
+      last_fault_ = {MemFault::Kind::kUnmapped, Access::kWrite, a};
+      return Status::Fail("write fault");
+    }
+    if (!(page->perms & kPermWrite)) {
+      last_fault_ = {MemFault::Kind::kPermission, Access::kWrite, a};
+      return Status::Fail("write fault");
+    }
+  }
+  for (unsigned k = 0; k < size; ++k) {
+    const uint64_t a = addr + k;
+    Page* page = &pages_[a / kPageSize];
+    WritablePage(page)[a & kPageMask] =
+        static_cast<uint8_t>(value >> (8 * k));
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> AddressSpace::Fetch(uint64_t addr) const {
+  const Page* page = FindPage(addr);
+  if (page == nullptr) {
+    last_fault_ = {MemFault::Kind::kUnmapped, Access::kExec, addr};
+    return Error{"fetch fault"};
+  }
+  if (!(page->perms & kPermExec)) {
+    last_fault_ = {MemFault::Kind::kPermission, Access::kExec, addr};
+    return Error{"fetch fault"};
+  }
+  // Instructions are 4-aligned, so they never straddle pages.
+  const uint64_t off = addr & kPageMask;
+  const uint8_t* d = page->data->data();
+  return uint32_t{d[off]} | (uint32_t{d[off + 1]} << 8) |
+         (uint32_t{d[off + 2]} << 16) | (uint32_t{d[off + 3]} << 24);
+}
+
+Status AddressSpace::HostRead(uint64_t addr, std::span<uint8_t> out) const {
+  for (size_t k = 0; k < out.size(); ++k) {
+    const Page* page = FindPage(addr + k);
+    if (page == nullptr) return Status::Fail("host read: unmapped");
+    out[k] = (*page->data)[(addr + k) & kPageMask];
+  }
+  return Status::Ok();
+}
+
+Status AddressSpace::HostWrite(uint64_t addr, std::span<const uint8_t> data) {
+  for (size_t k = 0; k < data.size(); ++k) {
+    auto it = pages_.find((addr + k) / kPageSize);
+    if (it == pages_.end()) return Status::Fail("host write: unmapped");
+    WritablePage(&it->second)[(addr + k) & kPageMask] = data[k];
+  }
+  return Status::Ok();
+}
+
+void AddressSpace::CloneInto(AddressSpace* child) const {
+  child->pages_ = pages_;  // shared_ptr copy: COW
+}
+
+Status AddressSpace::ShareRange(uint64_t src, uint64_t dst, uint64_t len) {
+  if (!PageAligned(src) || !PageAligned(dst) || !PageAligned(len)) {
+    return Status::Fail("share: unaligned range");
+  }
+  for (uint64_t off = 0; off < len; off += kPageSize) {
+    auto it = pages_.find((src + off) / kPageSize);
+    if (it == pages_.end()) continue;  // holes stay holes
+    pages_[(dst + off) / kPageSize] = it->second;
+  }
+  return Status::Ok();
+}
+
+}  // namespace lfi::emu

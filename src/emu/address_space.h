@@ -1,0 +1,105 @@
+// Sparse 48-bit virtual address space with per-page permissions.
+//
+// This is the hardware-protection substrate the LFI runtime relies on:
+// text pages are mapped read+execute, data pages read+write, guard regions
+// left unmapped (Section 3). Pages use copy-on-write sharing so that the
+// runtime's single-address-space fork (Section 5.3) is cheap, mirroring the
+// paper's memfd-based approach.
+#ifndef LFI_EMU_ADDRESS_SPACE_H_
+#define LFI_EMU_ADDRESS_SPACE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "support/result.h"
+
+namespace lfi::emu {
+
+// Page size: 16KiB, matching Apple ARM64 machines (the paper sizes its
+// guard regions as multiples of 16KiB for this reason).
+inline constexpr uint64_t kPageSize = 16384;
+inline constexpr uint64_t kPageMask = kPageSize - 1;
+
+// Page permission bits.
+enum Perm : uint8_t {
+  kPermNone = 0,
+  kPermRead = 1,
+  kPermWrite = 2,
+  kPermExec = 4,
+};
+
+// Kinds of access, for permission checks and fault reporting.
+enum class Access : uint8_t { kRead, kWrite, kExec };
+
+// A memory fault: the access that failed and why.
+struct MemFault {
+  enum class Kind : uint8_t { kUnmapped, kPermission } kind;
+  Access access = Access::kRead;
+  uint64_t addr = 0;
+};
+
+// Sparse paged memory. Copyable page contents are shared copy-on-write.
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+
+  // Maps [addr, addr+len) with `perms`. Both must be page-aligned. Newly
+  // mapped pages are zero-filled. Remapping an existing page replaces it.
+  Status Map(uint64_t addr, uint64_t len, uint8_t perms);
+
+  // Unmaps [addr, addr+len); unmapped holes are ignored.
+  Status Unmap(uint64_t addr, uint64_t len);
+
+  // Changes permissions on already-mapped pages.
+  Status Protect(uint64_t addr, uint64_t len, uint8_t perms);
+
+  // True if every page of [addr, addr+len) is mapped with all `perms` bits.
+  bool Check(uint64_t addr, uint64_t len, uint8_t perms) const;
+
+  // Guest accesses: permission-checked, may fault. Little-endian.
+  Result<uint64_t> Read(uint64_t addr, unsigned size) const;
+  Status Write(uint64_t addr, uint64_t value, unsigned size);
+  // Fetches one 4-byte instruction word (requires exec permission).
+  Result<uint32_t> Fetch(uint64_t addr) const;
+
+  // The most recent fault from a failed Read/Write/Fetch.
+  const MemFault& last_fault() const { return last_fault_; }
+
+  // Host (trusted runtime) accesses: require the page to be mapped but
+  // ignore permission bits, like the runtime writing a sandbox's read-only
+  // call-table page at setup time.
+  Status HostRead(uint64_t addr, std::span<uint8_t> out) const;
+  Status HostWrite(uint64_t addr, std::span<const uint8_t> data);
+
+  // Copies all mappings into `child` copy-on-write (both spaces then share
+  // page contents until one writes). Used by fork.
+  void CloneInto(AddressSpace* child) const;
+
+  // Duplicates the pages in [src, src+len) at dst (copy-on-write), used to
+  // place a forked child at a new sandbox base within the same space.
+  Status ShareRange(uint64_t src, uint64_t dst, uint64_t len);
+
+  // Number of mapped pages (for tests and accounting).
+  size_t MappedPages() const { return pages_.size(); }
+
+ private:
+  using PageData = std::array<uint8_t, kPageSize>;
+  struct Page {
+    std::shared_ptr<PageData> data;
+    uint8_t perms = kPermNone;
+  };
+
+  const Page* FindPage(uint64_t addr) const;
+  // Returns a writable pointer to the page's data, copying if shared.
+  uint8_t* WritablePage(Page* page);
+
+  mutable MemFault last_fault_;
+  std::unordered_map<uint64_t, Page> pages_;  // keyed by addr / kPageSize
+};
+
+}  // namespace lfi::emu
+
+#endif  // LFI_EMU_ADDRESS_SPACE_H_

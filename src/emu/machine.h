@@ -1,0 +1,120 @@
+// ARM64 interpreter with integrated timing.
+//
+// Executes the encoded instruction subset against an AddressSpace with full
+// permission checking, so the LFI isolation argument is *executed*, not
+// assumed: a guard really does force the top 32 bits of an address, a
+// store to a guard region really does trap. Cycle accounting runs inline
+// through the Timing scoreboard.
+#ifndef LFI_EMU_MACHINE_H_
+#define LFI_EMU_MACHINE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/cost_model.h"
+#include "arch/inst.h"
+#include "emu/address_space.h"
+#include "emu/timing.h"
+
+namespace lfi::emu {
+
+// 128-bit SIMD&FP register value.
+struct VRegVal {
+  uint64_t lo = 0, hi = 0;
+  bool operator==(const VRegVal&) const = default;
+};
+
+// Architectural CPU state.
+struct CpuState {
+  std::array<uint64_t, 31> x{};  // x0..x30
+  uint64_t sp = 0;
+  uint64_t pc = 0;
+  bool n = false, z = false, c = false, v = false;
+  std::array<VRegVal, 32> vr{};
+  // Exclusive monitor for ldxr/stxr.
+  bool excl_valid = false;
+  uint64_t excl_addr = 0;
+};
+
+// Why Run() returned.
+enum class StopReason : uint8_t {
+  kStepLimit,     // executed the requested number of instructions
+  kRuntimeEntry,  // PC entered the registered runtime region
+  kFault,         // memory/decode/alignment fault; see fault()
+  kBrk,           // brk instruction (debug trap)
+};
+
+// Description of a fault that stopped execution.
+struct CpuFault {
+  enum class Kind : uint8_t {
+    kMemory,   // data access fault (mem holds details)
+    kFetch,    // instruction fetch from unmapped/non-executable page
+    kDecode,   // undecodable instruction word
+    kIllegal,  // svc/mrs/msr executed by sandboxed code
+    kPcAlign,  // branch to a non-4-aligned address
+  };
+  Kind kind = Kind::kMemory;
+  uint64_t pc = 0;
+  MemFault mem{};
+  std::string detail;
+};
+
+// The emulated CPU. One Machine per hardware context; multiple sandboxes
+// time-share it through the runtime's scheduler.
+class Machine {
+ public:
+  Machine(AddressSpace* mem, const arch::CoreParams& params);
+
+  CpuState& state() { return state_; }
+  const CpuState& state() const { return state_; }
+  Timing& timing() { return timing_; }
+  AddressSpace& mem() { return *mem_; }
+
+  // Registers [base, base+len) as the runtime-entry region: the moment PC
+  // lands inside it, Run() stops with kRuntimeEntry. This models branching
+  // to a runtime address loaded from the call table (Section 4.4).
+  void SetRuntimeRegion(uint64_t base, uint64_t len) {
+    rt_base_ = base;
+    rt_len_ = len;
+  }
+
+  // Executes up to `max_instructions`.
+  StopReason Run(uint64_t max_instructions);
+
+  const CpuFault& fault() const { return fault_; }
+
+  // Drops cached decoded instructions (call after unmapping text pages).
+  void FlushDecodeCache() { decode_cache_.clear(); }
+
+  // Reads a general-purpose register by Inst operand conventions
+  // (zr reads 0; sp reads the stack pointer). Exposed for the runtime.
+  uint64_t ReadReg(arch::Reg r) const;
+  void WriteReg(arch::Reg r, uint64_t v);
+
+ private:
+  struct DecodedPage {
+    std::vector<arch::Inst> insts;   // kPageSize / 4 entries
+    std::vector<uint8_t> status;     // 0 = undecoded, 1 = ok, 2 = bad
+  };
+
+  // Executes one instruction; returns false if execution must stop (fault
+  // or brk), with stop_ set.
+  bool Step();
+
+  const arch::Inst* FetchDecode(uint64_t pc);
+
+  AddressSpace* mem_;
+  CpuState state_;
+  Timing timing_;
+  CpuFault fault_;
+  StopReason stop_ = StopReason::kStepLimit;
+  uint64_t rt_base_ = 0, rt_len_ = 0;
+  std::unordered_map<uint64_t, DecodedPage> decode_cache_;
+};
+
+}  // namespace lfi::emu
+
+#endif  // LFI_EMU_MACHINE_H_

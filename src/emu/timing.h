@@ -1,0 +1,148 @@
+// Dynamic timing model: idealized out-of-order scoreboard plus cache, TLB,
+// and branch-predictor models.
+//
+// The model computes, per retired instruction, the earliest cycle its
+// result is available, constrained by (a) source-operand readiness (the
+// dataflow critical path - this is where the 2-cycle `add ... uxtw` guard
+// hurts and the embedded addressing-mode guard doesn't), (b) aggregate issue
+// bandwidth, (c) memory-port bandwidth, and (d) front-end stalls from
+// branch mispredictions. Total cycles for a run is the max of those
+// constraints, which approximates a large-window OoO core well enough to
+// reproduce the relative overheads in the paper's Figures 3-5.
+#ifndef LFI_EMU_TIMING_H_
+#define LFI_EMU_TIMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/cost_model.h"
+
+namespace lfi::emu {
+
+// Branch predictor: 2-bit saturating counters for conditional branches and
+// a last-target BTB for indirect branches.
+//
+// Entries can be tagged with a *software context number*, modelling Arm's
+// FEAT_CSV2_2 / SCXTNUM_EL0 (Section 7.1): when the runtime assigns each
+// sandbox its own context, one sandbox's branch history cannot influence
+// another's speculation (the cross-sandbox-poisoning mitigation). An entry
+// whose tag does not match the current context behaves as if it were
+// empty.
+class BranchPredictor {
+ public:
+  BranchPredictor();
+
+  // Selects the current software context (0 = default shared context).
+  void SetContext(uint32_t ctx) { ctx_ = ctx; }
+  uint32_t context() const { return ctx_; }
+
+  // Returns true if the prediction was correct; updates state.
+  bool PredictConditional(uint64_t pc, bool taken);
+  bool PredictIndirect(uint64_t pc, uint64_t target);
+
+ private:
+  static constexpr size_t kTableBits = 13;
+  uint32_t ctx_ = 0;
+  std::vector<uint8_t> counters_;
+  std::vector<uint64_t> btb_;
+  std::vector<uint32_t> tags_;      // context tag per counter entry
+  std::vector<uint32_t> btb_tags_;  // context tag per BTB entry
+};
+
+// Set-associative tag-array cache model (data presence only).
+class CacheModel {
+ public:
+  // `size_bytes` capacity with 64-byte lines, `ways`-way associative.
+  CacheModel(uint64_t size_bytes, unsigned ways);
+
+  // Returns true on hit; inserts the line on miss (LRU within set).
+  bool Access(uint64_t addr);
+
+ private:
+  static constexpr uint64_t kLineBytes = 64;
+  unsigned ways_;
+  uint64_t sets_;
+  std::vector<uint64_t> tags_;   // sets_ x ways_, 0 = invalid
+  std::vector<uint32_t> order_;  // LRU stamps
+  uint32_t stamp_ = 1;
+};
+
+// TLB model with page-granular entries.
+class TlbModel {
+ public:
+  explicit TlbModel(unsigned entries);
+  bool Access(uint64_t addr);
+  void Flush();
+
+ private:
+  std::vector<uint64_t> tags_;
+};
+
+// Aggregate scoreboard for one hardware context.
+class Timing {
+ public:
+  explicit Timing(const arch::CoreParams& params);
+
+  // Register scoreboard indices: 0..30 = x regs, 31 = sp, 32 = NZCV.
+  static constexpr int kSpIdx = 31;
+  static constexpr int kFlagsIdx = 32;
+  static constexpr int kIntRegs = 33;
+
+  // Records one retired instruction.
+  //  `srcs`/`dst` index the integer scoreboard (-1 = none);
+  //  `vsrcs`/`vdst` index the vector scoreboard.
+  // Returns the cycle at which the result is ready (used to chain the
+  // address-dependent latency of memory operations).
+  uint64_t Issue(const arch::InstCost& cost, const int* srcs, int nsrcs,
+                 int dst, const int* vsrcs = nullptr, int nvsrcs = 0,
+                 int vdst = -1, uint64_t extra_latency = 0);
+
+  // Memory access bookkeeping: returns extra latency cycles from cache/TLB
+  // behaviour for an access at `addr`.
+  uint64_t MemoryExtra(uint64_t addr, bool is_store);
+
+  // Front-end stall after a mispredicted branch resolved at `resolve_cycle`.
+  void Mispredict(uint64_t resolve_cycle);
+
+  // Charges a flat number of cycles (used by the runtime for host-side work
+  // such as the register save/restore in a context switch).
+  void ChargeFlat(uint64_t cycles);
+
+  // Directly marks a scoreboard entry ready at `cycle` (used for secondary
+  // destinations such as NZCV flags or the second register of ldp).
+  void SetReady(int idx, uint64_t cycle) { reg_ready_[idx] = cycle; }
+  void SetVReady(int idx, uint64_t cycle) { vreg_ready_[idx] = cycle; }
+
+  // Total cycles consumed so far.
+  uint64_t Cycles() const;
+  uint64_t Retired() const { return retired_; }
+  double Nanoseconds() const;
+
+  BranchPredictor& predictor() { return predictor_; }
+  const arch::CoreParams& params() const { return params_; }
+
+  // When true, TLB walks cost twice as much (nested page tables under
+  // hardware virtualization - the Figure 5 comparison).
+  void set_nested_pagetables(bool v) { nested_pagetables_ = v; }
+
+ private:
+  arch::CoreParams params_;
+  std::vector<uint64_t> reg_ready_;   // int scoreboard
+  std::vector<uint64_t> vreg_ready_;  // vector scoreboard
+  uint64_t slot_acc_ = 0;             // issue slots consumed * 1
+  uint64_t mem_acc_ = 0;              // memory ops
+  uint64_t miss_acc_ = 0;             // accumulated miss-latency cycles
+  uint64_t frontier_ = 0;             // front-end stall floor
+  uint64_t max_completion_ = 0;
+  uint64_t flat_ = 0;
+  uint64_t retired_ = 0;
+  bool nested_pagetables_ = false;
+  BranchPredictor predictor_;
+  CacheModel l1d_;
+  CacheModel l2_;
+  TlbModel tlb_;
+};
+
+}  // namespace lfi::emu
+
+#endif  // LFI_EMU_TIMING_H_

@@ -1,0 +1,74 @@
+// Sandbox address-space layout (Figure 1).
+//
+// Each sandbox occupies a 4GiB-aligned 4GiB slot. Within a slot:
+//
+//   +0                : one 16KiB read-only page holding the runtime-call
+//                       table (Section 4.4; readable by the neighbor, so
+//                       it must hold no sandbox-specific secrets)
+//   +16KiB .. +64KiB  : 48KiB guard region (unmapped)
+//   +64KiB ..         : program text, rodata, data, bss, heap
+//   ..  4GiB-48KiB    : stack grows down from the top of this area
+//   4GiB-48KiB .. 4GiB: 48KiB guard region (unmapped)
+//
+// Code must additionally stay out of the last 128MiB of the slot so that
+// direct branches (reach: +-128MiB) cannot land in a neighbor's text.
+#ifndef LFI_RUNTIME_LAYOUT_H_
+#define LFI_RUNTIME_LAYOUT_H_
+
+#include <cstdint>
+
+namespace lfi::runtime {
+
+inline constexpr uint64_t kSlotSize = uint64_t{1} << 32;  // 4GiB
+inline constexpr uint64_t kPage = 16384;
+inline constexpr uint64_t kGuardSize = 48 * 1024;
+// Program content begins after the table page and leading guard region.
+inline constexpr uint64_t kProgramStart = kPage + kGuardSize;  // 64KiB
+// Last usable byte (exclusive): the trailing guard region.
+inline constexpr uint64_t kProgramEnd = kSlotSize - kGuardSize;
+// Executable code must end below this offset (128MiB direct-branch reach).
+inline constexpr uint64_t kCodeEnd = kSlotSize - (uint64_t{128} << 20);
+// Default stack size.
+inline constexpr uint64_t kStackSize = uint64_t{1} << 20;  // 1MiB
+
+// Sandboxes live in slots 1..kMaxSlots within the 48-bit address space;
+// slot 0 is reserved for the runtime itself ("one sandbox region may need
+// to be dedicated to the runtime").
+inline constexpr uint64_t kMaxSlots = (uint64_t{1} << 16) - 1;  // 65535
+
+// Base address of sandbox slot `idx` (1-based).
+constexpr uint64_t SlotBase(uint64_t idx) { return idx * kSlotSize; }
+
+// The runtime-entry region: addresses the call table points at. Lives in
+// slot 0 (the runtime's own region) and is never mapped - the emulator
+// traps the PC landing here and hands control to the runtime, modelling
+// the hardware branching into runtime code. Placed *below* kProgramStart
+// so that no sandbox-relative code offset, misinterpreted as an absolute
+// address by unsandboxed baseline runs, can alias it.
+inline constexpr uint64_t kRuntimeEntryBase = 0x8000;
+inline constexpr uint64_t kRuntimeEntryGranule = 16;
+
+// Runtime call numbers (indices into the call table).
+enum class Rtcall : int {
+  kExit = 0,
+  kWrite = 1,
+  kRead = 2,
+  kOpen = 3,
+  kClose = 4,
+  kBrk = 5,
+  kMmap = 6,
+  kMunmap = 7,
+  kFork = 8,
+  kWait = 9,
+  kPipe = 10,
+  kYield = 11,
+  kGetpid = 12,
+  kClock = 13,
+  kYieldTo = 14,  // fast direct yield: microkernel-style IPC (Section 5.3)
+  kLseek = 15,
+  kCount = 16,
+};
+
+}  // namespace lfi::runtime
+
+#endif  // LFI_RUNTIME_LAYOUT_H_

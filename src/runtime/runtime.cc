@@ -1,0 +1,762 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lfi::runtime {
+
+namespace {
+
+using emu::kPermExec;
+using emu::kPermRead;
+using emu::kPermWrite;
+
+constexpr uint64_t kMaxIoBytes = 1 << 20;
+
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) / a * a; }
+uint64_t AlignDown(uint64_t v, uint64_t a) { return v / a * a; }
+
+// errno-style results.
+constexpr uint64_t kEnoent = static_cast<uint64_t>(-2);
+constexpr uint64_t kEsrch = static_cast<uint64_t>(-3);
+constexpr uint64_t kEbadf = static_cast<uint64_t>(-9);
+constexpr uint64_t kEchild = static_cast<uint64_t>(-10);
+constexpr uint64_t kEnomem = static_cast<uint64_t>(-12);
+constexpr uint64_t kEfault = static_cast<uint64_t>(-14);
+constexpr uint64_t kEinval = static_cast<uint64_t>(-22);
+
+}  // namespace
+
+Runtime::Runtime(RuntimeConfig cfg)
+    : cfg_(std::move(cfg)), machine_(&space_, cfg_.core) {
+  machine_.SetRuntimeRegion(
+      kRuntimeEntryBase,
+      kRuntimeEntryGranule * static_cast<uint64_t>(Rtcall::kCount));
+}
+
+Proc* Runtime::proc(int pid) {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+const Proc* Runtime::proc(int pid) const {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+size_t Runtime::live_procs() const {
+  size_t n = 0;
+  for (const auto& [pid, p] : procs_) {
+    if (p->state != ProcState::kZombie && p->state != ProcState::kDead) ++n;
+  }
+  return n;
+}
+
+Result<uint64_t> Runtime::AllocSlot() {
+  if (!free_slots_.empty()) {
+    const uint64_t s = free_slots_.back();
+    free_slots_.pop_back();
+    ++used_slots_;
+    return s;
+  }
+  if (next_slot_ > kMaxSlots) return Error{"out of sandbox slots"};
+  ++used_slots_;
+  return next_slot_++;
+}
+
+Result<uint64_t> Runtime::ReserveSlot() { return AllocSlot(); }
+
+void Runtime::FreeSlot(Proc* p) {
+  for (const auto& [off, range] : p->mappings) {
+    (void)space_.Unmap(p->base + off, range.first);
+  }
+  p->mappings.clear();
+  machine_.FlushDecodeCache();
+  free_slots_.push_back(p->slot);
+  --used_slots_;
+}
+
+Status Runtime::MapSlotCommon(Proc* p) {
+  // Call table page at the very base, written then locked read-only.
+  if (auto st = space_.Map(p->base, kPage, kPermRead | kPermWrite); !st.ok()) {
+    return st;
+  }
+  for (uint64_t n = 0; n < kPage / 8; ++n) {
+    uint64_t entry = 0x4000;  // unused entries point at an unmapped page
+    if (n < static_cast<uint64_t>(Rtcall::kCount)) {
+      entry = kRuntimeEntryBase + n * kRuntimeEntryGranule;
+    }
+    uint8_t bytes[8];
+    std::memcpy(bytes, &entry, 8);
+    if (auto st = space_.HostWrite(p->base + n * 8, bytes); !st.ok()) {
+      return st;
+    }
+  }
+  if (auto st = space_.Protect(p->base, kPage, kPermRead); !st.ok()) {
+    return st;
+  }
+  p->mappings[0] = {kPage, kPermRead};
+
+  // Stack at the top of the usable area.
+  const uint64_t stack_base = kProgramEnd - kStackSize;
+  if (auto st = space_.Map(p->base + stack_base, kStackSize,
+                           kPermRead | kPermWrite);
+      !st.ok()) {
+    return st;
+  }
+  p->mappings[stack_base] = {kStackSize, kPermRead | kPermWrite};
+  return Status::Ok();
+}
+
+void Runtime::InitFds(Proc* p) {
+  p->fds.resize(16);
+  p->fds[0].kind = FileDesc::Kind::kStdin;
+  p->fds[1].kind = FileDesc::Kind::kStdout;
+  p->fds[2].kind = FileDesc::Kind::kStderr;
+}
+
+Result<int> Runtime::Load(std::span<const uint8_t> elf_bytes) {
+  auto image = elf::Read(elf_bytes);
+  if (!image) return Error{image.error()};
+  return LoadImage(*image);
+}
+
+Result<int> Runtime::LoadImage(const elf::ElfImage& image) {
+  // Verify every executable segment before anything is mapped.
+  if (cfg_.enforce_verification) {
+    for (const auto& seg : image.segments) {
+      if (!seg.exec) continue;
+      auto res = verifier::Verify({seg.data.data(), seg.data.size()},
+                                  cfg_.verify);
+      if (!res.ok) {
+        return Error{"verification failed at text offset " +
+                     std::to_string(res.fail_offset) + ": " + res.reason};
+      }
+    }
+  }
+
+  auto slot = AllocSlot();
+  if (!slot) return Error{slot.error()};
+
+  auto p = std::make_unique<Proc>();
+  p->pid = AllocPid();
+  p->slot = *slot;
+  p->base = SlotBase(*slot);
+
+  if (auto st = MapSlotCommon(p.get()); !st.ok()) return Error{st.error()};
+
+  uint64_t max_data_end = kProgramStart;
+  for (const auto& seg : image.segments) {
+    const uint64_t start = seg.vaddr;
+    const uint64_t end = seg.vaddr + std::max<uint64_t>(seg.memsz,
+                                                        seg.data.size());
+    if (start < kProgramStart || end > kProgramEnd - kStackSize) {
+      return Error{"segment outside the loadable sandbox area"};
+    }
+    if (seg.exec && end > kCodeEnd) {
+      return Error{"executable segment within 128MiB of the slot end"};
+    }
+    if (seg.exec && seg.write) {
+      return Error{"W^X violation: segment is writable and executable"};
+    }
+    const uint64_t page_start = AlignDown(start, kPage);
+    const uint64_t page_end = AlignUp(end, kPage);
+    for (const auto& [off, range] : p->mappings) {
+      if (page_start < off + range.first && off < page_end) {
+        return Error{"segments share a page"};
+      }
+    }
+    uint8_t perms = 0;
+    if (seg.read) perms |= kPermRead;
+    if (seg.write) perms |= kPermWrite;
+    if (seg.exec) perms |= kPermExec;
+    // Map writable first to install contents, then drop to final perms.
+    if (auto st = space_.Map(p->base + page_start, page_end - page_start,
+                             kPermRead | kPermWrite);
+        !st.ok()) {
+      return Error{st.error()};
+    }
+    if (!seg.data.empty()) {
+      if (auto st = space_.HostWrite(p->base + start,
+                                     {seg.data.data(), seg.data.size()});
+          !st.ok()) {
+        return Error{st.error()};
+      }
+    }
+    if (auto st = space_.Protect(p->base + page_start,
+                                 page_end - page_start, perms);
+        !st.ok()) {
+      return Error{st.error()};
+    }
+    p->mappings[page_start] = {page_end - page_start, perms};
+    max_data_end = std::max(max_data_end, page_end);
+  }
+
+  p->brk_start = max_data_end;
+  p->brk = max_data_end;
+  p->mmap_cursor = kProgramEnd - kStackSize - (uint64_t{64} << 20);
+
+  // Initial CPU state: all reserved registers satisfy their invariants.
+  p->cpu = emu::CpuState{};
+  p->cpu.pc = p->base + image.entry;
+  p->cpu.sp = p->base + kProgramEnd - 64;
+  p->cpu.x[21] = p->base;
+  p->cpu.x[18] = p->base;
+  p->cpu.x[23] = p->base;
+  p->cpu.x[24] = p->base;
+  p->cpu.x[30] = p->base + image.entry;
+  InitFds(p.get());
+
+  const int pid = p->pid;
+  procs_[pid] = std::move(p);
+  Enqueue(pid);
+  return pid;
+}
+
+// ---- Scheduler ----
+
+bool Runtime::TryUnblock(Proc* p) {
+  switch (p->state) {
+    case ProcState::kBlockedRead: {
+      FileDesc& fd = p->fds[p->block_fd];
+      if (fd.kind == FileDesc::Kind::kPipeRead &&
+          (fd.pipe->buf.empty() && fd.pipe->writers > 0)) {
+        return false;
+      }
+      p->cpu.x[0] = SysRead(p, p->block_fd, p->block_buf, p->block_len);
+      p->state = ProcState::kReady;
+      return true;
+    }
+    case ProcState::kBlockedWrite: {
+      FileDesc& fd = p->fds[p->block_fd];
+      if (fd.kind == FileDesc::Kind::kPipeWrite &&
+          fd.pipe->buf.size() >= Pipe::kCapacity && fd.pipe->readers > 0) {
+        return false;
+      }
+      p->cpu.x[0] = SysWrite(p, p->block_fd, p->block_buf, p->block_len);
+      p->state = ProcState::kReady;
+      return true;
+    }
+    case ProcState::kBlockedWait: {
+      for (int child_pid : p->children) {
+        Proc* c = proc(child_pid);
+        if (c != nullptr && c->state == ProcState::kZombie) {
+          if (p->block_buf != 0) {
+            uint8_t bytes[4];
+            const uint32_t status = static_cast<uint32_t>(c->exit_status);
+            std::memcpy(bytes, &status, 4);
+            (void)space_.HostWrite(Canon(p, p->block_buf), bytes);
+          }
+          p->cpu.x[0] = static_cast<uint64_t>(child_pid);
+          ReapChild(p, c);
+          p->state = ProcState::kReady;
+          return true;
+        }
+      }
+      // No children at all -> fail the wait.
+      bool any = false;
+      for (int child_pid : p->children) {
+        if (proc(child_pid) != nullptr &&
+            proc(child_pid)->state != ProcState::kDead) {
+          any = true;
+        }
+      }
+      if (!any) {
+        p->cpu.x[0] = kEchild;
+        p->state = ProcState::kReady;
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+Proc* Runtime::PickNext() {
+  // Poll blocked processes (the runtime is single-threaded and
+  // deterministic, so completion conditions are re-checked here).
+  for (auto& [pid, p] : procs_) {
+    if (p->state == ProcState::kBlockedRead ||
+        p->state == ProcState::kBlockedWrite ||
+        p->state == ProcState::kBlockedWait) {
+      if (TryUnblock(p.get())) Enqueue(pid);
+    }
+  }
+  while (!ready_.empty()) {
+    const int pid = ready_.front();
+    ready_.pop_front();
+    Proc* p = proc(pid);
+    if (p != nullptr && p->state == ProcState::kReady) return p;
+  }
+  return nullptr;
+}
+
+void Runtime::SwitchTo(Proc* p, bool fast) {
+  if (current_pid_ != p->pid && current_pid_ != 0) {
+    machine_.timing().ChargeFlat(fast ? cfg_.fast_yield_cycles
+                                      : cfg_.context_switch_cycles);
+  }
+  if (cfg_.spectre_ctx_isolation &&
+      machine_.timing().predictor().context() !=
+          static_cast<uint32_t>(p->pid)) {
+    // SCXTNUM_EL0 write on the domain crossing (Section 7.1).
+    machine_.timing().predictor().SetContext(
+        static_cast<uint32_t>(p->pid));
+    machine_.timing().ChargeFlat(cfg_.scxtnum_write_cycles);
+  }
+  machine_.state() = p->cpu;
+  current_pid_ = p->pid;
+}
+
+int Runtime::RunUntilIdle(uint64_t max_total_insts) {
+  const uint64_t start = machine_.timing().Retired();
+  bool fast_switch = false;
+  while (machine_.timing().Retired() - start < max_total_insts) {
+    Proc* p = PickNext();
+    if (p == nullptr) break;
+    SwitchTo(p, fast_switch);
+    fast_switch = false;
+    const auto stop = machine_.Run(cfg_.timeslice_insts);
+    p->cpu = machine_.state();
+    switch (stop) {
+      case emu::StopReason::kRuntimeEntry: {
+        const uint64_t entry = p->cpu.pc;
+        HandleRuntimeEntry(p);
+        // A fast yield moved another process to the queue front; make the
+        // next switch cheap.
+        const int call = static_cast<int>(
+            (entry - kRuntimeEntryBase) / kRuntimeEntryGranule);
+        if (call == static_cast<int>(Rtcall::kYieldTo) &&
+            p->state == ProcState::kReady) {
+          fast_switch = true;
+        }
+        break;
+      }
+      case emu::StopReason::kStepLimit:
+        // Preemption alarm fired: rotate.
+        Enqueue(p->pid);
+        break;
+      case emu::StopReason::kFault:
+        KillProc(p, machine_.fault().detail + " pc=" +
+                        std::to_string(machine_.fault().pc));
+        break;
+      case emu::StopReason::kBrk:
+        KillProc(p, "brk trap");
+        break;
+    }
+  }
+  return static_cast<int>(live_procs());
+}
+
+// ---- Runtime calls ----
+
+void Runtime::HandleRuntimeEntry(Proc* p) {
+  const uint64_t off = p->cpu.pc - kRuntimeEntryBase;
+  const int call = static_cast<int>(off / kRuntimeEntryGranule);
+  // The fast direct yield skips the general runtime-call prologue: the
+  // program loaded its entry point statically from the call table, so the
+  // runtime needs no dispatch work (Section 4.4's "fast direct yield").
+  machine_.timing().ChargeFlat(call == static_cast<int>(Rtcall::kYieldTo)
+                                   ? cfg_.rtcall_base_cycles / 4
+                                   : cfg_.rtcall_base_cycles);
+  const uint64_t ret = p->cpu.x[30];
+  // Return address must be a sandbox address (blr wrote pc+4); paranoia
+  // check since the runtime is trusted but the value flows from the
+  // sandbox.
+  p->cpu.pc = Canon(p, ret);
+
+  uint64_t r = 0;
+  switch (static_cast<Rtcall>(call)) {
+    case Rtcall::kExit:
+      DoExit(p, static_cast<int>(p->cpu.x[0]));
+      return;
+    case Rtcall::kWrite:
+      r = SysWrite(p, p->cpu.x[0], p->cpu.x[1], p->cpu.x[2]);
+      break;
+    case Rtcall::kRead:
+      r = SysRead(p, p->cpu.x[0], p->cpu.x[1], p->cpu.x[2]);
+      break;
+    case Rtcall::kOpen:
+      r = SysOpen(p, p->cpu.x[0], p->cpu.x[1]);
+      break;
+    case Rtcall::kClose:
+      r = SysClose(p, p->cpu.x[0]);
+      break;
+    case Rtcall::kBrk:
+      r = SysBrk(p, p->cpu.x[0]);
+      break;
+    case Rtcall::kMmap:
+      r = SysMmap(p, p->cpu.x[1]);
+      break;
+    case Rtcall::kMunmap:
+      r = SysMunmap(p, p->cpu.x[0], p->cpu.x[1]);
+      break;
+    case Rtcall::kFork:
+      r = SysFork(p);
+      break;
+    case Rtcall::kWait:
+      // wait(status_ptr): block until a child exits.
+      p->block_buf = p->cpu.x[0];
+      p->state = ProcState::kBlockedWait;
+      if (TryUnblock(p)) Enqueue(p->pid);
+      return;
+    case Rtcall::kPipe:
+      r = SysPipe(p, p->cpu.x[0]);
+      break;
+    case Rtcall::kYield:
+      r = 0;
+      break;
+    case Rtcall::kGetpid:
+      r = static_cast<uint64_t>(p->pid);
+      break;
+    case Rtcall::kClock:
+      r = static_cast<uint64_t>(machine_.timing().Nanoseconds());
+      break;
+    case Rtcall::kYieldTo: {
+      const int target = static_cast<int>(p->cpu.x[0]);
+      Proc* t = proc(target);
+      if (t == nullptr || (t->state != ProcState::kReady)) {
+        r = kEsrch;
+        break;
+      }
+      // Move the target to the front so it runs next; the switch itself
+      // only saves/restores callee-saved registers (~50 cycles total).
+      for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+        if (*it == target) {
+          ready_.erase(it);
+          break;
+        }
+      }
+      ready_.push_front(target);
+      r = 0;
+      break;
+    }
+    case Rtcall::kLseek:
+      r = SysLseek(p, p->cpu.x[0], p->cpu.x[1], p->cpu.x[2]);
+      break;
+    default:
+      KillProc(p, "bad runtime call " + std::to_string(call));
+      return;
+  }
+  if (p->state == ProcState::kReady) {
+    p->cpu.x[0] = r;
+    Enqueue(p->pid);
+  } else if (p->state == ProcState::kBlockedRead ||
+             p->state == ProcState::kBlockedWrite) {
+    // Blocked: x0 will be set on completion.
+  }
+}
+
+void Runtime::ReapChild(Proc* parent, Proc* child) {
+  FreeSlot(child);
+  child->state = ProcState::kDead;
+  (void)parent;
+}
+
+void Runtime::DoExit(Proc* p, int status) {
+  p->exit_kind = ExitKind::kExited;
+  p->exit_status = status;
+  // Close descriptors (updates pipe endpoint counts).
+  for (uint64_t fd = 0; fd < p->fds.size(); ++fd) {
+    if (p->fds[fd].kind != FileDesc::Kind::kFree) SysClose(p, fd);
+  }
+  // Orphan our children onto nobody; auto-reap zombies among them.
+  for (int child_pid : p->children) {
+    Proc* c = proc(child_pid);
+    if (c != nullptr && c->state == ProcState::kZombie) ReapChild(p, c);
+    if (c != nullptr && c->state != ProcState::kDead) c->ppid = 0;
+  }
+  Proc* parent = proc(p->ppid);
+  if (parent == nullptr) {
+    FreeSlot(p);
+    p->state = ProcState::kDead;
+  } else {
+    p->state = ProcState::kZombie;
+  }
+  if (current_pid_ == p->pid) current_pid_ = 0;
+}
+
+void Runtime::KillProc(Proc* p, const std::string& why) {
+  p->fault_detail = why;
+  p->exit_kind = ExitKind::kKilled;
+  p->exit_status = -1;
+  DoExit(p, -1);
+  p->exit_kind = ExitKind::kKilled;
+}
+
+// ---- Individual calls ----
+
+uint64_t Runtime::SysWrite(Proc* p, uint64_t fd, uint64_t buf,
+                           uint64_t len) {
+  if (fd >= p->fds.size()) return kEbadf;
+  FileDesc& d = p->fds[fd];
+  len = std::min<uint64_t>(len, kMaxIoBytes);
+  std::vector<uint8_t> tmp(len);
+  if (len > 0 && !space_.HostRead(Canon(p, buf), tmp).ok()) return kEfault;
+  machine_.timing().ChargeFlat(len / 64);
+  switch (d.kind) {
+    case FileDesc::Kind::kStdout:
+    case FileDesc::Kind::kStderr:
+      p->out.append(tmp.begin(), tmp.end());
+      return len;
+    case FileDesc::Kind::kFile: {
+      if (d.flags == kOpenRead) return kEbadf;
+      auto& data = d.node->data;
+      if (d.flags & kOpenAppend) d.offset = data.size();
+      if (d.offset + len > data.size()) data.resize(d.offset + len);
+      std::copy(tmp.begin(), tmp.end(),
+                data.begin() + static_cast<ptrdiff_t>(d.offset));
+      d.offset += len;
+      return len;
+    }
+    case FileDesc::Kind::kPipeWrite: {
+      if (d.pipe->readers == 0) return kEinval;  // EPIPE-ish
+      const uint64_t space_left = Pipe::kCapacity - d.pipe->buf.size();
+      if (space_left == 0) {
+        p->state = ProcState::kBlockedWrite;
+        p->block_fd = static_cast<int>(fd);
+        p->block_buf = buf;
+        p->block_len = len;
+        return 0;  // completed later
+      }
+      const uint64_t n = std::min(space_left, len);
+      d.pipe->buf.insert(d.pipe->buf.end(), tmp.begin(),
+                         tmp.begin() + static_cast<ptrdiff_t>(n));
+      return n;
+    }
+    default:
+      return kEbadf;
+  }
+}
+
+uint64_t Runtime::SysRead(Proc* p, uint64_t fd, uint64_t buf, uint64_t len) {
+  if (fd >= p->fds.size()) return kEbadf;
+  FileDesc& d = p->fds[fd];
+  len = std::min<uint64_t>(len, kMaxIoBytes);
+  switch (d.kind) {
+    case FileDesc::Kind::kStdin:
+      return 0;  // always EOF
+    case FileDesc::Kind::kFile: {
+      const auto& data = d.node->data;
+      if (d.offset >= data.size()) return 0;
+      const uint64_t n = std::min<uint64_t>(len, data.size() - d.offset);
+      if (!space_
+               .HostWrite(Canon(p, buf),
+                          {data.data() + d.offset, n})
+               .ok()) {
+        return kEfault;
+      }
+      d.offset += n;
+      machine_.timing().ChargeFlat(n / 64);
+      return n;
+    }
+    case FileDesc::Kind::kPipeRead: {
+      if (d.pipe->buf.empty()) {
+        if (d.pipe->writers == 0) return 0;  // EOF
+        p->state = ProcState::kBlockedRead;
+        p->block_fd = static_cast<int>(fd);
+        p->block_buf = buf;
+        p->block_len = len;
+        return 0;  // completed later
+      }
+      const uint64_t n = std::min<uint64_t>(len, d.pipe->buf.size());
+      std::vector<uint8_t> tmp(d.pipe->buf.begin(),
+                               d.pipe->buf.begin() + static_cast<ptrdiff_t>(n));
+      if (!space_.HostWrite(Canon(p, buf), tmp).ok()) return kEfault;
+      d.pipe->buf.erase(d.pipe->buf.begin(),
+                        d.pipe->buf.begin() + static_cast<ptrdiff_t>(n));
+      machine_.timing().ChargeFlat(n / 64);
+      return n;
+    }
+    default:
+      return kEbadf;
+  }
+}
+
+uint64_t Runtime::SysOpen(Proc* p, uint64_t path, uint64_t flags) {
+  // Read the NUL-terminated path (bounded).
+  std::string s;
+  uint64_t addr = Canon(p, path);
+  for (int k = 0; k < 4096; ++k) {
+    uint8_t c;
+    if (!space_.HostRead(addr + k, {&c, 1}).ok()) return kEfault;
+    if (c == 0) break;
+    s.push_back(static_cast<char>(c));
+  }
+  int err = 0;
+  auto node = vfs_.Open(s, static_cast<int>(flags), &err);
+  if (node == nullptr) return static_cast<uint64_t>(err);
+  for (uint64_t fd = 3; fd < p->fds.size(); ++fd) {
+    if (p->fds[fd].kind == FileDesc::Kind::kFree) {
+      p->fds[fd].kind = FileDesc::Kind::kFile;
+      p->fds[fd].node = std::move(node);
+      p->fds[fd].offset = 0;
+      p->fds[fd].flags = static_cast<int>(flags);
+      return fd;
+    }
+  }
+  p->fds.push_back({FileDesc::Kind::kFile, std::move(node), nullptr, 0,
+                    static_cast<int>(flags)});
+  return p->fds.size() - 1;
+}
+
+uint64_t Runtime::SysClose(Proc* p, uint64_t fd) {
+  if (fd >= p->fds.size() || p->fds[fd].kind == FileDesc::Kind::kFree) {
+    return kEbadf;
+  }
+  FileDesc& d = p->fds[fd];
+  if (d.kind == FileDesc::Kind::kPipeRead) --d.pipe->readers;
+  if (d.kind == FileDesc::Kind::kPipeWrite) --d.pipe->writers;
+  d = FileDesc{};
+  return 0;
+}
+
+uint64_t Runtime::SysBrk(Proc* p, uint64_t addr) {
+  if (addr == 0) return p->base + p->brk;
+  const uint64_t want = addr & 0xffffffffu;
+  if (want < p->brk_start || want > p->mmap_cursor) {
+    return p->base + p->brk;
+  }
+  const uint64_t old_end = AlignUp(p->brk, kPage);
+  const uint64_t new_end = AlignUp(want, kPage);
+  if (new_end > old_end) {
+    if (!space_.Map(p->base + old_end, new_end - old_end,
+                    kPermRead | kPermWrite)
+             .ok()) {
+      return p->base + p->brk;
+    }
+    p->mappings[old_end] = {new_end - old_end, kPermRead | kPermWrite};
+  }
+  p->brk = want;
+  return p->base + p->brk;
+}
+
+uint64_t Runtime::SysMmap(Proc* p, uint64_t len) {
+  if (len == 0) return kEinval;
+  len = AlignUp(len, kPage);
+  if (len > p->mmap_cursor - AlignUp(p->brk, kPage)) return kEnomem;
+  p->mmap_cursor -= len;
+  if (!space_.Map(p->base + p->mmap_cursor, len, kPermRead | kPermWrite)
+           .ok()) {
+    return kEnomem;
+  }
+  p->mappings[p->mmap_cursor] = {len, kPermRead | kPermWrite};
+  machine_.timing().ChargeFlat(120 + len / kPage * 20);
+  return p->base + p->mmap_cursor;
+}
+
+uint64_t Runtime::SysMunmap(Proc* p, uint64_t addr, uint64_t len) {
+  const uint64_t off = addr & 0xffffffffu;
+  len = AlignUp(len, kPage);
+  auto it = p->mappings.find(off);
+  if (it == p->mappings.end() || it->second.first != len) return kEinval;
+  (void)space_.Unmap(p->base + off, len);
+  p->mappings.erase(it);
+  machine_.timing().ChargeFlat(100);
+  return 0;
+}
+
+uint64_t Runtime::SysFork(Proc* p) {
+  auto slot = AllocSlot();
+  if (!slot) return kEnomem;
+  auto child = std::make_unique<Proc>();
+  child->pid = AllocPid();
+  child->ppid = p->pid;
+  child->slot = *slot;
+  child->base = SlotBase(*slot);
+  child->state = ProcState::kReady;
+  child->brk_start = p->brk_start;
+  child->brk = p->brk;
+  child->mmap_cursor = p->mmap_cursor;
+  child->mappings = p->mappings;
+  child->fds = p->fds;
+  for (auto& d : child->fds) {
+    if (d.kind == FileDesc::Kind::kPipeRead) ++d.pipe->readers;
+    if (d.kind == FileDesc::Kind::kPipeWrite) ++d.pipe->writers;
+  }
+
+  // Copy-on-write duplication of every mapping into the child's slot
+  // (the memfd trick from Section 5.3).
+  for (const auto& [off, range] : p->mappings) {
+    if (!space_.ShareRange(p->base + off, child->base + off, range.first)
+             .ok()) {
+      return kEnomem;
+    }
+  }
+
+  // Register state: identical, except every pointer-holding reserved
+  // register is rebased by replacing its top 32 bits - exactly what the
+  // guards do on each access, which is why fork in a single address space
+  // works (Section 5.3).
+  child->cpu = p->cpu;
+  child->cpu.x[21] = child->base;
+  for (int reg : {18, 23, 24, 30}) {
+    child->cpu.x[reg] = child->base | (p->cpu.x[reg] & 0xffffffffu);
+  }
+  child->cpu.sp = child->base | (p->cpu.sp & 0xffffffffu);
+  child->cpu.pc = child->base | (p->cpu.pc & 0xffffffffu);
+  child->cpu.x[0] = 0;  // fork returns 0 in the child
+
+  machine_.timing().ChargeFlat(400 + 30 * p->mappings.size());
+
+  const int child_pid = child->pid;
+  p->children.push_back(child_pid);
+  procs_[child_pid] = std::move(child);
+  Enqueue(child_pid);
+  return static_cast<uint64_t>(child_pid);
+}
+
+uint64_t Runtime::SysPipe(Proc* p, uint64_t fdsptr) {
+  auto pipe = std::make_shared<Pipe>();
+  pipe->readers = 1;
+  pipe->writers = 1;
+  int rfd = -1, wfd = -1;
+  for (uint64_t fd = 3; fd < p->fds.size() && (rfd < 0 || wfd < 0); ++fd) {
+    if (p->fds[fd].kind == FileDesc::Kind::kFree) {
+      if (rfd < 0) {
+        rfd = static_cast<int>(fd);
+      } else {
+        wfd = static_cast<int>(fd);
+      }
+    }
+  }
+  if (rfd < 0) {
+    rfd = static_cast<int>(p->fds.size());
+    p->fds.emplace_back();
+  }
+  if (wfd < 0) {
+    wfd = static_cast<int>(p->fds.size());
+    p->fds.emplace_back();
+  }
+  p->fds[rfd] = {FileDesc::Kind::kPipeRead, nullptr, pipe, 0, 0};
+  p->fds[wfd] = {FileDesc::Kind::kPipeWrite, nullptr, pipe, 0, 0};
+  uint8_t bytes[8];
+  const uint32_t r32 = static_cast<uint32_t>(rfd);
+  const uint32_t w32 = static_cast<uint32_t>(wfd);
+  std::memcpy(bytes, &r32, 4);
+  std::memcpy(bytes + 4, &w32, 4);
+  if (!space_.HostWrite(Canon(p, fdsptr), bytes).ok()) return kEfault;
+  return 0;
+}
+
+uint64_t Runtime::SysLseek(Proc* p, uint64_t fd, uint64_t off,
+                           uint64_t whence) {
+  if (fd >= p->fds.size() || p->fds[fd].kind != FileDesc::Kind::kFile) {
+    return kEbadf;
+  }
+  FileDesc& d = p->fds[fd];
+  const int64_t soff = static_cast<int64_t>(off);
+  int64_t base;
+  switch (whence) {
+    case 0: base = 0; break;
+    case 1: base = static_cast<int64_t>(d.offset); break;
+    case 2: base = static_cast<int64_t>(d.node->data.size()); break;
+    default: return kEinval;
+  }
+  if (base + soff < 0) return kEinval;
+  d.offset = static_cast<uint64_t>(base + soff);
+  return d.offset;
+}
+
+}  // namespace lfi::runtime

@@ -1,0 +1,183 @@
+// The LFI runtime (Section 5.3).
+//
+// A single "process" that manages sandboxes: it loads verified ELF
+// executables into 4GiB slots of one shared address space, exposes a small
+// Unix-like system-call surface through the per-sandbox runtime-call table
+// (open/read/write/brk/mmap/fork/wait/pipe/yield/...), schedules sandboxes
+// preemptively (modelling the paper's setitimer alarm), and implements the
+// fast direct yield used for microkernel-style IPC. Process-management
+// calls are handled entirely internally - no mode switch, no page-table
+// switch - which is where LFI's context-switch advantage (Table 5) comes
+// from.
+#ifndef LFI_RUNTIME_RUNTIME_H_
+#define LFI_RUNTIME_RUNTIME_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "elf/elf.h"
+#include "emu/machine.h"
+#include "runtime/layout.h"
+#include "runtime/vfs.h"
+#include "verifier/verifier.h"
+
+namespace lfi::runtime {
+
+// A pipe endpoint's shared buffer.
+struct Pipe {
+  std::deque<uint8_t> buf;
+  int readers = 0, writers = 0;
+  static constexpr size_t kCapacity = 65536;
+};
+
+// One file descriptor slot.
+struct FileDesc {
+  enum class Kind : uint8_t {
+    kFree, kStdin, kStdout, kStderr, kFile, kPipeRead, kPipeWrite
+  };
+  Kind kind = Kind::kFree;
+  std::shared_ptr<VfsNode> node;
+  std::shared_ptr<Pipe> pipe;
+  uint64_t offset = 0;
+  int flags = 0;
+};
+
+enum class ProcState : uint8_t {
+  kReady, kBlockedRead, kBlockedWrite, kBlockedWait, kZombie, kDead
+};
+
+// Why a process stopped running for good.
+enum class ExitKind : uint8_t { kRunning, kExited, kKilled };
+
+// One sandboxed process.
+struct Proc {
+  int pid = 0;
+  int ppid = 0;
+  uint64_t slot = 0;   // slot index; base = SlotBase(slot)
+  uint64_t base = 0;
+  emu::CpuState cpu;
+  ProcState state = ProcState::kReady;
+  ExitKind exit_kind = ExitKind::kRunning;
+  int exit_status = 0;
+  std::string fault_detail;  // populated when killed by a fault
+
+  uint64_t brk_start = 0, brk = 0;   // heap bounds
+  uint64_t mmap_cursor = 0;          // grows down toward the heap
+  std::vector<FileDesc> fds;
+  std::vector<int> children;
+  std::string out;  // captured stdout+stderr
+
+  // Block bookkeeping (pointers are sandbox-canonical addresses).
+  int block_fd = -1;
+  uint64_t block_buf = 0, block_len = 0;
+
+  // Mapped ranges within the slot: offset -> (len, perms).
+  std::map<uint64_t, std::pair<uint64_t, uint8_t>> mappings;
+};
+
+struct RuntimeConfig {
+  arch::CoreParams core;
+  verifier::VerifyOptions verify;
+  bool enforce_verification = true;
+  uint64_t timeslice_insts = 100000;  // preemption quantum (alarm period)
+  // Host-side cycle charges, calibrated to the paper's microbenchmarks
+  // (Table 5: syscall ~22ns, pipe ~46ns, yield ~17ns on the M1).
+  uint64_t rtcall_base_cycles = 58;       // runtime entry + exit
+  uint64_t context_switch_cycles = 48;    // save/restore + scheduler pick
+  uint64_t fast_yield_cycles = 36;        // callee-saved regs only (§5.3)
+  // Section 7.1 Spectre hardening: assign each sandbox its own software
+  // context number (modelling FEAT_CSV2_2 / SCXTNUM_EL0), so sandboxes
+  // cannot train each other's branch predictions (cross-sandbox
+  // poisoning). Writing the context register on every domain crossing
+  // costs `scxtnum_write_cycles`.
+  bool spectre_ctx_isolation = false;
+  uint64_t scxtnum_write_cycles = 12;
+};
+
+// The runtime. One instance per emulated machine.
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig cfg);
+
+  // Loads an ELF executable into a fresh sandbox slot. Verifies every
+  // executable segment first (unless disabled for experiments). Returns
+  // the new pid.
+  Result<int> Load(std::span<const uint8_t> elf_bytes);
+
+  // Convenience: load an already-parsed image.
+  Result<int> LoadImage(const elf::ElfImage& image);
+
+  // Runs the scheduler until every process has exited/blocked forever or
+  // the instruction budget is exhausted. Returns the number of live
+  // (non-zombie, non-dead) processes remaining.
+  int RunUntilIdle(uint64_t max_total_insts = ~uint64_t{0});
+
+  Proc* proc(int pid);
+  const Proc* proc(int pid) const;
+  Vfs& vfs() { return vfs_; }
+  emu::Machine& machine() { return machine_; }
+  emu::AddressSpace& space() { return space_; }
+  uint64_t Cycles() { return machine_.timing().Cycles(); }
+
+  size_t live_procs() const;
+  uint64_t slots_in_use() const { return used_slots_; }
+  // Allocates a slot without loading (for scalability accounting tests).
+  Result<uint64_t> ReserveSlot();
+
+ private:
+  int AllocPid() { return next_pid_++; }
+  Result<uint64_t> AllocSlot();
+  void FreeSlot(Proc* p);
+
+  Status MapSlotCommon(Proc* p);  // call table + stack
+  void InitFds(Proc* p);
+
+  // Scheduler.
+  Proc* PickNext();
+  void SwitchTo(Proc* p, bool fast);
+  void Enqueue(int pid) { ready_.push_back(pid); }
+  bool TryUnblock(Proc* p);
+
+  // Runtime-call dispatch.
+  void HandleRuntimeEntry(Proc* p);
+  void DoExit(Proc* p, int status);
+  void KillProc(Proc* p, const std::string& why);
+  void ReapChild(Proc* parent, Proc* child);
+
+  // Individual calls; operate on p->cpu registers.
+  uint64_t SysWrite(Proc* p, uint64_t fd, uint64_t buf, uint64_t len);
+  uint64_t SysRead(Proc* p, uint64_t fd, uint64_t buf, uint64_t len);
+  uint64_t SysOpen(Proc* p, uint64_t path, uint64_t flags);
+  uint64_t SysClose(Proc* p, uint64_t fd);
+  uint64_t SysBrk(Proc* p, uint64_t addr);
+  uint64_t SysMmap(Proc* p, uint64_t len);
+  uint64_t SysMunmap(Proc* p, uint64_t addr, uint64_t len);
+  uint64_t SysFork(Proc* p);
+  uint64_t SysPipe(Proc* p, uint64_t fdsptr);
+  uint64_t SysLseek(Proc* p, uint64_t fd, uint64_t off, uint64_t whence);
+
+  // Canonicalizes a sandbox pointer: base | low-32-bits (what the guards
+  // do in hardware; Section 5.3's fork argument).
+  uint64_t Canon(const Proc* p, uint64_t ptr) const {
+    return p->base | (ptr & 0xffffffffu);
+  }
+
+  RuntimeConfig cfg_;
+  emu::AddressSpace space_;
+  emu::Machine machine_;
+  Vfs vfs_;
+  std::map<int, std::unique_ptr<Proc>> procs_;
+  std::deque<int> ready_;
+  int current_pid_ = 0;  // proc whose state is loaded into machine_
+  int next_pid_ = 1;
+  uint64_t next_slot_ = 1;
+  uint64_t used_slots_ = 0;
+  std::vector<uint64_t> free_slots_;
+};
+
+}  // namespace lfi::runtime
+
+#endif  // LFI_RUNTIME_RUNTIME_H_

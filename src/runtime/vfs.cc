@@ -1,0 +1,47 @@
+#include "runtime/vfs.h"
+
+namespace lfi::runtime {
+
+Vfs::Vfs() {
+  policy_ = [](const std::string& path, int) {
+    return path.rfind("/host", 0) != 0;  // deny the /host subtree
+  };
+}
+
+void Vfs::Install(const std::string& path, std::vector<uint8_t> contents) {
+  auto node = std::make_shared<VfsNode>();
+  node->data = std::move(contents);
+  files_[path] = std::move(node);
+}
+
+void Vfs::Install(const std::string& path, const std::string& contents) {
+  Install(path, std::vector<uint8_t>(contents.begin(), contents.end()));
+}
+
+std::shared_ptr<VfsNode> Vfs::Open(const std::string& path, int flags,
+                                   int* err) {
+  *err = 0;
+  if (policy_ && !policy_(path, flags)) {
+    *err = -13;  // EACCES
+    return nullptr;
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    if (!(flags & kOpenCreate)) {
+      *err = -2;  // ENOENT
+      return nullptr;
+    }
+    auto node = std::make_shared<VfsNode>();
+    files_[path] = node;
+    return node;
+  }
+  if (flags & kOpenTrunc) it->second->data.clear();
+  return it->second;
+}
+
+const VfsNode* Vfs::Lookup(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace lfi::runtime

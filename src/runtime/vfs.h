@@ -1,0 +1,64 @@
+// In-memory virtual filesystem with a path policy.
+//
+// The LFI runtime mediates all file access on behalf of sandboxes: "the
+// runtime first checks the arguments for correctness. For example, the
+// runtime can disallow all access to certain directories" (Section 5.3).
+// This VFS is the mediated backing store - a small Unix-like namespace
+// held in memory.
+#ifndef LFI_RUNTIME_VFS_H_
+#define LFI_RUNTIME_VFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lfi::runtime {
+
+// open() flags (subset of POSIX).
+inline constexpr int kOpenRead = 0;
+inline constexpr int kOpenWrite = 1;
+inline constexpr int kOpenRdWr = 2;
+inline constexpr int kOpenCreate = 0100;
+inline constexpr int kOpenTrunc = 01000;
+inline constexpr int kOpenAppend = 02000;
+
+// A regular file's contents, shared between the VFS tree and open fds.
+struct VfsNode {
+  std::vector<uint8_t> data;
+};
+
+// Policy callback: may the sandbox open `path` with `flags`?
+using PathPolicy = std::function<bool(const std::string& path, int flags)>;
+
+// The filesystem: a flat map of absolute paths to file nodes.
+class Vfs {
+ public:
+  Vfs();
+
+  // Installs a policy; default allows everything except paths under
+  // "/host".
+  void set_policy(PathPolicy policy) { policy_ = std::move(policy); }
+
+  // Creates or replaces a file (host-side setup, not policy checked).
+  void Install(const std::string& path, std::vector<uint8_t> contents);
+  void Install(const std::string& path, const std::string& contents);
+
+  // Opens a file per the policy. Returns the node or null with errno-style
+  // negative error in *err (-EACCES = -13, -ENOENT = -2).
+  std::shared_ptr<VfsNode> Open(const std::string& path, int flags,
+                                int* err);
+
+  // Host-side read of a file's contents; null if absent.
+  const VfsNode* Lookup(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::shared_ptr<VfsNode>> files_;
+  PathPolicy policy_;
+};
+
+}  // namespace lfi::runtime
+
+#endif  // LFI_RUNTIME_VFS_H_

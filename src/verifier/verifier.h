@@ -1,0 +1,73 @@
+// The LFI static verifier (Section 5.2).
+//
+// A small, single-linear-pass checker over the *machine code* of a
+// program's text segment. It is the security-critical component: the
+// compiler and rewriter are untrusted, and any program whose text passes
+// this verifier is safe to run in a sandbox slot regardless of how it was
+// produced. The properties enforced are exactly the paper's:
+//
+//  1. Loads, stores, and indirect branches only target reserved registers
+//     (which always hold valid sandbox addresses) or use safe addressing
+//     modes ([x21, wN, uxtw] with no shift; immediate offsets that cannot
+//     reach past the guard regions).
+//  2. Reserved registers are only modified in invariant-preserving ways:
+//     x21 never; x18/x23/x24 only via `add xR, x21, wN, uxtw`; x22 only by
+//     writes that zero the top 32 bits; x30 only by bl/blr, the guard, or
+//     a call-table load immediately followed by `blr x30`; sp only via the
+//     `add sp, x21, x22` guard, small add/sub followed in-block by an
+//     sp-based access, or pre/post-index writeback.
+//  3. Only instructions from the supported ARMv8.0 allowlist appear
+//     (undecodable words and system instructions are rejected).
+#ifndef LFI_VERIFIER_VERIFIER_H_
+#define LFI_VERIFIER_VERIFIER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace lfi::verifier {
+
+struct VerifyOptions {
+  // When false, loads are not checked (the "no loads" fault-isolation-only
+  // configuration in Figure 3).
+  bool check_loads = true;
+  // Size of each guard region surrounding the sandbox. Immediate offsets
+  // must not be able to reach past it.
+  uint64_t guard_bytes = 48 * 1024;
+  // Bytes of the runtime-call table at the sandbox base that x30 may be
+  // loaded from.
+  uint64_t table_bytes = 4096;
+  // Allow load-linked/store-conditional (ldxr/stxr). Section 7.1: LL/SC
+  // enables a timerless cache side channel on Apple M1 (S2C, USENIX Sec
+  // '23); with software protection the fix is one verifier switch - the
+  // kind of mitigation agility hardware protection cannot offer.
+  bool allow_llsc = true;
+};
+
+struct VerifyResult {
+  bool ok = false;
+  uint64_t fail_offset = 0;  // byte offset of the offending instruction
+  std::string reason;
+  uint64_t insts_checked = 0;
+
+  static VerifyResult Ok(uint64_t n) {
+    VerifyResult r;
+    r.ok = true;
+    r.insts_checked = n;
+    return r;
+  }
+  static VerifyResult Fail(uint64_t offset, std::string reason) {
+    VerifyResult r;
+    r.fail_offset = offset;
+    r.reason = std::move(reason);
+    return r;
+  }
+};
+
+// Verifies a text segment (little-endian instruction words).
+VerifyResult Verify(std::span<const uint8_t> text,
+                    const VerifyOptions& opts = {});
+
+}  // namespace lfi::verifier
+
+#endif  // LFI_VERIFIER_VERIFIER_H_

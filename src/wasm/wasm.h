@@ -1,0 +1,77 @@
+// WebAssembly-engine baseline models (Section 6.2).
+//
+// The paper compares LFI against the most performant Wasm engines by
+// measuring identical programs under each engine's sandboxing strategy.
+// The engines' overhead sources, as identified in Section 6.2, are:
+//
+//  - Wasm2c (default): the module's heap base lives in a context struct; a
+//    compiler barrier (required for trap-faithful semantics) forces the
+//    base to be re-loaded around every access, so each access carries a
+//    dependent load in its address chain.
+//  - Wasm2c (no barrier): the barrier removed; the base load can be
+//    hoisted to once per basic block (what LLVM achieves).
+//  - Wasm2c (pinned register): the heap base lives permanently in a
+//    reserved register; accesses become base+index forms like LFI's.
+//  - WAMR: LLVM AOT, no barrier, base hoisted per block, plus slightly
+//    weaker address-mode selection.
+//  - Wasmtime: Cranelift codegen - markedly weaker instruction selection
+//    than LLVM (the paper's motivation for SFI over language sandboxes).
+//
+// Strategies shared by all engines: 32-bit linear-memory indices (explicit
+// index arithmetic replaces native addressing modes), indirect-call table
+// bounds + type-signature checks, and a general codegen-quality factor
+// (extra register-move instructions) reflecting the extra compilation
+// steps through the Wasm IR. This module applies those transformations to
+// the same workload assembly that LFI rewrites, so both sandboxes are
+// measured on identical programs in the same simulator.
+#ifndef LFI_WASM_WASM_H_
+#define LFI_WASM_WASM_H_
+
+#include "asmtext/ast.h"
+#include "support/result.h"
+
+namespace lfi::wasm {
+
+enum class Engine {
+  kWasmtime,
+  kWasm2c,
+  kWasm2cNoBarrier,
+  kWasm2cPinnedReg,
+  kWamr,
+};
+
+const char* EngineName(Engine e);
+
+// Instrumentation parameters for one engine.
+struct EngineProfile {
+  bool base_in_memory = true;   // heap base loaded from the ctx struct
+  bool hoist_base = false;      // base load hoistable to once per block
+  bool pinned_base = false;     // heap base pinned in a register
+  // One extra dependent register move inserted per this many
+  // instructions, modelling codegen quality loss through the Wasm
+  // pipeline (0 = none).
+  int extra_mov_every = 0;
+  // For every Nth memory access, the index value passes through one extra
+  // register move before the access (0 = never). This models missed
+  // addressing-mode folds: Wasm codegen frequently materializes the
+  // 32-bit effective index instead of folding arithmetic into the
+  // access, putting an extra cycle into the address chain.
+  int addr_mov_every = 0;
+  // For every Nth memory access, a caller-saved value is spilled and
+  // reloaded across it (0 = never) - Cranelift-style register pressure.
+  int spill_every = 0;
+  // Instructions of table-bounds + signature checking per indirect call.
+  int icall_check_insns = 5;
+};
+
+EngineProfile ProfileFor(Engine e);
+
+// Instruments `in` (un-rewritten workload assembly) per the engine's
+// sandboxing strategy. The result runs in the LFI runtime with
+// verification disabled (Wasm engines trust their compiler; there is no
+// machine-code verifier - Section 5.2).
+Result<asmtext::AsmFile> Instrument(const asmtext::AsmFile& in, Engine e);
+
+}  // namespace lfi::wasm
+
+#endif  // LFI_WASM_WASM_H_

@@ -1,0 +1,824 @@
+#include "workloads/workloads.h"
+
+#include <cassert>
+
+namespace lfi::workloads {
+
+namespace {
+
+// Small assembly-text builder.
+class Asm {
+ public:
+  // Appends one line.
+  Asm& L(const std::string& line) {
+    out_ += line;
+    out_ += '\n';
+    return *this;
+  }
+  // Appends a label definition.
+  Asm& Lbl(const std::string& name) { return L(name + ":"); }
+  // mov reg, #imm64 via movz/movk.
+  Asm& Imm(const std::string& reg, uint64_t v) {
+    L("movz " + reg + ", #" + std::to_string(v & 0xffff));
+    if ((v >> 16) & 0xffff) {
+      L("movk " + reg + ", #" + std::to_string((v >> 16) & 0xffff) +
+        ", lsl #16");
+    }
+    if ((v >> 32) & 0xffff) {
+      L("movk " + reg + ", #" + std::to_string((v >> 32) & 0xffff) +
+        ", lsl #32");
+    }
+    if ((v >> 48) & 0xffff) {
+      L("movk " + reg + ", #" + std::to_string((v >> 48) & 0xffff) +
+        ", lsl #48");
+    }
+    return *this;
+  }
+  // Loads the address of `sym` into reg.
+  Asm& Addr(const std::string& reg, const std::string& sym) {
+    L("adrp " + reg + ", " + sym);
+    L("add " + reg + ", " + reg + ", :lo12:" + sym);
+    return *this;
+  }
+  // Exit with the low 7 bits of `reg` as status.
+  Asm& Exit(const std::string& reg) {
+    Imm("x9", 127);
+    L("and x0, " + reg + ", x9");
+    L("rtcall #0");
+    return *this;
+  }
+  // Standard LCG step on x20 (full 64-bit).
+  Asm& Lcg() {
+    return L("madd x20, x20, x16, x17");  // x16/x17 hold A/C constants
+  }
+  Asm& LcgSetup() {
+    Imm("x16", 6364136223846793005ULL);
+    Imm("x17", 1442695040888963407ULL);
+    Imm("x20", 0x243f6a8885a308d3ULL);  // seed
+    return *this;
+  }
+  std::string str() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+std::string Bss(const std::string& name, uint64_t bytes) {
+  return ".bss\n" + name + ":\n.zero " + std::to_string(bytes) + "\n.text\n";
+}
+
+// ---- 502.gcc: branchy integer code, jump tables, many small function
+// calls, stack traffic. ----
+std::string GenGcc(uint64_t scale) {
+  Asm a;
+  const uint64_t iters = scale / 48;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.LcgSetup();
+  a.Imm("x19", iters);
+  a.Addr("x14", "globals");
+  a.Addr("x15", "jt");
+  // PIC-style jump-table rebase: table entries are sandbox-relative
+  // offsets; derive the load base from a known anchor so the code is also
+  // correct when run unsandboxed (the native baseline).
+  a.L("adr x7, case0");
+  a.L("ldr x13, [x15]");     // jt[0] == offset of case0
+  a.L("sub x7, x7, x13");    // image base
+  a.L("mov x13, #0");        // checksum
+  a.Lbl("outer");
+  a.Lcg();
+  a.L("lsr x9, x20, #17");
+  a.L("mov x10, #7").L("and x9, x9, x10");
+  a.L("ldr x11, [x15, x9, lsl #3]");
+  a.L("add x11, x7, x11");
+  a.L("br x11");
+  for (int c = 0; c < 8; ++c) {
+    a.Lbl("case" + std::to_string(c));
+    a.L("bl helper" + std::to_string(c % 4));
+    a.L("add x13, x13, x0");
+    a.L("b join");
+  }
+  a.Lbl("join");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne outer");
+  a.Exit("x13");
+  // Four small helpers with frames and struct-field traffic (several
+  // offsets from one base pointer - the redundant-guard-elimination
+  // pattern of Figure 2).
+  for (int h = 0; h < 4; ++h) {
+    a.Lbl("helper" + std::to_string(h));
+    a.L("stp x29, x30, [sp, #-32]!");
+    a.L("str x19, [sp, #16]");
+    a.L("lsr x9, x20, #5");
+    a.L("movz x10, #2047").L("and x9, x9, x10");
+    a.L("add x9, x14, x9, lsl #5");   // pointer to a 32-byte record
+    a.L("ldr x0, [x9]");
+    a.L("ldr x1, [x9, #8]");
+    a.L("add x0, x0, x1");
+    a.L("str x0, [x9, #8]");
+    a.L("str x19, [x9, #16]");
+    a.L("add x0, x0, #" + std::to_string(h + 1));
+    a.L("str x0, [x9, #24]");
+    a.L("eor x0, x0, x20");
+    a.L("ldr x19, [sp, #16]");
+    a.L("ldp x29, x30, [sp], #32");
+    a.L("ret");
+  }
+  a.L(".rodata").Lbl("jt");
+  a.L(".quad case0, case1, case2, case3, case4, case5, case6, case7");
+  a.L(Bss("globals", 64 * 1024));
+  return a.str();
+}
+
+// ---- 505.mcf: pointer chasing over a large, sparse working set. ----
+std::string GenMcf(uint64_t scale) {
+  Asm a;
+  // K cells spread over a 64MiB arena: deep cache misses and TLB pressure.
+  const uint64_t kCells = 1 << 16;
+  const uint64_t kMask = (1 << 23) - 1;  // arena indices (8M cells of 8B)
+  const uint64_t kPerm = 2654435761ULL;  // odd multiplier: a permutation
+  const uint64_t laps = scale / (3 * kCells) + 1;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.Addr("x14", "arena");
+  a.Imm("x15", kPerm);
+  a.Imm("x12", kMask);
+  a.Imm("x19", kCells);
+  a.L("mov x9, #0");  // i
+  // Init: cell at pos(i) points to pos(i+1)*8.
+  a.Lbl("init");
+  a.L("mul x10, x9, x15").L("and x10, x10, x12");   // pos(i)
+  a.L("add x11, x9, #1");
+  a.L("mul x11, x11, x15").L("and x11, x11, x12");  // pos(i+1)
+  a.L("lsl x11, x11, #3");
+  a.L("str x11, [x14, x10, lsl #3]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x19");
+  a.L("b.lo init");
+  // Close the ring: pos(K-1) -> pos(0) (pos(0) == 0).
+  a.L("sub x9, x19, #1");
+  a.L("mul x10, x9, x15").L("and x10, x10, x12");
+  a.L("str xzr, [x14, x10, lsl #3]");
+  // Chase laps * K steps.
+  a.Imm("x19", laps * kCells);
+  a.L("mov x9, #0");   // current byte offset
+  a.L("mov x13, #0");  // checksum
+  a.Lbl("chase");
+  a.L("ldr x9, [x14, x9]");  // becomes a guarded base-register access
+  a.L("add x13, x13, x9");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne chase");
+  a.Exit("x13");
+  a.L(Bss("arena", uint64_t{64} << 20));
+  return a.str();
+}
+
+// ---- 508.namd: dense FP, fmadd chains over medium arrays. ----
+std::string GenNamd(uint64_t scale) {
+  Asm a;
+  const uint64_t kDoubles = 32 * 1024;  // 256KiB per array
+  const uint64_t passes = scale / (kDoubles * 3) + 1;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.Addr("x14", "va").Addr("x15", "vb").Addr("x13", "vc");
+  // Seed the arrays with small integers via stores.
+  a.Imm("x19", kDoubles);
+  a.L("mov x9, #0");
+  a.Lbl("seed");
+  a.L("scvtf d0, x9");
+  a.L("str d0, [x14, x9, lsl #3]");
+  a.L("str d0, [x15, x9, lsl #3]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x19");
+  a.L("b.lo seed");
+  a.Imm("x19", passes);
+  a.L("fmov d4, xzr");
+  a.Lbl("pass");
+  a.L("mov x9, #0");
+  a.Lbl("inner");
+  // Unrolled 2x: load, fmadd chain, occasional store.
+  a.L("ldr d0, [x14, x9, lsl #3]");
+  a.L("ldr d1, [x15, x9, lsl #3]");
+  a.L("fmadd d4, d0, d1, d4");
+  a.L("add x10, x9, #1");
+  a.L("ldr d2, [x14, x10, lsl #3]");
+  a.L("ldr d3, [x15, x10, lsl #3]");
+  a.L("fmadd d4, d2, d3, d4");
+  a.L("fadd d5, d0, d2");
+  a.L("str d5, [x13, x9, lsl #3]");
+  a.L("add x9, x9, #2");
+  a.Imm("x11", kDoubles - 2);
+  a.L("cmp x9, x11");
+  a.L("b.lo inner");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne pass");
+  a.L("fcvtzs x13, d4");
+  a.Exit("x13");
+  a.L(Bss("va", kDoubles * 8) + Bss("vb", kDoubles * 8) +
+      Bss("vc", kDoubles * 8));
+  return a.str();
+}
+
+// ---- 510.parest: sparse-matrix-style indexed FP loads. ----
+std::string GenParest(uint64_t scale) {
+  Asm a;
+  const uint64_t kIdx = 64 * 1024;
+  const uint64_t kData = 256 * 1024;  // doubles: 2MiB
+  const uint64_t laps = scale / (kIdx * 6) + 1;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.LcgSetup();
+  a.Addr("x14", "idx").Addr("x15", "vals");
+  a.Imm("x19", kIdx);
+  a.L("mov x9, #0");
+  a.Lbl("init");
+  a.Lcg();
+  a.L("lsr x10, x20, #13");
+  a.Imm("x11", kData - 1);
+  a.L("and x10, x10, x11");
+  a.L("str w10, [x14, x9, lsl #2]");
+  a.L("scvtf d0, x10");
+  a.L("str d0, [x15, x10, lsl #3]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x19");
+  a.L("b.lo init");
+  a.Imm("x19", laps);
+  a.L("fmov d4, xzr");
+  a.Lbl("lap");
+  a.L("mov x9, #0");
+  a.Imm("x12", kIdx);
+  a.Lbl("gather");
+  // Unrolled 2x; the second element's index feeds the loop induction
+  // (bit 63 is always zero, so the value is unchanged, but the dependence
+  // is real) - sparse-matrix row walks behave exactly like this.
+  a.L("ldr w10, [x14, x9, lsl #2]");       // index load
+  a.L("ldr d0, [x15, w10, uxtw #3]");      // indexed data load
+  a.L("fmadd d4, d0, d0, d4");
+  a.L("add x11, x9, #1");
+  a.L("ldr w10, [x14, x11, lsl #2]");
+  a.L("ldr d1, [x15, w10, uxtw #3]");
+  a.L("fmadd d4, d1, d1, d4");
+  a.L("add x9, x9, #2");
+  a.L("lsr x10, x10, #63");
+  a.L("add x9, x9, x10");
+  a.L("cmp x9, x12");
+  a.L("b.lo gather");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne lap");
+  a.L("fcvtzs x13, d4");
+  a.Exit("x13");
+  a.L(Bss("idx", kIdx * 4) + Bss("vals", kData * 8));
+  return a.str();
+}
+
+// ---- 511.povray: FP with divides/sqrts, calls, data-dependent branches.
+std::string GenPovray(uint64_t scale) {
+  Asm a;
+  const uint64_t iters = scale / 40;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.LcgSetup();
+  a.Imm("x19", iters);
+  a.L("fmov d6, xzr");
+  a.Imm("x9", 3);
+  a.L("scvtf d7, x9");  // 3.0
+  a.Lbl("ray");
+  a.Lcg();
+  a.L("lsr x9, x20, #40");
+  a.L("scvtf d0, x9");
+  a.L("fadd d1, d0, d7");
+  a.L("fdiv d2, d0, d1");     // divide every iteration
+  a.L("fmadd d6, d2, d2, d6");
+  a.L("tbz x20, #13, noroot");
+  a.L("fsqrt d3, d1");
+  a.L("fadd d6, d6, d3");
+  a.Lbl("noroot");
+  a.L("bl shade");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne ray");
+  a.L("fcvtzs x13, d6");
+  a.Exit("x13");
+  a.Lbl("shade");
+  a.L("stp x29, x30, [sp, #-16]!");
+  a.L("fmul d4, d2, d2");
+  a.L("fadd d5, d4, d2");
+  a.L("fcmp d5, d7");
+  a.L("b.lt dim");
+  a.L("fsub d5, d5, d7");
+  a.Lbl("dim");
+  a.L("fadd d6, d6, d5");
+  a.L("ldp x29, x30, [sp], #16");
+  a.L("ret");
+  return a.str();
+}
+
+// ---- 519.lbm: streaming FP stencil over large arrays. ----
+std::string GenLbm(uint64_t scale) {
+  Asm a;
+  const uint64_t kDoubles = 256 * 1024;  // 2MiB per array
+  const uint64_t passes = scale / (kDoubles * 8) + 1;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.Addr("x14", "src").Addr("x15", "dst");
+  a.Imm("x19", kDoubles);
+  a.L("mov x9, #0");
+  a.Lbl("seed");
+  a.L("scvtf d0, x9");
+  a.L("str d0, [x14, x9, lsl #3]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x19");
+  a.L("b.lo seed");
+  a.Imm("x19", passes);
+  a.Lbl("pass");
+  a.L("mov x9, #1");
+  a.Imm("x12", kDoubles - 1);
+  a.Lbl("stencil");
+  a.L("sub x10, x9, #1");
+  a.L("add x11, x9, #1");
+  a.L("ldr d0, [x14, x9, lsl #3]");
+  a.L("ldr d1, [x14, x10, lsl #3]");
+  a.L("ldr d2, [x14, x11, lsl #3]");
+  a.L("fadd d3, d1, d2");
+  a.L("fmadd d4, d0, d0, d3");
+  a.L("str d4, [x15, x9, lsl #3]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x12");
+  a.L("b.lo stencil");
+  // Swap src/dst.
+  a.L("mov x10, x14").L("mov x14, x15").L("mov x15, x10");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne pass");
+  a.L("ldr d0, [x14, #8]");
+  a.L("fcvtzs x13, d0");
+  a.Exit("x13");
+  a.L(Bss("src", kDoubles * 8) + Bss("dst", kDoubles * 8));
+  return a.str();
+}
+
+// ---- 520.omnetpp: discrete-event-style pointer+store traffic. ----
+std::string GenOmnetpp(uint64_t scale) {
+  Asm a;
+  const uint64_t kEvents = 1 << 17;  // 128K live events...
+  const uint64_t kSpread = 1 << 21;  // ...spread over 64MiB of arena
+  const uint64_t steps = scale / 12;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.LcgSetup();
+  a.Addr("x14", "events");
+  // Init ring: event i -> (i * 40503) & mask, payload i.
+  a.Imm("x19", kEvents);
+  a.Imm("x15", 40503);
+  a.Imm("x12", kSpread - 1);
+  a.L("mov x9, #0");
+  a.Lbl("init");
+  a.L("add x10, x9, #1");
+  a.L("mul x10, x10, x15").L("and x10, x10, x12");
+  a.L("lsl x11, x10, #5");
+  a.L("mul x10, x9, x15").L("and x10, x10, x12");
+  a.L("lsl x10, x10, #5");
+  a.L("add x13, x14, x10");
+  a.L("str x11, [x13]");       // next offset
+  a.L("str x9, [x13, #8]");    // payload
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x19");
+  a.L("b.lo init");
+  a.Imm("x19", steps);
+  a.L("mov x9, #0");   // current event offset
+  a.L("mov x13, #0");  // checksum
+  a.Lbl("run");
+  a.L("add x10, x14, x9");
+  a.L("ldr x9, [x10]");        // chase
+  a.L("ldr x11, [x10, #8]");   // payload (same base: RGE candidates)
+  a.L("add x11, x11, #1");
+  a.L("str x11, [x10, #8]");
+  a.L("ldr x15, [x10, #16]");  // timestamp field
+  a.L("add x15, x15, x11");
+  a.L("str x15, [x10, #24]");
+  a.L("add x13, x13, x11");
+  a.L("tbz x11, #4, nobump");
+  a.L("add x13, x13, #3");
+  a.Lbl("nobump");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne run");
+  a.Exit("x13");
+  a.L(Bss("events", kSpread * 32));
+  return a.str();
+}
+
+// ---- 523.xalancbmk: byte scanning, virtual dispatch, branchy. ----
+std::string GenXalancbmk(uint64_t scale) {
+  Asm a;
+  const uint64_t kText = 1 << 20;  // 1MiB document
+  const uint64_t laps = scale / (kText / 4) + 1;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.LcgSetup();
+  a.Addr("x14", "doc").Addr("x15", "vtable");
+  // Fill the document with pseudo-text.
+  a.Imm("x19", kText / 8);
+  a.L("mov x9, #0");
+  a.Lbl("fill");
+  a.Lcg();
+  a.L("str x20, [x14, x9, lsl #3]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x19");
+  a.L("b.lo fill");
+  // Vtable rebase anchor (see the jump-table comment in GenGcc).
+  a.L("adr x8, method0");
+  a.L("ldr x13, [x15]");
+  a.L("sub x8, x8, x13");
+  a.Imm("x19", laps);
+  a.L("mov x13, #0");
+  a.Lbl("lap");
+  a.L("mov x9, #0");
+  a.Imm("x12", kText / 4);
+  a.Lbl("scan");
+  a.L("ldrb w10, [x14, x9]");     // byte load
+  a.L("add x13, x13, x10");
+  a.L("tbz w10, #5, plain");      // data-dependent branch
+  a.L("add x13, x13, #2");
+  a.Lbl("plain");
+  // Virtual dispatch every 16 bytes (vtable holds image-relative
+  // offsets, rebased off an anchor like position-independent code).
+  a.L("mov x11, #15").L("and x11, x9, x11");
+  a.L("cbnz x11, nexttag");
+  a.L("mov x11, #3").L("and x11, x10, x11");
+  a.L("ldr x0, [x15, x11, lsl #3]");
+  a.L("add x0, x8, x0");
+  a.L("blr x0");
+  a.Lbl("nexttag");
+  a.L("add x9, x9, #4");
+  a.L("cmp x9, x12");
+  a.L("b.lo scan");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne lap");
+  a.Exit("x13");
+  for (int m = 0; m < 4; ++m) {
+    a.Lbl("method" + std::to_string(m));
+    a.L("add x13, x13, #" + std::to_string(m + 1));
+    a.L("ret");
+  }
+  a.L(".rodata").Lbl("vtable");
+  a.L(".quad method0, method1, method2, method3");
+  a.L(Bss("doc", kText));
+  return a.str();
+}
+
+// ---- 525.x264: SIMD integer block processing. ----
+std::string GenX264(uint64_t scale) {
+  Asm a;
+  // Real x264 tiles its block work to stay cache-resident; keep the
+  // working set inside L2 so the kernel is bandwidth- not miss-bound.
+  const uint64_t kFrame = 1 << 18;  // 256KiB frame
+  const uint64_t laps = scale / (kFrame / 16 * 6) + 1;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.LcgSetup();
+  a.Addr("x14", "frame").Addr("x15", "ref");
+  a.Imm("x19", kFrame / 8);
+  a.L("mov x9, #0");
+  a.Lbl("fill");
+  a.Lcg();
+  a.L("str x20, [x14, x9, lsl #3]");
+  a.L("str x20, [x15, x9, lsl #3]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x19");
+  a.L("b.lo fill");
+  a.Imm("x19", laps);
+  a.Lbl("lap");
+  a.L("mov x9, #0");
+  a.Imm("x12", kFrame - 64);
+  a.Lbl("block");
+  // 16-byte SIMD block ops: load, add, store (motion-comp-like).
+  a.L("add x10, x14, x9");
+  a.L("add x11, x15, x9");
+  a.L("ldr q0, [x10]");
+  a.L("ldr q1, [x11]");
+  a.L("add v2.4s, v0.4s, v1.4s");
+  a.L("str q2, [x10]");
+  a.L("ldr q3, [x10, #16]");
+  a.L("ldr q4, [x11, #16]");
+  a.L("add v5.4s, v3.4s, v4.4s");
+  a.L("str q5, [x10, #16]");
+  a.L("add x9, x9, #32");
+  a.L("cmp x9, x12");
+  a.L("b.lo block");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne lap");
+  a.L("ldr x13, [x14, #128]");
+  a.Exit("x13");
+  a.L(Bss("frame", kFrame) + Bss("ref", kFrame));
+  return a.str();
+}
+
+// ---- 531.deepsjeng: recursive search, bit manipulation, stack-heavy.
+std::string GenDeepsjeng(uint64_t scale) {
+  Asm a;
+  // Each node is ~26 instructions; 2^depth nodes.
+  int depth = 1;
+  while ((uint64_t{1} << (depth + 1)) * 26 < scale && depth < 24) ++depth;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.LcgSetup();
+  a.Addr("x14", "ttable");
+  a.L("mov x0, #" + std::to_string(depth));
+  a.L("bl search");
+  a.L("mov x13, x0");
+  a.Exit("x13");
+  a.Lbl("search");
+  a.L("stp x29, x30, [sp, #-48]!");
+  a.L("stp x19, x20, [sp, #16]");
+  a.L("str x0, [sp, #32]");
+  a.L("cbz x0, leaf");
+  // Hash/bit work.
+  a.L("eor x20, x20, x20, lsr #12");
+  a.L("eor x20, x20, x20, lsl #25");
+  a.L("eor x20, x20, x20, lsr #27");
+  a.L("lsr x9, x20, #30");
+  a.Imm("x10", 8191);
+  a.L("and x9, x9, x10");
+  a.L("ldr x11, [x14, x9, lsl #3]");   // transposition-table probe
+  a.L("eor x20, x20, x11");            // probe result feeds the hash chain
+  a.L("add x19, x11, x20");
+  a.L("str x19, [x14, x9, lsl #3]");
+  // Two children.
+  a.L("ldr x0, [sp, #32]");
+  a.L("sub x0, x0, #1");
+  a.L("bl search");
+  a.L("mov x19, x0");
+  a.L("ldr x0, [sp, #32]");
+  a.L("sub x0, x0, #1");
+  a.L("bl search");
+  a.L("add x0, x0, x19");
+  a.L("clz x9, x0");
+  a.L("add x0, x0, x9");
+  a.L("b unwind");
+  a.Lbl("leaf");
+  a.L("mov x9, #255").L("and x0, x20, x9");
+  a.Lbl("unwind");
+  a.L("ldp x19, x20, [sp, #16]");
+  a.L("ldp x29, x30, [sp], #48");
+  a.L("ret");
+  a.L(Bss("ttable", 64 * 1024));
+  return a.str();
+}
+
+// ---- 538.imagick: SIMD FP streaming transforms. ----
+std::string GenImagick(uint64_t scale) {
+  Asm a;
+  const uint64_t kFloats = 256 * 1024;  // 1MiB
+  const uint64_t passes = scale / (kFloats / 4 * 7) + 1;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.Addr("x14", "img").Addr("x15", "outp");
+  a.Imm("x19", kFloats / 4);
+  a.L("mov x9, #0");
+  a.Lbl("seed");
+  a.L("scvtf s0, w9");
+  a.L("str s0, [x14, x9, lsl #2]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x19");
+  a.L("b.lo seed");
+  a.Imm("x19", passes);
+  a.Lbl("pass");
+  a.L("mov x9, #0");
+  a.Imm("x12", kFloats - 16);
+  a.Lbl("row");
+  a.L("add x10, x14, x9");
+  a.L("ldr q0, [x10]");
+  a.L("ldr q1, [x10, #16]");
+  a.L("fmul v2.4s, v0.4s, v1.4s");
+  a.L("fadd v3.4s, v2.4s, v0.4s");
+  a.L("add x11, x15, x9");
+  a.L("str q3, [x11]");
+  a.L("add x9, x9, #16");
+  a.L("cmp x9, x12");
+  a.L("b.lo row");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne pass");
+  a.L("ldr w13, [x15, #64]");
+  a.Exit("x13");
+  a.L(Bss("img", kFloats) + Bss("outp", kFloats));
+  return a.str();
+}
+
+// ---- 541.leela: load-dense, branchy tree playouts (LFI's worst case).
+std::string GenLeela(uint64_t scale) {
+  Asm a;
+  const uint64_t kBoard = 1 << 21;  // 2MiB arena
+  const uint64_t steps = scale / 18;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.LcgSetup();
+  a.Addr("x14", "arena");
+  // Light init: stores along the LCG path.
+  a.Imm("x19", 32768);
+  a.Lbl("init");
+  a.Lcg();
+  a.L("lsr x9, x20, #9");
+  a.Imm("x10", kBoard / 8 - 1);
+  a.L("and x9, x9, x10");
+  a.L("str x20, [x14, x9, lsl #3]");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne init");
+  a.Imm("x19", steps);
+  a.L("mov x13, #0");
+  a.Imm("x15", kBoard / 8 - 1);
+  a.L("mov x12, #0");
+  a.Lbl("playout");
+  a.Lcg();
+  // Dependent loads: each address derives from the previous iteration's
+  // loaded data, so the whole run is one long load chain - guards in the
+  // address path hurt most here, which is why leela is LFI's worst
+  // benchmark in Figure 3.
+  a.L("eor x9, x20, x12");
+  a.L("and x9, x9, x15");
+  a.L("ldr x10, [x14, x9, lsl #3]");
+  a.L("and x10, x10, x15");
+  a.L("ldr x11, [x14, w10, uxtw #3]");  // 32-bit index form (C++ idiom)
+  a.L("and x11, x11, x15");
+  a.L("ldr x12, [x14, x11, lsl #3]");
+  a.L("add x13, x13, x12");
+  // Unpredictable branches on loaded bits.
+  a.L("tbz x12, #3, skipa");
+  a.L("add x13, x13, #1");
+  a.Lbl("skipa");
+  a.L("tbz x12, #7, skipb");
+  a.L("eor x13, x13, x10");
+  a.Lbl("skipb");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne playout");
+  a.Exit("x13");
+  a.L(Bss("arena", kBoard));
+  return a.str();
+}
+
+// ---- 544.nab: scalar FP molecular-dynamics-style loops. ----
+std::string GenNab(uint64_t scale) {
+  Asm a;
+  const uint64_t kAtoms = 16 * 1024;
+  const uint64_t passes = scale / (kAtoms * 9) + 1;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.Addr("x14", "pos").Addr("x15", "force");
+  a.Imm("x19", kAtoms);
+  a.L("mov x9, #0");
+  a.Lbl("seed");
+  a.L("scvtf d0, x9");
+  a.L("str d0, [x14, x9, lsl #3]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x19");
+  a.L("b.lo seed");
+  a.Imm("x19", passes);
+  a.Imm("x9", 1);
+  a.L("scvtf d7, x9");  // 1.0
+  a.L("fmov d6, xzr");
+  a.Lbl("pass");
+  a.L("mov x9, #0");
+  a.Imm("x12", kAtoms - 1);
+  a.Lbl("atom");
+  a.L("ldr d0, [x14, x9, lsl #3]");
+  a.L("add x10, x9, #1");
+  a.L("ldr d1, [x14, x10, lsl #3]");
+  a.L("fsub d2, d1, d0");
+  a.L("fmadd d3, d2, d2, d7");
+  a.L("fdiv d4, d7, d3");        // 1/r^2-ish
+  a.L("fmadd d6, d4, d2, d6");
+  a.L("str d4, [x15, x9, lsl #3]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x12");
+  a.L("b.lo atom");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne pass");
+  a.L("fcvtzs x13, d6");
+  a.Exit("x13");
+  a.L(Bss("pos", kAtoms * 8) + Bss("force", kAtoms * 8));
+  return a.str();
+}
+
+// ---- 557.xz: byte-granular compression-style integer work. ----
+std::string GenXz(uint64_t scale) {
+  Asm a;
+  const uint64_t kBuf = 1 << 20;
+  const uint64_t laps = scale / (kBuf / 2) + 1;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.LcgSetup();
+  a.Addr("x14", "inbuf").Addr("x15", "outbuf").Addr("x13", "crctab");
+  // Fill input + a 256-entry table.
+  a.Imm("x19", kBuf / 8);
+  a.L("mov x9, #0");
+  a.Lbl("fill");
+  a.Lcg();
+  a.L("str x20, [x14, x9, lsl #3]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x19");
+  a.L("b.lo fill");
+  a.L("mov x9, #0");
+  a.Lbl("tab");
+  a.L("rbit w10, w9");
+  a.L("str w10, [x13, x9, lsl #2]");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, #256");
+  a.L("b.lo tab");
+  a.Imm("x19", laps);
+  a.L("mov x12, #0");  // crc
+  a.Lbl("lap");
+  a.L("mov x9, #0");
+  a.Imm("x11", kBuf / 2);
+  a.Lbl("byte");
+  a.L("ldrb w10, [x14, x9]");
+  a.L("eor w10, w10, w12");
+  a.L("and x10, x10, #255");
+  a.L("ldr w10, [x13, x10, lsl #2]");   // table lookup
+  a.L("eor w12, w10, w12, lsr #8");
+  a.L("tbz w12, #0, even");
+  a.L("strb w12, [x15, x9]");
+  a.Lbl("even");
+  a.L("add x9, x9, #1");
+  a.L("cmp x9, x11");
+  a.L("b.lo byte");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne lap");
+  a.Exit("x12");
+  a.L(Bss("inbuf", kBuf) + Bss("outbuf", kBuf) + Bss("crctab", 1024));
+  return a.str();
+}
+
+// ---- CoreMark-like: list walk + int matrix + state machine. ----
+std::string GenCoremark(uint64_t scale) {
+  Asm a;
+  const uint64_t iters = scale / 60;
+  a.L(".globl _start").L(".text").Lbl("_start");
+  a.LcgSetup();
+  a.Addr("x14", "list").Addr("x15", "mat");
+  // List of 1024 nodes (16B each), sequential next pointers.
+  a.L("mov x9, #0");
+  a.Lbl("mklist");
+  a.L("add x10, x9, #16");
+  a.L("mov x11, #16383").L("and x10, x10, x11");
+  a.L("add x12, x14, x9");
+  a.L("str x10, [x12]");
+  a.L("str x9, [x12, #8]");
+  a.L("add x9, x9, #16");
+  a.L("cmp x9, #16384");
+  a.L("b.lo mklist");
+  a.Imm("x19", iters);
+  a.L("mov x13, #0");
+  a.L("mov x9, #0");
+  a.Lbl("main");
+  // List walk: two chase steps per iteration, one in the register-offset
+  // form compilers emit for array-of-structs traversal and one through a
+  // materialized element pointer. The payload selects the matrix row (as
+  // CoreMark's list values drive its matrix and state work), keeping the
+  // loads on the critical path.
+  a.L("ldr x9, [x14, x9]");
+  a.L("add x10, x14, x9");
+  a.L("ldr x9, [x10]");
+  a.L("ldr x11, [x10, #8]");
+  a.L("and x12, x11, #60");
+  // Two-element row MAC off the loaded index.
+  a.L("ldr w0, [x15, x12, lsl #2]");
+  a.L("add x1, x12, #1");
+  a.L("ldr w2, [x15, x1, lsl #2]");
+  a.L("mul w0, w0, w2");
+  a.L("add w13, w13, w0");
+  a.L("str w13, [x15, x12, lsl #2]");
+  // State machine driven by list payloads: data-dependent but mostly
+  // predictable transitions, like CoreMark's deterministic state inputs.
+  a.Lcg();
+  a.L("tbz x11, #6, stateb");
+  a.L("eor x13, x13, x20, lsr #7");
+  a.L("b sdone");
+  a.Lbl("stateb");
+  a.L("add x13, x13, x20, lsr #50");
+  a.Lbl("sdone");
+  a.L("subs x19, x19, #1");
+  a.L("b.ne main");
+  a.Exit("x13");
+  a.L(Bss("list", 16384) + Bss("mat", 1024));
+  return a.str();
+}
+
+}  // namespace
+
+const std::vector<WorkloadInfo>& AllWorkloads() {
+  static const std::vector<WorkloadInfo> kAll = {
+      {"502.gcc", false},       {"505.mcf", true},
+      {"508.namd", true},       {"510.parest", false},
+      {"511.povray", false},    {"519.lbm", true},
+      {"520.omnetpp", false},   {"523.xalancbmk", false},
+      {"525.x264", true},       {"531.deepsjeng", true},
+      {"538.imagick", false},   {"541.leela", false},
+      {"544.nab", true},        {"557.xz", true},
+      {"coremark", false},
+  };
+  return kAll;
+}
+
+std::string Generate(const std::string& name, uint64_t scale) {
+  if (name == "502.gcc") return GenGcc(scale);
+  if (name == "505.mcf") return GenMcf(scale);
+  if (name == "508.namd") return GenNamd(scale);
+  if (name == "510.parest") return GenParest(scale);
+  if (name == "511.povray") return GenPovray(scale);
+  if (name == "519.lbm") return GenLbm(scale);
+  if (name == "520.omnetpp") return GenOmnetpp(scale);
+  if (name == "523.xalancbmk") return GenXalancbmk(scale);
+  if (name == "525.x264") return GenX264(scale);
+  if (name == "531.deepsjeng") return GenDeepsjeng(scale);
+  if (name == "538.imagick") return GenImagick(scale);
+  if (name == "541.leela") return GenLeela(scale);
+  if (name == "544.nab") return GenNab(scale);
+  if (name == "557.xz") return GenXz(scale);
+  if (name == "coremark") return GenCoremark(scale);
+  return "";
+}
+
+}  // namespace lfi::workloads

@@ -1,0 +1,46 @@
+// Synthetic SPEC CPU2017 stand-in workloads.
+//
+// The paper evaluates on the 14 C/C++ SPECrate benchmarks that build with
+// musl (Section 6). SPEC is proprietary, so this module generates, for
+// each of those benchmarks, a deterministic assembly program with the
+// benchmark's characteristic *instruction mix*: the densities of loads and
+// stores, the addressing-mode distribution, stack and call traffic, branch
+// predictability, FP/SIMD content, and working-set size. SFI overhead is a
+// function of exactly those properties, so the per-benchmark overhead
+// ordering and the optimization-level deltas of Figures 3-5 are preserved
+// even though the computation itself is synthetic (see DESIGN.md).
+//
+// Every program is a freestanding LFI executable: it uses `rtcall`
+// pseudo-instructions for system calls and exits with a checksum-derived
+// status so tests can detect miscompiled/mis-rewritten runs.
+#ifndef LFI_WORKLOADS_WORKLOADS_H_
+#define LFI_WORKLOADS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lfi::workloads {
+
+struct WorkloadInfo {
+  std::string name;       // e.g. "505.mcf"
+  bool wasm_compatible;   // part of the 7-benchmark Wasm subset (§6.2)
+};
+
+// The 14 SPEC-subset workloads, in the paper's order, plus "coremark".
+const std::vector<WorkloadInfo>& AllWorkloads();
+
+// Generates the assembly text for `name`. `scale` controls the dynamic
+// instruction count of the main phase (roughly `scale` instructions).
+// Returns an empty string for unknown names.
+//
+// Every program exits with a checksum-derived status in [0, 128). The
+// value is data-dependent, so tests verify semantic preservation by
+// comparing the status of a rewritten/instrumented run against the native
+// run of the same program - any guard that altered semantics shows up as
+// a status mismatch.
+std::string Generate(const std::string& name, uint64_t scale);
+
+}  // namespace lfi::workloads
+
+#endif  // LFI_WORKLOADS_WORKLOADS_H_

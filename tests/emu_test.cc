@@ -1,0 +1,480 @@
+// Emulator tests: address space, instruction semantics, timing model.
+
+#include <gtest/gtest.h>
+
+#include "asmtext/assemble.h"
+#include "asmtext/parser.h"
+#include "emu/machine.h"
+
+namespace lfi::emu {
+namespace {
+
+using arch::Reg;
+
+constexpr uint64_t kCode = 0x100000;  // where test code is mapped
+constexpr uint64_t kData = 0x200000;  // general-purpose RW area
+
+// Builds a machine with a code page at kCode (RX) and a data page at
+// kData (RW), assembles `src` there, and returns after running it until
+// a brk, fault, or the step limit.
+struct TestVm {
+  AddressSpace space;
+  Machine machine;
+
+  explicit TestVm(const std::string& src)
+      : machine(&space, arch::AppleM1LikeParams()) {
+    auto file = asmtext::Parse(src);
+    EXPECT_TRUE(file.ok()) << (file.ok() ? "" : file.error());
+    asmtext::LayoutSpec spec;
+    spec.text_offset = kCode;
+    auto img = asmtext::Assemble(*file, spec);
+    EXPECT_TRUE(img.ok()) << (img.ok() ? "" : img.error());
+    EXPECT_TRUE(space.Map(kCode, 0x40000, kPermRead | kPermExec).ok());
+    EXPECT_TRUE(space.Map(kData, 0x40000, kPermRead | kPermWrite).ok());
+    EXPECT_TRUE(space
+                    .HostWrite(img->text_addr,
+                               {img->text.data(), img->text.size()})
+                    .ok());
+    if (!img->data.empty()) {
+      EXPECT_TRUE(
+          space.HostWrite(img->data_addr, {img->data.data(), img->data.size()})
+              .ok());
+    }
+    machine.state().pc = img->entry;
+    machine.state().sp = kData + 0x20000;
+  }
+
+  StopReason Run(uint64_t steps = 100000) { return machine.Run(steps); }
+  uint64_t X(int n) { return machine.state().x[n]; }
+};
+
+TEST(AddressSpace, MapReadWrite) {
+  AddressSpace as;
+  ASSERT_TRUE(as.Map(0x4000, 0x8000, kPermRead | kPermWrite).ok());
+  ASSERT_TRUE(as.Write(0x4100, 0xdeadbeefcafe, 8).ok());
+  auto v = as.Read(0x4100, 8);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0xdeadbeefcafeu);
+  // Partial-width read.
+  auto b = as.Read(0x4100, 2);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, 0xcafeu);
+}
+
+TEST(AddressSpace, FaultsOnUnmappedAndPerms) {
+  AddressSpace as;
+  ASSERT_TRUE(as.Map(0x4000, 0x4000, kPermRead).ok());
+  EXPECT_FALSE(as.Read(0x100000, 8).ok());
+  EXPECT_EQ(as.last_fault().kind, MemFault::Kind::kUnmapped);
+  EXPECT_FALSE(as.Write(0x4000, 1, 8).ok());
+  EXPECT_EQ(as.last_fault().kind, MemFault::Kind::kPermission);
+  EXPECT_EQ(as.last_fault().access, Access::kWrite);
+  EXPECT_FALSE(as.Fetch(0x4000).ok());  // no exec permission
+}
+
+TEST(AddressSpace, AccessStraddlingUnmappedBoundaryFaults) {
+  AddressSpace as;
+  ASSERT_TRUE(as.Map(0x4000, 0x4000, kPermRead | kPermWrite).ok());
+  // Last 4 bytes of the mapping + 4 bytes beyond.
+  EXPECT_FALSE(as.Read(0x7ffc, 8).ok());
+  EXPECT_FALSE(as.Write(0x7ffc, 0, 8).ok());
+  // And fully inside is fine.
+  EXPECT_TRUE(as.Read(0x7ff8, 8).ok());
+}
+
+TEST(AddressSpace, CopyOnWriteSharing) {
+  AddressSpace a;
+  ASSERT_TRUE(a.Map(0x4000, 0x4000, kPermRead | kPermWrite).ok());
+  ASSERT_TRUE(a.Write(0x4000, 42, 8).ok());
+  AddressSpace b;
+  a.CloneInto(&b);
+  EXPECT_EQ(*b.Read(0x4000, 8), 42u);
+  // Writing in the child must not affect the parent.
+  ASSERT_TRUE(b.Write(0x4000, 99, 8).ok());
+  EXPECT_EQ(*a.Read(0x4000, 8), 42u);
+  EXPECT_EQ(*b.Read(0x4000, 8), 99u);
+}
+
+TEST(AddressSpace, ShareRangePlacesAliasedPages) {
+  AddressSpace a;
+  ASSERT_TRUE(a.Map(0x4000, 0x4000, kPermRead | kPermWrite).ok());
+  ASSERT_TRUE(a.Write(0x4000, 7, 8).ok());
+  ASSERT_TRUE(a.ShareRange(0x4000, 0x40000, 0x4000).ok());
+  EXPECT_EQ(*a.Read(0x40000, 8), 7u);
+  // COW: writing one copy leaves the other intact.
+  ASSERT_TRUE(a.Write(0x40000, 8, 8).ok());
+  EXPECT_EQ(*a.Read(0x4000, 8), 7u);
+}
+
+TEST(Machine, ArithmeticLoop) {
+  // Sum 1..10 into x0.
+  TestVm vm(R"(
+    mov x0, #0
+    mov x1, #10
+  loop:
+    add x0, x0, x1
+    subs x1, x1, #1
+    b.ne loop
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(0), 55u);
+}
+
+TEST(Machine, GuardForcesTopBits) {
+  // The core LFI property: add x18, x21, wN, uxtw replaces the top 32 bits
+  // of an arbitrary value with the sandbox base.
+  TestVm vm(R"(
+    movz x21, #0xdead, lsl #32
+    movz x1, #0x4141, lsl #48
+    movk x1, #0x1234
+    add x18, x21, w1, uxtw
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(18), 0xdead00001234u);
+}
+
+TEST(Machine, GuardedAddressingModeSemantics) {
+  // ldr rt, [x21, wN, uxtw] ignores the index's top 32 bits.
+  TestVm vm(R"(
+    movz x21, #0x20, lsl #16   // x21 = kData
+    movz x2, #0x77
+    str x2, [x21, #64]
+    movz x3, #0xffff, lsl #48  // garbage top bits
+    movk x3, #64               // low 32 = 64
+    ldr x0, [x21, w3, uxtw]
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(0), 0x77u);
+}
+
+TEST(Machine, FlagsAndConditionalSelect) {
+  TestVm vm(R"(
+    mov x1, #5
+    mov x2, #9
+    cmp x1, x2
+    csel x0, x1, x2, lt    // min -> 5
+    cset w3, lt
+    csinc x4, xzr, xzr, eq // not equal -> 0 + 1
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(0), 5u);
+  EXPECT_EQ(vm.X(3), 1u);
+  EXPECT_EQ(vm.X(4), 1u);
+}
+
+TEST(Machine, BitfieldAliases) {
+  TestVm vm(R"(
+    movz x1, #0xff00
+    lsl x2, x1, #8
+    lsr x3, x1, #8
+    movn x4, #0            // x4 = all ones
+    asr x5, x4, #63
+    sxtw x6, w4
+    uxth w7, w1
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(2), 0xff0000u);
+  EXPECT_EQ(vm.X(3), 0xffu);
+  EXPECT_EQ(vm.X(5), ~uint64_t{0});
+  EXPECT_EQ(vm.X(6), ~uint64_t{0});
+  EXPECT_EQ(vm.X(7), 0xff00u);
+}
+
+TEST(Machine, MulDivRemainderIdiom) {
+  TestVm vm(R"(
+    mov x1, #37
+    mov x2, #5
+    udiv x3, x1, x2
+    msub x4, x3, x2, x1    // remainder = 37 - 7*5
+    sdiv x5, xzr, xzr      // divide by zero -> 0
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(3), 7u);
+  EXPECT_EQ(vm.X(4), 2u);
+  EXPECT_EQ(vm.X(5), 0u);
+}
+
+TEST(Machine, LoadStoreVariantsAndSignExtension) {
+  TestVm vm(R"(
+    movz x10, #0x20, lsl #16   // kData
+    movn w1, #0                // 0xffffffff
+    str w1, [x10]
+    ldrsb x2, [x10]
+    ldrh w3, [x10]
+    ldrsw x4, [x10]
+    strb w1, [x10, #100]
+    ldrb w5, [x10, #100]
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(2), ~uint64_t{0});
+  EXPECT_EQ(vm.X(3), 0xffffu);
+  EXPECT_EQ(vm.X(4), ~uint64_t{0});
+  EXPECT_EQ(vm.X(5), 0xffu);
+}
+
+TEST(Machine, PairAndPrePostIndex) {
+  TestVm vm(R"(
+    movz x10, #0x21, lsl #16
+    mov x1, #111
+    mov x2, #222
+    stp x1, x2, [x10, #-16]!
+    ldp x3, x4, [x10], #16
+    str x1, [x10, #8]!
+    ldr x5, [x10], #-8
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(3), 111u);
+  EXPECT_EQ(vm.X(4), 222u);
+  EXPECT_EQ(vm.X(5), 111u);
+  EXPECT_EQ(vm.X(10), 0x210000u);
+}
+
+TEST(Machine, ExclusivePairSucceedsAndFails) {
+  TestVm vm(R"(
+    movz x10, #0x20, lsl #16
+    mov x1, #5
+    str x1, [x10]
+    ldxr x2, [x10]
+    add x2, x2, #1
+    stxr w3, x2, [x10]      // should succeed: w3 = 0
+    stxr w4, x2, [x10]      // monitor cleared: w4 = 1
+    ldr x5, [x10]
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(3), 0u);
+  EXPECT_EQ(vm.X(4), 1u);
+  EXPECT_EQ(vm.X(5), 6u);
+}
+
+TEST(Machine, FloatingPoint) {
+  TestVm vm(R"(
+    mov x1, #3
+    mov x2, #4
+    scvtf d0, x1
+    scvtf d1, x2
+    fmul d2, d0, d1
+    fadd d2, d2, d1        // 16
+    fsqrt d3, d2           // 4
+    fcvtzs x0, d3
+    fcmp d3, d1
+    cset w4, eq
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(0), 4u);
+  EXPECT_EQ(vm.X(4), 1u);
+}
+
+TEST(Machine, VectorAdd) {
+  TestVm vm(R"(
+    movz x10, #0x20, lsl #16
+    mov x1, #1
+    mov x2, #2
+    str x1, [x10]
+    str x2, [x10, #8]
+    str x2, [x10, #16]
+    str x1, [x10, #24]
+    ldr q0, [x10]
+    ldr q1, [x10, #16]
+    add v2.2d, v0.2d, v1.2d
+    str q2, [x10, #32]
+    ldr x3, [x10, #32]
+    ldr x4, [x10, #40]
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(3), 3u);
+  EXPECT_EQ(vm.X(4), 3u);
+}
+
+TEST(Machine, JumpTableViaBr) {
+  TestVm vm(R"(
+    adr x1, case1
+    br x1
+    mov x0, #1
+    brk #0
+  case1:
+    mov x0, #42
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(0), 42u);
+}
+
+TEST(Machine, CallAndReturn) {
+  TestVm vm(R"(
+    bl func
+    mov x1, #7
+    brk #0
+  func:
+    mov x0, #9
+    ret
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(0), 9u);
+  EXPECT_EQ(vm.X(1), 7u);
+}
+
+TEST(Machine, StoreToUnmappedFaults) {
+  TestVm vm(R"(
+    movz x1, #0x7f, lsl #32
+    str x1, [x1]
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kFault);
+  EXPECT_EQ(vm.machine.fault().kind, CpuFault::Kind::kMemory);
+  EXPECT_EQ(vm.machine.fault().mem.kind, MemFault::Kind::kUnmapped);
+}
+
+TEST(Machine, StoreToReadOnlyCodeFaults) {
+  TestVm vm(R"(
+    movz x1, #0x10, lsl #16   // kCode
+    str x1, [x1]
+    brk #0
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kFault);
+  EXPECT_EQ(vm.machine.fault().mem.kind, MemFault::Kind::kPermission);
+}
+
+TEST(Machine, ExecuteDataFaults) {
+  TestVm vm(R"(
+    movz x1, #0x20, lsl #16   // kData: mapped RW, not X
+    br x1
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kFault);
+  EXPECT_EQ(vm.machine.fault().kind, CpuFault::Kind::kFetch);
+}
+
+TEST(Machine, MisalignedBranchFaults) {
+  TestVm vm(R"(
+    movz x1, #0x10, lsl #16
+    add x1, x1, #2
+    br x1
+  )");
+  EXPECT_EQ(vm.Run(), StopReason::kFault);
+  EXPECT_EQ(vm.machine.fault().kind, CpuFault::Kind::kPcAlign);
+}
+
+TEST(Machine, SvcIsIllegal) {
+  TestVm vm("svc #0\n");
+  EXPECT_EQ(vm.Run(), StopReason::kFault);
+  EXPECT_EQ(vm.machine.fault().kind, CpuFault::Kind::kIllegal);
+}
+
+TEST(Machine, RuntimeRegionStopsExecution) {
+  TestVm vm(R"(
+    movz x1, #0x7000, lsl #16
+    br x1
+  )");
+  vm.machine.SetRuntimeRegion(0x70000000, 0x10000);
+  EXPECT_EQ(vm.Run(), StopReason::kRuntimeEntry);
+  EXPECT_EQ(vm.machine.state().pc, 0x70000000u);
+}
+
+// --- Timing model properties ---
+
+// Runs `body` inside a counted loop and returns total cycles.
+uint64_t CyclesFor(const std::string& body, int iters = 1000) {
+  TestVm vm("  movz x10, #0x20, lsl #16\n  mov x9, #" +
+            std::to_string(iters) +
+            "\nloop:\n" + body +
+            "  subs x9, x9, #1\n  b.ne loop\n  brk #0\n");
+  EXPECT_EQ(vm.Run(10000000), StopReason::kBrk);
+  return vm.machine.timing().Cycles();
+}
+
+TEST(Timing, GuardLatencyOrdering) {
+  // A dependent chain through the 2-cycle extended-add guard must cost
+  // more than the same chain through plain adds (Section 4's motivation).
+  const uint64_t plain = CyclesFor(R"(
+    add x1, x1, x2
+    add x1, x1, x2
+    add x1, x1, x2
+  )");
+  const uint64_t guarded = CyclesFor(R"(
+    add x1, x1, w2, uxtw
+    add x1, x1, w2, uxtw
+    add x1, x1, w2, uxtw
+  )");
+  EXPECT_GT(guarded, plain + plain / 2);
+}
+
+TEST(Timing, EmbeddedGuardIsFree) {
+  // ldr via [base, wN, uxtw] costs the same as ldr via [xN] - the
+  // zero-instruction guard of Section 4.1. Both loops perform the same
+  // dependent-load chain; the second simply uses the guarded addressing
+  // mode with a zero index register (x11 stays 0).
+  const uint64_t plain = CyclesFor("  ldr x1, [x10]\n  ldr x1, [x10]\n");
+  const uint64_t embedded =
+      CyclesFor("  ldr x1, [x10, w11, uxtw]\n  ldr x1, [x10, w11, uxtw]\n");
+  EXPECT_EQ(embedded, plain);
+}
+
+TEST(Timing, MispredictionCostsCycles) {
+  // A data-dependent unpredictable branch pattern should cost more than a
+  // perfectly predictable one.
+  const uint64_t predictable = CyclesFor(R"(
+    add x1, x1, #1
+    tbz x9, #20, skip1
+    add x2, x2, #1
+  skip1:
+  )");
+  const uint64_t alternating = CyclesFor(R"(
+    add x1, x1, #1
+    tbz x9, #0, skip2
+    add x2, x2, #1
+  skip2:
+  )");
+  // Alternating taken/not-taken defeats a 2-bit counter about half the
+  // time; require a clear gap.
+  EXPECT_GT(alternating, predictable + 1000);
+}
+
+// A loop striding by 64 bytes over a large region (cold) vs hammering one
+// line (hot). The data area is only 256KiB so wrap with a register mask.
+uint64_t StrideCycles(bool nested) {
+  TestVm vm(R"(
+    movz x10, #0x20, lsl #16
+    movz x9, #20000
+    mov x11, #0
+    movz x12, #0xffc0         // mask: 256KiB, 64-byte aligned
+    movk x12, #0x3, lsl #16
+  loop:
+    add x11, x11, #4032       // a prime-ish stride of cache lines
+    and x11, x11, x12
+    add x13, x10, x11
+    ldr x1, [x13]
+    subs x9, x9, #1
+    b.ne loop
+    brk #0
+  )");
+  vm.machine.timing().set_nested_pagetables(nested);
+  EXPECT_EQ(vm.Run(10000000), StopReason::kBrk);
+  return vm.machine.timing().Cycles();
+}
+
+TEST(Timing, CacheMissesCost) {
+  const uint64_t hot = CyclesFor("  ldr x1, [x10]\n", 20000);
+  const uint64_t cold = StrideCycles(false);
+  // The cold loop has more instructions so compare very loosely: striding
+  // beyond L1 must be at least 2x a hot line.
+  EXPECT_GT(cold, hot * 2);
+}
+
+TEST(Timing, NestedPagetablesIncreaseWalkCost) {
+  // Same strided loop with nested page tables must not be cheaper, and a
+  // TLB-thrashing pattern should actually get slower.
+  EXPECT_GE(StrideCycles(true), StrideCycles(false));
+}
+
+}  // namespace
+}  // namespace lfi::emu

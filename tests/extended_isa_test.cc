@@ -1,0 +1,286 @@
+// Tests for the extended instruction subset: ccmp/ccmn, extr/ror,
+// umulh/smulh - encode/decode round trips, parsing (including aliases),
+// execution semantics, and verifier acceptance.
+
+#include <gtest/gtest.h>
+
+#include "arch/decode.h"
+#include "arch/encode.h"
+#include "asmtext/assemble.h"
+#include "asmtext/parser.h"
+#include "asmtext/printer.h"
+#include "emu/machine.h"
+#include "verifier/verifier.h"
+
+namespace lfi {
+namespace {
+
+using arch::Cond;
+using arch::Inst;
+using arch::Mn;
+using arch::Reg;
+using arch::Width;
+
+void RoundTrip(const Inst& in) {
+  auto word = arch::Encode(in);
+  ASSERT_TRUE(word.ok()) << word.error();
+  auto back = arch::Decode(*word);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(*back, in) << std::hex << *word;
+}
+
+TEST(ExtendedIsa, CcmpRoundTripSweep) {
+  for (Mn mn : {Mn::kCcmp, Mn::kCcmn}) {
+    for (Cond c : {Cond::kEq, Cond::kLt, Cond::kHi}) {
+      for (uint8_t nzcv : {0, 4, 15}) {
+        Inst i;
+        i.mn = mn;
+        i.width = Width::kX;
+        i.rn = Reg::X(3);
+        i.rm = Reg::X(4);
+        i.cond = c;
+        i.nzcv = nzcv;
+        RoundTrip(i);
+      }
+    }
+  }
+  for (Mn mn : {Mn::kCcmpImm, Mn::kCcmnImm}) {
+    for (int64_t imm : {0L, 17L, 31L}) {
+      Inst i;
+      i.mn = mn;
+      i.width = Width::kW;
+      i.rn = Reg::X(7);
+      i.imm = imm;
+      i.cond = Cond::kNe;
+      i.nzcv = 2;
+      RoundTrip(i);
+    }
+  }
+}
+
+TEST(ExtendedIsa, ExtrAndMulhRoundTrip) {
+  for (uint8_t lsb : {0, 1, 31, 63}) {
+    Inst i;
+    i.mn = Mn::kExtr;
+    i.width = Width::kX;
+    i.rd = Reg::X(0);
+    i.rn = Reg::X(1);
+    i.rm = Reg::X(2);
+    i.imms = lsb;
+    RoundTrip(i);
+  }
+  for (Mn mn : {Mn::kUmulh, Mn::kSmulh}) {
+    Inst i;
+    i.mn = mn;
+    i.width = Width::kX;
+    i.rd = Reg::X(5);
+    i.rn = Reg::X(6);
+    i.rm = Reg::X(7);
+    RoundTrip(i);
+  }
+}
+
+TEST(ExtendedIsa, ParserAndPrinterRoundTrip) {
+  for (const char* line :
+       {"ccmp x1, x2, #4, eq", "ccmp w1, #17, #0, lt",
+        "ccmn x3, x4, #15, hi", "extr x0, x1, x2, #13",
+        "umulh x0, x1, x2", "smulh x3, x4, x5"}) {
+    auto s1 = asmtext::ParseInst(line);
+    ASSERT_TRUE(s1.ok()) << line << ": " << s1.error();
+    auto s2 = asmtext::ParseInst(asmtext::PrintStmt(*s1));
+    ASSERT_TRUE(s2.ok()) << asmtext::PrintStmt(*s1);
+    EXPECT_EQ(s1->inst, s2->inst) << line;
+  }
+  // ror alias maps onto extr with rn == rm.
+  auto ror = asmtext::ParseInst("ror x0, x1, #7");
+  ASSERT_TRUE(ror.ok());
+  EXPECT_EQ(ror->inst.mn, Mn::kExtr);
+  EXPECT_EQ(ror->inst.rn, ror->inst.rm);
+  EXPECT_EQ(ror->inst.imms, 7);
+}
+
+// Executes a snippet ending in brk and returns x0.
+uint64_t Exec(const std::string& src) {
+  emu::AddressSpace space;
+  emu::Machine machine(&space, arch::AppleM1LikeParams());
+  auto file = asmtext::Parse(src);
+  EXPECT_TRUE(file.ok()) << file.error();
+  asmtext::LayoutSpec spec;
+  spec.text_offset = 0x100000;
+  auto img = asmtext::Assemble(*file, spec);
+  EXPECT_TRUE(img.ok()) << img.error();
+  EXPECT_TRUE(
+      space.Map(0x100000, 0x40000, emu::kPermRead | emu::kPermExec).ok());
+  EXPECT_TRUE(
+      space.HostWrite(img->text_addr, {img->text.data(), img->text.size()})
+          .ok());
+  machine.state().pc = img->entry;
+  EXPECT_EQ(machine.Run(10000), emu::StopReason::kBrk)
+      << machine.fault().detail;
+  return machine.state().x[0];
+}
+
+TEST(ExtendedIsa, CcmpSemantics) {
+  // Range check idiom: 3 <= x < 10 via cmp + ccmp.
+  EXPECT_EQ(Exec(R"(
+    mov x1, #5
+    cmp x1, #3
+    ccmp x1, #10, #2, hs    // if x1 >= 3, compare with 10; else C=1
+    cset w0, lo             // 1 if in range
+    brk #0
+  )"), 1u);
+  EXPECT_EQ(Exec(R"(
+    mov x1, #2
+    cmp x1, #3
+    ccmp x1, #10, #2, hs    // condition fails: C=1 -> lo false
+    cset w0, lo
+    brk #0
+  )"), 0u);
+  // ccmn compares against the negation.
+  EXPECT_EQ(Exec(R"(
+    movn x1, #4             // x1 = -5
+    cmp xzr, xzr
+    ccmn x1, #5, #0, eq     // -5 + 5 == 0 -> Z set
+    cset w0, eq
+    brk #0
+  )"), 1u);
+}
+
+TEST(ExtendedIsa, ExtrAndRorSemantics) {
+  EXPECT_EQ(Exec(R"(
+    mov x1, #1
+    ror x0, x1, #1          // rotate 1 right by 1 = MSB
+    brk #0
+  )"), uint64_t{1} << 63);
+  EXPECT_EQ(Exec(R"(
+    movz x1, #0xAAAA        // hi source
+    movz x2, #0x5555        // lo source
+    extr x0, x1, x2, #8
+    brk #0
+  )"), (uint64_t{0xAAAA} << 56) | (0x5555 >> 8));
+}
+
+TEST(ExtendedIsa, MulHighSemantics) {
+  // umulh(2^32, 2^32) = 1.
+  EXPECT_EQ(Exec(R"(
+    movz x1, #1, lsl #32
+    umulh x0, x1, x1
+    brk #0
+  )"), 1u);
+  // smulh(-1, 1) = -1 (high half of -1).
+  EXPECT_EQ(Exec(R"(
+    movn x1, #0
+    mov x2, #1
+    smulh x0, x1, x2
+    brk #0
+  )"), ~uint64_t{0});
+}
+
+TEST(ExtendedIsa, VerifierAcceptsAndEnforcesInvariants) {
+  auto check = [](const std::string& src) {
+    auto f = asmtext::Parse(src);
+    EXPECT_TRUE(f.ok());
+    asmtext::LayoutSpec spec;
+    auto img = asmtext::Assemble(*f, spec);
+    EXPECT_TRUE(img.ok());
+    return verifier::Verify({img->text.data(), img->text.size()}).ok;
+  };
+  EXPECT_TRUE(check("ccmp x1, x2, #4, eq\nret\n"));
+  EXPECT_TRUE(check("umulh x0, x1, x2\nret\n"));
+  // Writes to reserved registers through the new instructions are caught.
+  EXPECT_FALSE(check("extr x18, x1, x2, #3\nret\n"));
+  EXPECT_FALSE(check("umulh x21, x1, x2\nret\n"));
+  EXPECT_FALSE(check("smulh x22, x1, x2\nret\n"));   // 64-bit write to x22
+  EXPECT_FALSE(check("ror x24, x1, #3\nret\n"));
+}
+
+TEST(LogicalImm, ExhaustiveEncodingRoundTrip) {
+  // Sweep every (n, immr, imms) triple; every one that decodes must
+  // re-encode to the identical triple (canonical encodings), and the
+  // decoded masks must be unique per triple.
+  int valid = 0;
+  for (int n = 0; n <= 1; ++n) {
+    for (int immr = 0; immr < 64; ++immr) {
+      for (int imms = 0; imms < 64; ++imms) {
+        auto mask = arch::DecodeBitmaskImm(
+            static_cast<uint8_t>(n), static_cast<uint8_t>(immr),
+            static_cast<uint8_t>(imms), Width::kX);
+        if (!mask.ok()) continue;
+        ++valid;
+        auto enc = arch::EncodeBitmaskImm(*mask, Width::kX);
+        ASSERT_TRUE(enc.ok()) << std::hex << *mask << ": " << enc.error();
+        EXPECT_EQ(enc->n, n) << std::hex << *mask;
+        EXPECT_EQ(enc->immr, immr) << std::hex << *mask;
+        EXPECT_EQ(enc->imms, imms) << std::hex << *mask;
+      }
+    }
+  }
+  // The architecture defines 5334 valid 64-bit logical immediates... minus
+  // the non-canonical immr forms we reject. At minimum the canonical set:
+  EXPECT_GE(valid, 4000);
+}
+
+TEST(LogicalImm, CommonMasksEncode) {
+  for (uint64_t v : {uint64_t{0xff}, uint64_t{0xffff}, uint64_t{0xffffffff},
+                     uint64_t{0x7}, uint64_t{0xfffffffffffffffe},
+                     uint64_t{0x5555555555555555},
+                     uint64_t{0xff00ff00ff00ff00}, uint64_t{1} << 63}) {
+    EXPECT_TRUE(arch::EncodeBitmaskImm(v, Width::kX).ok()) << std::hex << v;
+  }
+  // Not encodable: 0, all-ones, and non-run patterns.
+  EXPECT_FALSE(arch::EncodeBitmaskImm(0, Width::kX).ok());
+  EXPECT_FALSE(arch::EncodeBitmaskImm(~uint64_t{0}, Width::kX).ok());
+  EXPECT_FALSE(arch::EncodeBitmaskImm(0x5, Width::kX).ok());
+  EXPECT_FALSE(arch::EncodeBitmaskImm(0xff1, Width::kX).ok());
+}
+
+TEST(LogicalImm, ParseExecuteAndVerify) {
+  EXPECT_EQ(Exec(R"(
+    movn x1, #0
+    and x0, x1, #0xff
+    brk #0
+  )"), 0xffu);
+  EXPECT_EQ(Exec(R"(
+    mov x1, #0
+    orr x0, x1, #0xff00
+    brk #0
+  )"), 0xff00u);
+  EXPECT_EQ(Exec(R"(
+    movn x1, #0
+    eor x0, x1, #0xffffffff
+    brk #0
+  )"), 0xffffffff00000000u);
+  EXPECT_EQ(Exec(R"(
+    mov w1, #7
+    ands w0, w1, #2
+    cset w0, ne
+    brk #0
+  )"), 1u);
+  // 32-bit form masks to 32 bits.
+  EXPECT_EQ(Exec(R"(
+    movn x1, #0
+    and w0, w1, #0xf0
+    brk #0
+  )"), 0xf0u);
+}
+
+TEST(LogicalImm, VerifierInvariantsStillHold) {
+  auto check = [](const std::string& src) {
+    auto f = asmtext::Parse(src);
+    EXPECT_TRUE(f.ok()) << f.error();
+    asmtext::LayoutSpec spec;
+    auto img = asmtext::Assemble(*f, spec);
+    EXPECT_TRUE(img.ok()) << img.error();
+    return verifier::Verify({img->text.data(), img->text.size()}).ok;
+  };
+  EXPECT_TRUE(check("and x0, x1, #0xff\nret\n"));
+  EXPECT_TRUE(check("and w22, w1, #0xff\nret\n"));   // w-write to x22: fine
+  EXPECT_FALSE(check("and x22, x1, #0xff\nret\n"));  // 64-bit write: no
+  EXPECT_FALSE(check("orr x18, x1, #0xff\nret\n"));
+  EXPECT_FALSE(check("and x21, x21, #0xff\nret\n"));
+  // and can target sp in the ISA; for LFI that is an unguarded sp write.
+  EXPECT_FALSE(check("and sp, x1, #0xfffffffffffffff0\nret\n"));
+}
+
+}  // namespace
+}  // namespace lfi

@@ -1,0 +1,41 @@
+// Shared test helper: drives the full LFI pipeline
+// (assembly text -> rewrite -> assemble -> ELF bytes), the same path the
+// lfi-clang wrapper takes in the paper's artifact.
+#ifndef LFI_TESTS_PIPELINE_UTIL_H_
+#define LFI_TESTS_PIPELINE_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "asmtext/assemble.h"
+#include "asmtext/parser.h"
+#include "elf/elf.h"
+#include "rewriter/rewriter.h"
+#include "runtime/layout.h"
+#include "support/result.h"
+
+namespace lfi::test {
+
+// Builds a sandbox ELF from assembly source. The rewriter runs unless
+// `rewrite` is false (for hand-guarded or deliberately hostile inputs).
+inline Result<std::vector<uint8_t>> BuildElf(
+    const std::string& src, bool rewrite = true,
+    rewriter::RewriteOptions opts = {}) {
+  auto file = asmtext::Parse(src);
+  if (!file) return Error{file.error()};
+  asmtext::AsmFile prog = *std::move(file);
+  if (rewrite) {
+    auto rewritten = rewriter::Rewrite(prog, opts);
+    if (!rewritten) return Error{rewritten.error()};
+    prog = *std::move(rewritten);
+  }
+  asmtext::LayoutSpec spec;
+  spec.text_offset = runtime::kProgramStart;
+  auto img = asmtext::Assemble(prog, spec);
+  if (!img) return Error{img.error()};
+  return elf::Write(elf::FromAssembled(*img));
+}
+
+}  // namespace lfi::test
+
+#endif  // LFI_TESTS_PIPELINE_UTIL_H_

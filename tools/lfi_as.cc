@@ -1,0 +1,45 @@
+// lfi-as: assembles (rewritten) LFI assembly into a sandbox ELF.
+//
+// Usage: lfi-as in.s out.elf
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "asmtext/assemble.h"
+#include "asmtext/parser.h"
+#include "elf/elf.h"
+#include "runtime/layout.h"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: lfi-as in.s out.elf\n");
+    return 1;
+  }
+  std::ifstream f(argv[1]);
+  if (!f) {
+    std::fprintf(stderr, "lfi-as: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  auto file = lfi::asmtext::Parse(ss.str());
+  if (!file) {
+    std::fprintf(stderr, "lfi-as: %s\n", file.error().c_str());
+    return 1;
+  }
+  lfi::asmtext::LayoutSpec spec;
+  spec.text_offset = lfi::runtime::kProgramStart;
+  auto img = lfi::asmtext::Assemble(*file, spec);
+  if (!img) {
+    std::fprintf(stderr, "lfi-as: %s\n", img.error().c_str());
+    return 1;
+  }
+  const auto elf_bytes = lfi::elf::Write(lfi::elf::FromAssembled(*img));
+  std::ofstream out(argv[2], std::ios::binary);
+  out.write(reinterpret_cast<const char*>(elf_bytes.data()),
+            static_cast<std::streamsize>(elf_bytes.size()));
+  std::fprintf(stderr, "lfi-as: wrote %zu bytes (%zu text)\n",
+               elf_bytes.size(), img->text.size());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// lfi-run: loads one or more LFI ELF executables into sandboxes and runs
+// them to completion under the runtime (Section 5.3). Prints each
+// sandbox's captured output and exit status.
+//
+// Usage: lfi-run [--no-verify] [--core=m1|t2a] prog.elf [prog2.elf ...]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+int main(int argc, char** argv) {
+  lfi::runtime::RuntimeConfig cfg;
+  cfg.core = lfi::arch::AppleM1LikeParams();
+  std::vector<std::string> paths;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg == "--no-verify") {
+      cfg.enforce_verification = false;
+    } else if (arg == "--core=t2a") {
+      cfg.core = lfi::arch::GcpT2aLikeParams();
+    } else if (arg == "--core=m1") {
+      cfg.core = lfi::arch::AppleM1LikeParams();
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: lfi-run [--no-verify] [--core=m1|t2a] prog.elf "
+                   "[...]\n");
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "lfi-run: no executables given\n");
+    return 2;
+  }
+
+  lfi::runtime::Runtime rt(cfg);
+  std::vector<int> pids;
+  for (const auto& path : paths) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "lfi-run: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                               std::istreambuf_iterator<char>());
+    auto pid = rt.Load({bytes.data(), bytes.size()});
+    if (!pid) {
+      std::fprintf(stderr, "lfi-run: %s: %s\n", path.c_str(),
+                   pid.error().c_str());
+      return 2;
+    }
+    pids.push_back(*pid);
+  }
+
+  const int leftover = rt.RunUntilIdle();
+  int rc = 0;
+  for (size_t k = 0; k < pids.size(); ++k) {
+    const auto* p = rt.proc(pids[k]);
+    if (!p->out.empty()) std::fwrite(p->out.data(), 1, p->out.size(), stdout);
+    if (p->exit_kind == lfi::runtime::ExitKind::kKilled) {
+      std::fprintf(stderr, "lfi-run: %s: killed (%s)\n", paths[k].c_str(),
+                   p->fault_detail.c_str());
+      rc = 1;
+    } else if (p->exit_kind == lfi::runtime::ExitKind::kExited) {
+      if (p->exit_status != 0) rc = p->exit_status;
+    }
+  }
+  if (leftover != 0) {
+    std::fprintf(stderr, "lfi-run: %d process(es) deadlocked\n", leftover);
+    rc = 1;
+  }
+  std::fprintf(stderr, "lfi-run: %.1f simulated us on %s\n",
+               rt.machine().timing().Nanoseconds() / 1000.0,
+               cfg.core.name.c_str());
+  return rc;
+}
