@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coremark.dir/bench_coremark.cc.o"
+  "CMakeFiles/bench_coremark.dir/bench_coremark.cc.o.d"
+  "bench_coremark"
+  "bench_coremark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coremark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_wasm.dir/bench_fig4_wasm.cc.o"
+  "CMakeFiles/bench_fig4_wasm.dir/bench_fig4_wasm.cc.o.d"
+  "bench_fig4_wasm"
+  "bench_fig4_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

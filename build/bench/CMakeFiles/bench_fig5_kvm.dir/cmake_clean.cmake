@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_kvm.dir/bench_fig5_kvm.cc.o"
+  "CMakeFiles/bench_fig5_kvm.dir/bench_fig5_kvm.cc.o.d"
+  "bench_fig5_kvm"
+  "bench_fig5_kvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_kvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

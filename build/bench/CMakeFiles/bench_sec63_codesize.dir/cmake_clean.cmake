@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec63_codesize.dir/bench_sec63_codesize.cc.o"
+  "CMakeFiles/bench_sec63_codesize.dir/bench_sec63_codesize.cc.o.d"
+  "bench_sec63_codesize"
+  "bench_sec63_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

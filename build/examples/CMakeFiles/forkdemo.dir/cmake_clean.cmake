@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forkdemo.dir/forkdemo.cpp.o"
+  "CMakeFiles/forkdemo.dir/forkdemo.cpp.o.d"
+  "forkdemo"
+  "forkdemo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forkdemo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cost_model.cc" "src/arch/CMakeFiles/lfi_arch.dir/cost_model.cc.o" "gcc" "src/arch/CMakeFiles/lfi_arch.dir/cost_model.cc.o.d"
+  "/root/repo/src/arch/decode.cc" "src/arch/CMakeFiles/lfi_arch.dir/decode.cc.o" "gcc" "src/arch/CMakeFiles/lfi_arch.dir/decode.cc.o.d"
+  "/root/repo/src/arch/encode.cc" "src/arch/CMakeFiles/lfi_arch.dir/encode.cc.o" "gcc" "src/arch/CMakeFiles/lfi_arch.dir/encode.cc.o.d"
+  "/root/repo/src/arch/inst.cc" "src/arch/CMakeFiles/lfi_arch.dir/inst.cc.o" "gcc" "src/arch/CMakeFiles/lfi_arch.dir/inst.cc.o.d"
+  "/root/repo/src/arch/reg.cc" "src/arch/CMakeFiles/lfi_arch.dir/reg.cc.o" "gcc" "src/arch/CMakeFiles/lfi_arch.dir/reg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

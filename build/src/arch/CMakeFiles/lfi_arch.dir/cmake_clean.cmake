@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi_arch.dir/cost_model.cc.o"
+  "CMakeFiles/lfi_arch.dir/cost_model.cc.o.d"
+  "CMakeFiles/lfi_arch.dir/decode.cc.o"
+  "CMakeFiles/lfi_arch.dir/decode.cc.o.d"
+  "CMakeFiles/lfi_arch.dir/encode.cc.o"
+  "CMakeFiles/lfi_arch.dir/encode.cc.o.d"
+  "CMakeFiles/lfi_arch.dir/inst.cc.o"
+  "CMakeFiles/lfi_arch.dir/inst.cc.o.d"
+  "CMakeFiles/lfi_arch.dir/reg.cc.o"
+  "CMakeFiles/lfi_arch.dir/reg.cc.o.d"
+  "liblfi_arch.a"
+  "liblfi_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmtext/assemble.cc" "src/asmtext/CMakeFiles/lfi_asmtext.dir/assemble.cc.o" "gcc" "src/asmtext/CMakeFiles/lfi_asmtext.dir/assemble.cc.o.d"
+  "/root/repo/src/asmtext/parser.cc" "src/asmtext/CMakeFiles/lfi_asmtext.dir/parser.cc.o" "gcc" "src/asmtext/CMakeFiles/lfi_asmtext.dir/parser.cc.o.d"
+  "/root/repo/src/asmtext/printer.cc" "src/asmtext/CMakeFiles/lfi_asmtext.dir/printer.cc.o" "gcc" "src/asmtext/CMakeFiles/lfi_asmtext.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/lfi_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi_asmtext.dir/assemble.cc.o"
+  "CMakeFiles/lfi_asmtext.dir/assemble.cc.o.d"
+  "CMakeFiles/lfi_asmtext.dir/parser.cc.o"
+  "CMakeFiles/lfi_asmtext.dir/parser.cc.o.d"
+  "CMakeFiles/lfi_asmtext.dir/printer.cc.o"
+  "CMakeFiles/lfi_asmtext.dir/printer.cc.o.d"
+  "liblfi_asmtext.a"
+  "liblfi_asmtext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi_asmtext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

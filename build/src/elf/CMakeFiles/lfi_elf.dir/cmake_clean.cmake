@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi_elf.dir/elf.cc.o"
+  "CMakeFiles/lfi_elf.dir/elf.cc.o.d"
+  "liblfi_elf.a"
+  "liblfi_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

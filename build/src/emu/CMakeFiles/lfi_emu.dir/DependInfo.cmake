@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/address_space.cc" "src/emu/CMakeFiles/lfi_emu.dir/address_space.cc.o" "gcc" "src/emu/CMakeFiles/lfi_emu.dir/address_space.cc.o.d"
+  "/root/repo/src/emu/machine.cc" "src/emu/CMakeFiles/lfi_emu.dir/machine.cc.o" "gcc" "src/emu/CMakeFiles/lfi_emu.dir/machine.cc.o.d"
+  "/root/repo/src/emu/timing.cc" "src/emu/CMakeFiles/lfi_emu.dir/timing.cc.o" "gcc" "src/emu/CMakeFiles/lfi_emu.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/lfi_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi_emu.dir/address_space.cc.o"
+  "CMakeFiles/lfi_emu.dir/address_space.cc.o.d"
+  "CMakeFiles/lfi_emu.dir/machine.cc.o"
+  "CMakeFiles/lfi_emu.dir/machine.cc.o.d"
+  "CMakeFiles/lfi_emu.dir/timing.cc.o"
+  "CMakeFiles/lfi_emu.dir/timing.cc.o.d"
+  "liblfi_emu.a"
+  "liblfi_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

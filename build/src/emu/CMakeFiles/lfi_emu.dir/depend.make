@@ -1,0 +1,2 @@
+# Empty dependencies file for lfi_emu.
+# This may be replaced when dependencies are built.

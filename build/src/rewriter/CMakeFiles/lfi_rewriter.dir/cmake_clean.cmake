@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi_rewriter.dir/rewriter.cc.o"
+  "CMakeFiles/lfi_rewriter.dir/rewriter.cc.o.d"
+  "liblfi_rewriter.a"
+  "liblfi_rewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi_runtime.dir/runtime.cc.o"
+  "CMakeFiles/lfi_runtime.dir/runtime.cc.o.d"
+  "CMakeFiles/lfi_runtime.dir/vfs.cc.o"
+  "CMakeFiles/lfi_runtime.dir/vfs.cc.o.d"
+  "liblfi_runtime.a"
+  "liblfi_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

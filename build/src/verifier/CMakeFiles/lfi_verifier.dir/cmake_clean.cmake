@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi_verifier.dir/verifier.cc.o"
+  "CMakeFiles/lfi_verifier.dir/verifier.cc.o.d"
+  "liblfi_verifier.a"
+  "liblfi_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi_wasm.dir/wasm.cc.o"
+  "CMakeFiles/lfi_wasm.dir/wasm.cc.o.d"
+  "liblfi_wasm.a"
+  "liblfi_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

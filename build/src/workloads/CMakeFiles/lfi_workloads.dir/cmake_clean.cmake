@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi_workloads.dir/workloads.cc.o"
+  "CMakeFiles/lfi_workloads.dir/workloads.cc.o.d"
+  "liblfi_workloads.a"
+  "liblfi_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblfi_workloads.a"
+)

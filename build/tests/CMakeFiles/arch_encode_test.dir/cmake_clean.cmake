@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_encode_test.dir/arch_encode_test.cc.o"
+  "CMakeFiles/arch_encode_test.dir/arch_encode_test.cc.o.d"
+  "arch_encode_test"
+  "arch_encode_test.pdb"
+  "arch_encode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_encode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

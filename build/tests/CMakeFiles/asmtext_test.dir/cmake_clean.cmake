@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmtext_test.dir/asmtext_test.cc.o"
+  "CMakeFiles/asmtext_test.dir/asmtext_test.cc.o.d"
+  "asmtext_test"
+  "asmtext_test.pdb"
+  "asmtext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmtext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

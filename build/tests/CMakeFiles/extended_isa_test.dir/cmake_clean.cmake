@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_isa_test.dir/extended_isa_test.cc.o"
+  "CMakeFiles/extended_isa_test.dir/extended_isa_test.cc.o.d"
+  "extended_isa_test"
+  "extended_isa_test.pdb"
+  "extended_isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

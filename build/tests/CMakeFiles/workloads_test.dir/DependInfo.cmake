@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/lfi_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lfi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewriter/CMakeFiles/lfi_rewriter.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/lfi_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/lfi_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/lfi_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmtext/CMakeFiles/lfi_asmtext.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lfi_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

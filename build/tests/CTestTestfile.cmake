@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/arch_encode_test[1]_include.cmake")
+include("/root/repo/build/tests/asmtext_test[1]_include.cmake")
+include("/root/repo/build/tests/emu_test[1]_include.cmake")
+include("/root/repo/build/tests/rewriter_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/elf_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/components_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_isa_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")

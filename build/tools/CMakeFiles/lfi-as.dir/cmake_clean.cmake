@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi-as.dir/lfi_as.cc.o"
+  "CMakeFiles/lfi-as.dir/lfi_as.cc.o.d"
+  "lfi-as"
+  "lfi-as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi-as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

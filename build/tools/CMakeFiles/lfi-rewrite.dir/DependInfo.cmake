@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/lfi_rewrite.cc" "tools/CMakeFiles/lfi-rewrite.dir/lfi_rewrite.cc.o" "gcc" "tools/CMakeFiles/lfi-rewrite.dir/lfi_rewrite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rewriter/CMakeFiles/lfi_rewriter.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmtext/CMakeFiles/lfi_asmtext.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lfi_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi-rewrite.dir/lfi_rewrite.cc.o"
+  "CMakeFiles/lfi-rewrite.dir/lfi_rewrite.cc.o.d"
+  "lfi-rewrite"
+  "lfi-rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi-rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi-run.dir/lfi_run.cc.o"
+  "CMakeFiles/lfi-run.dir/lfi_run.cc.o.d"
+  "lfi-run"
+  "lfi-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfi-verify.dir/lfi_verify.cc.o"
+  "CMakeFiles/lfi-verify.dir/lfi_verify.cc.o.d"
+  "lfi-verify"
+  "lfi-verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfi-verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
