@@ -7,6 +7,7 @@
 #ifndef LFI_BENCH_HARNESS_H_
 #define LFI_BENCH_HARNESS_H_
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -127,13 +128,17 @@ struct Outcome {
   uint64_t cycles = 0;
   uint64_t insts = 0;
   int status = 0;
+  // Host wall-clock time spent inside RunUntilIdle, for measuring the
+  // interpreter's own throughput (simulated results never depend on it).
+  double host_seconds = 0.0;
   std::string error;
 };
 
 // Runs a built executable to completion on the given core model.
 inline Outcome Run(const Built& built, const arch::CoreParams& core,
                    bool verify, bool check_loads = true,
-                   bool nested_pagetables = false) {
+                   bool nested_pagetables = false,
+                   emu::Dispatch dispatch = emu::Dispatch::kBlock) {
   Outcome o;
   if (!built.ok) {
     o.error = built.error;
@@ -145,12 +150,16 @@ inline Outcome Run(const Built& built, const arch::CoreParams& core,
   cfg.verify.check_loads = check_loads;
   runtime::Runtime rt(cfg);
   rt.machine().timing().set_nested_pagetables(nested_pagetables);
+  rt.machine().set_dispatch(dispatch);
   auto pid = rt.Load({built.elf.data(), built.elf.size()});
   if (!pid.ok()) {
     o.error = pid.error();
     return o;
   }
+  const auto t0 = std::chrono::steady_clock::now();
   rt.RunUntilIdle(uint64_t{2000} * 1000 * 1000);
+  const auto t1 = std::chrono::steady_clock::now();
+  o.host_seconds = std::chrono::duration<double>(t1 - t0).count();
   const auto* p = rt.proc(*pid);
   if (p->exit_kind != runtime::ExitKind::kExited) {
     o.error = "killed: " + p->fault_detail;

@@ -6,11 +6,32 @@ namespace lfi::emu {
 
 namespace {
 bool PageAligned(uint64_t v) { return (v & kPageMask) == 0; }
+// True if [addr, addr+len) wraps past 2^64 (a wrapping range would alias
+// low pages and defeat every downstream bounds check).
+bool RangeWraps(uint64_t addr, uint64_t len) { return addr + len < addr; }
 }  // namespace
 
-Status AddressSpace::Map(uint64_t addr, uint64_t len, uint8_t perms) {
+void AddressSpace::NoteExec(uint64_t pageno, uint8_t perms) {
+  if (perms & kPermExec) {
+    exec_pages_.insert(pageno);
+  } else {
+    exec_pages_.erase(pageno);
+  }
+}
+
+Status AddressSpace::Map(uint64_t addr, uint64_t len, uint8_t perms,
+                         MapMode mode) {
   if (!PageAligned(addr) || !PageAligned(len)) {
     return Status::Fail("map: unaligned range");
+  }
+  if (len == 0) return Status::Ok();
+  if (RangeWraps(addr, len)) return Status::Fail("map: range wraps");
+  if (mode == MapMode::kNoReplace) {
+    for (uint64_t p = addr / kPageSize; p < (addr + len) / kPageSize; ++p) {
+      if (pages_.count(p) != 0) {
+        return Status::Fail("map: range overlaps an existing mapping");
+      }
+    }
   }
   for (uint64_t p = addr / kPageSize; p < (addr + len) / kPageSize; ++p) {
     Page page;
@@ -18,7 +39,9 @@ Status AddressSpace::Map(uint64_t addr, uint64_t len, uint8_t perms) {
     page.data->fill(0);
     page.perms = perms;
     pages_[p] = std::move(page);
+    NoteExec(p, perms);
   }
+  ++generation_;
   return Status::Ok();
 }
 
@@ -26,9 +49,14 @@ Status AddressSpace::Unmap(uint64_t addr, uint64_t len) {
   if (!PageAligned(addr) || !PageAligned(len)) {
     return Status::Fail("unmap: unaligned range");
   }
+  if (len == 0) return Status::Ok();
+  if (RangeWraps(addr, len)) return Status::Fail("unmap: range wraps");
+  size_t erased = 0;
   for (uint64_t p = addr / kPageSize; p < (addr + len) / kPageSize; ++p) {
-    pages_.erase(p);
+    erased += pages_.erase(p);
+    exec_pages_.erase(p);
   }
+  if (erased != 0) ++generation_;
   return Status::Ok();
 }
 
@@ -36,15 +64,23 @@ Status AddressSpace::Protect(uint64_t addr, uint64_t len, uint8_t perms) {
   if (!PageAligned(addr) || !PageAligned(len)) {
     return Status::Fail("protect: unaligned range");
   }
+  if (len == 0) return Status::Ok();
+  if (RangeWraps(addr, len)) return Status::Fail("protect: range wraps");
+  // Validate the whole range first so a failure leaves no partial change.
   for (uint64_t p = addr / kPageSize; p < (addr + len) / kPageSize; ++p) {
-    auto it = pages_.find(p);
-    if (it == pages_.end()) return Status::Fail("protect: unmapped page");
-    it->second.perms = perms;
+    if (pages_.count(p) == 0) return Status::Fail("protect: unmapped page");
   }
+  for (uint64_t p = addr / kPageSize; p < (addr + len) / kPageSize; ++p) {
+    pages_[p].perms = perms;
+    NoteExec(p, perms);
+  }
+  ++generation_;
   return Status::Ok();
 }
 
 bool AddressSpace::Check(uint64_t addr, uint64_t len, uint8_t perms) const {
+  if (len == 0) return true;
+  if (RangeWraps(addr, len)) return false;
   for (uint64_t p = addr / kPageSize; p <= (addr + len - 1) / kPageSize;
        ++p) {
     auto it = pages_.find(p);
@@ -115,11 +151,13 @@ Status AddressSpace::Write(uint64_t addr, uint64_t value, unsigned size) {
       last_fault_ = {MemFault::Kind::kPermission, Access::kWrite, addr};
       return Status::Fail("write fault");
     }
+    if (WriteTouchesExec(it->second.perms)) ++generation_;
     std::memcpy(WritablePage(&it->second) + (addr & kPageMask), &value,
                 size <= 8 ? size : 8);
     return Status::Ok();
   }
   // Check permissions on all touched pages before modifying anything.
+  bool exec_touched = false;
   for (unsigned k = 0; k < size; ++k) {
     const uint64_t a = addr + k;
     const Page* page = FindPage(a);
@@ -131,7 +169,9 @@ Status AddressSpace::Write(uint64_t addr, uint64_t value, unsigned size) {
       last_fault_ = {MemFault::Kind::kPermission, Access::kWrite, a};
       return Status::Fail("write fault");
     }
+    exec_touched = exec_touched || WriteTouchesExec(page->perms);
   }
+  if (exec_touched) ++generation_;
   for (unsigned k = 0; k < size; ++k) {
     const uint64_t a = addr + k;
     Page* page = &pages_[a / kPageSize];
@@ -168,27 +208,41 @@ Status AddressSpace::HostRead(uint64_t addr, std::span<uint8_t> out) const {
 }
 
 Status AddressSpace::HostWrite(uint64_t addr, std::span<const uint8_t> data) {
+  bool exec_touched = false;
   for (size_t k = 0; k < data.size(); ++k) {
     auto it = pages_.find((addr + k) / kPageSize);
     if (it == pages_.end()) return Status::Fail("host write: unmapped");
+    exec_touched = exec_touched || WriteTouchesExec(it->second.perms);
     WritablePage(&it->second)[(addr + k) & kPageMask] = data[k];
   }
+  if (exec_touched) ++generation_;
   return Status::Ok();
 }
 
 void AddressSpace::CloneInto(AddressSpace* child) const {
   child->pages_ = pages_;  // shared_ptr copy: COW
+  child->exec_pages_ = exec_pages_;
+  ++child->generation_;
 }
 
 Status AddressSpace::ShareRange(uint64_t src, uint64_t dst, uint64_t len) {
   if (!PageAligned(src) || !PageAligned(dst) || !PageAligned(len)) {
     return Status::Fail("share: unaligned range");
   }
+  if (len == 0) return Status::Ok();
+  if (RangeWraps(src, len) || RangeWraps(dst, len)) {
+    return Status::Fail("share: range wraps");
+  }
   for (uint64_t off = 0; off < len; off += kPageSize) {
     auto it = pages_.find((src + off) / kPageSize);
     if (it == pages_.end()) continue;  // holes stay holes
-    pages_[(dst + off) / kPageSize] = it->second;
+    const uint64_t dpage = (dst + off) / kPageSize;
+    // Copy out first: pages_[dpage] may rehash and invalidate `it`.
+    Page src_page = it->second;
+    NoteExec(dpage, src_page.perms);
+    pages_[dpage] = std::move(src_page);
   }
+  ++generation_;
   return Status::Ok();
 }
 

@@ -5,6 +5,15 @@
 // left unmapped (Section 3). Pages use copy-on-write sharing so that the
 // runtime's single-address-space fork (Section 5.3) is cheap, mirroring the
 // paper's memfd-based approach.
+//
+// Mutation generation: every operation that can change what an instruction
+// fetch observes -- Map, Unmap, Protect, ShareRange, CloneInto, and any
+// guest/host write that lands on an executable page -- bumps a monotonically
+// increasing counter. The Machine's decoded-block cache is stamped with the
+// generation it was filled under and revalidates the stamp on every block
+// entry, so stale decoded code can never execute after a remap. Writes to
+// non-executable pages do not bump the counter (the common case stays
+// free): the exec-page set below makes that test one branch.
 #ifndef LFI_EMU_ADDRESS_SPACE_H_
 #define LFI_EMU_ADDRESS_SPACE_H_
 
@@ -13,6 +22,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "support/result.h"
 
@@ -41,22 +51,33 @@ struct MemFault {
   uint64_t addr = 0;
 };
 
+// How Map treats pages that are already mapped in the requested range.
+enum class MapMode : uint8_t {
+  kNoReplace,  // error if any page of the range is already mapped
+  kFixed,      // MAP_FIXED-style: silently replace existing pages
+};
+
 // Sparse paged memory. Copyable page contents are shared copy-on-write.
 class AddressSpace {
  public:
   AddressSpace() = default;
 
   // Maps [addr, addr+len) with `perms`. Both must be page-aligned. Newly
-  // mapped pages are zero-filled. Remapping an existing page replaces it.
-  Status Map(uint64_t addr, uint64_t len, uint8_t perms);
+  // mapped pages are zero-filled. By default overlapping an existing
+  // mapping is an error; pass MapMode::kFixed to replace pages (the
+  // replacement zero-fills, like mmap(MAP_FIXED) over old memory).
+  Status Map(uint64_t addr, uint64_t len, uint8_t perms,
+             MapMode mode = MapMode::kNoReplace);
 
   // Unmaps [addr, addr+len); unmapped holes are ignored.
   Status Unmap(uint64_t addr, uint64_t len);
 
-  // Changes permissions on already-mapped pages.
+  // Changes permissions on already-mapped pages. Fails without side
+  // effects if any page of the range is unmapped.
   Status Protect(uint64_t addr, uint64_t len, uint8_t perms);
 
   // True if every page of [addr, addr+len) is mapped with all `perms` bits.
+  // An empty range is vacuously true; a range wrapping 2^64 is false.
   bool Check(uint64_t addr, uint64_t len, uint8_t perms) const;
 
   // Guest accesses: permission-checked, may fault. Little-endian.
@@ -85,6 +106,16 @@ class AddressSpace {
   // Number of mapped pages (for tests and accounting).
   size_t MappedPages() const { return pages_.size(); }
 
+  // Monotonic counter of mutations that could invalidate decoded code
+  // (see the file comment). Consumers stamp their caches with this value
+  // and treat any change as "flush everything".
+  uint64_t mutation_generation() const { return generation_; }
+
+  // Forces consumers to revalidate even though no mapping changed. Rarely
+  // needed; exists so Machine::FlushDecodeCache keeps working for callers
+  // that mutate page contents through a route this class cannot see.
+  void BumpGeneration() { ++generation_; }
+
  private:
   using PageData = std::array<uint8_t, kPageSize>;
   struct Page {
@@ -95,9 +126,20 @@ class AddressSpace {
   const Page* FindPage(uint64_t addr) const;
   // Returns a writable pointer to the page's data, copying if shared.
   uint8_t* WritablePage(Page* page);
+  // Records pageno's executability and returns true if `perms` is exec.
+  void NoteExec(uint64_t pageno, uint8_t perms);
+  // True if a data write to a page with `perms` must bump the generation.
+  bool WriteTouchesExec(uint8_t perms) const {
+    return !exec_pages_.empty() && (perms & kPermExec) != 0;
+  }
 
   mutable MemFault last_fault_;
   std::unordered_map<uint64_t, Page> pages_;  // keyed by addr / kPageSize
+  // Page numbers currently mapped executable. Lets the write fast path
+  // skip the generation bump entirely when no exec pages exist, and lets
+  // Protect detect exec transitions.
+  std::unordered_set<uint64_t> exec_pages_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace lfi::emu

@@ -1,5 +1,6 @@
 #include "emu/machine.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -122,6 +123,26 @@ uint64_t AddWithFlags(uint64_t a, uint64_t b, bool carry, Width w,
   return r;
 }
 
+// True for instructions that end a decoded basic block: anything that can
+// redirect PC or stop execution. Everything else falls through to pc+4.
+bool EndsBlock(Mn mn) {
+  switch (mn) {
+    case Mn::kB: case Mn::kBl: case Mn::kBCond:
+    case Mn::kCbz: case Mn::kCbnz: case Mn::kTbz: case Mn::kTbnz:
+    case Mn::kBr: case Mn::kBlr: case Mn::kRet:
+    case Mn::kBrk: case Mn::kSvc: case Mn::kMrs: case Mn::kMsr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Cap on decoded-block length; blocks also never cross a page boundary,
+// so an executability check at decode time covers every instruction.
+constexpr size_t kMaxBlockInsts = 256;
+// Backstop against unbounded cache growth across many sandboxes.
+constexpr size_t kMaxCachedBlocks = size_t{1} << 15;
+
 double BitsToF64(uint64_t b) { return std::bit_cast<double>(b); }
 uint64_t F64ToBits(double d) { return std::bit_cast<uint64_t>(d); }
 float BitsToF32(uint64_t b) {
@@ -132,7 +153,13 @@ uint64_t F32ToBits(float f) { return std::bit_cast<uint32_t>(f); }
 }  // namespace
 
 Machine::Machine(AddressSpace* mem, const arch::CoreParams& params)
-    : mem_(mem), timing_(params) {}
+    : mem_(mem), timing_(params), block_lut_(size_t{1} << kBlockLutBits) {}
+
+void Machine::ClearCaches() {
+  block_cache_.clear();
+  decode_cache_.clear();
+  std::fill(block_lut_.begin(), block_lut_.end(), BlockLutEntry{});
+}
 
 uint64_t Machine::ReadReg(Reg r) const {
   if (r.IsZr() || r.IsNone()) return 0;
@@ -149,13 +176,13 @@ void Machine::WriteReg(Reg r, uint64_t v) {
   state_.x[r.id()] = v;
 }
 
+// Legacy per-instruction fetch path (Dispatch::kStep). Executability is
+// verified once per page; staleness across Map/Unmap/Protect is handled
+// by the generation check in RunSteps.
 const Inst* Machine::FetchDecode(uint64_t pc) {
   const uint64_t pageno = pc / kPageSize;
   auto it = decode_cache_.find(pageno);
   if (it == decode_cache_.end()) {
-    // Verify executability once per page; the runtime never changes text
-    // permissions while a sandbox runs (hardware protections are set at
-    // initialization, Section 3), and FlushDecodeCache covers unmaps.
     if (!mem_->Check(pageno * kPageSize, kPageSize, kPermExec)) {
       auto f = mem_->Fetch(pc);  // sets last_fault
       (void)f;
@@ -190,7 +217,90 @@ const Inst* Machine::FetchDecode(uint64_t pc) {
   return &dp.insts[idx];
 }
 
+const Machine::Block* Machine::FetchBlock(uint64_t pc) {
+  RevalidateCaches();
+  BlockLutEntry& lut = block_lut_[LutIndex(pc)];
+  if (lut.pc == pc) return lut.block;
+  auto it = block_cache_.find(pc);
+  if (it != block_cache_.end()) {
+    lut = {pc, &it->second};
+    return lut.block;
+  }
+  if (pc % 4 != 0) {
+    fault_ = {CpuFault::Kind::kPcAlign, pc, {}, "misaligned pc"};
+    return nullptr;
+  }
+  const uint64_t page_base = pc & ~kPageMask;
+  if (!mem_->Check(page_base, kPageSize, kPermExec)) {
+    auto f = mem_->Fetch(pc);  // sets last_fault with the precise cause
+    (void)f;
+    fault_ = {CpuFault::Kind::kFetch, pc, mem_->last_fault(), "fetch"};
+    return nullptr;
+  }
+  Block b;
+  b.insts.reserve(8);
+  for (uint64_t cur = pc; cur < page_base + kPageSize; cur += 4) {
+    auto word = mem_->Fetch(cur);
+    if (!word) break;  // unreachable: the whole page was checked above
+    auto inst = arch::Decode(*word);
+    if (!inst) {
+      if (b.insts.empty()) {
+        fault_ = {CpuFault::Kind::kDecode, pc, {}, inst.error()};
+        return nullptr;
+      }
+      // End the block before the undecodable word so the fault fires only
+      // if control actually reaches it.
+      break;
+    }
+    b.insts.push_back({*inst, arch::CostOf(*inst, timing_.params())});
+    if (EndsBlock(inst->mn) || b.insts.size() >= kMaxBlockInsts) break;
+  }
+  if (block_cache_.size() >= kMaxCachedBlocks) {
+    block_cache_.clear();
+    std::fill(block_lut_.begin(), block_lut_.end(), BlockLutEntry{});
+  }
+  const Block* nb = &block_cache_.emplace(pc, std::move(b)).first->second;
+  block_lut_[LutIndex(pc)] = {pc, nb};
+  return nb;
+}
+
 StopReason Machine::Run(uint64_t max_instructions) {
+  return dispatch_ == Dispatch::kBlock ? RunBlocks(max_instructions)
+                                       : RunSteps(max_instructions);
+}
+
+StopReason Machine::RunBlocks(uint64_t max_instructions) {
+  uint64_t executed = 0;
+  while (executed < max_instructions) {
+    // Blocks end at every control transfer, so PC can only enter the
+    // runtime region (or need realignment/revalidation) at a block edge:
+    // one check per block replaces one check per instruction.
+    if (state_.pc - rt_base_ < rt_len_) {
+      stop_ = StopReason::kRuntimeEntry;
+      return stop_;
+    }
+    const Block* b = FetchBlock(state_.pc);
+    if (b == nullptr) {
+      stop_ = StopReason::kFault;
+      return stop_;
+    }
+    const uint64_t budget = max_instructions - executed;
+    const size_t take = b->insts.size() <= budget
+                            ? b->insts.size()
+                            : static_cast<size_t>(budget);
+    for (size_t k = 0; k < take; ++k) {
+      const DecodedInst& di = b->insts[k];
+      if (!ExecInst(di.inst, di.cost)) return stop_;
+    }
+    executed += take;
+    if (take < b->insts.size()) break;  // step budget exhausted mid-block
+  }
+  stop_ = StopReason::kStepLimit;
+  return stop_;
+}
+
+StopReason Machine::RunSteps(uint64_t max_instructions) {
+  RevalidateCaches();
   for (uint64_t n = 0; n < max_instructions; ++n) {
     if (state_.pc - rt_base_ < rt_len_) {
       stop_ = StopReason::kRuntimeEntry;
@@ -214,8 +324,11 @@ bool Machine::Step() {
     stop_ = StopReason::kFault;
     return false;
   }
-  const Inst& i = *ip;
-  const InstCost cost = arch::CostOf(i, timing_.params());
+  return ExecInst(*ip, arch::CostOf(*ip, timing_.params()));
+}
+
+bool Machine::ExecInst(const Inst& i, const InstCost& cost) {
+  CpuState& s = state_;
   const Width w = i.width;
   uint64_t next_pc = s.pc + 4;
 

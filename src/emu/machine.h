@@ -5,6 +5,25 @@
 // assumed: a guard really does force the top 32 bits of an address, a
 // store to a guard region really does trap. Cycle accounting runs inline
 // through the Timing scoreboard.
+//
+// Dispatch and the decode cache. The hot loop decodes straight-line basic
+// blocks (up to the next branch, page end, or undecodable word) into flat
+// vectors of pre-decoded instructions with their static costs, keyed by
+// start PC. Each block entry costs one hash probe, one runtime-region
+// check, and one generation compare; each instruction inside the block is
+// then executed with zero lookups.
+//
+// Invalidation contract: the block cache is stamped with
+// AddressSpace::mutation_generation(), which Map/Unmap/Protect/ShareRange
+// and any write landing on an executable page bump. A stamp mismatch at
+// block-entry drops every cached block, so executing stale code after a
+// remap is structurally impossible -- no caller cooperation needed.
+// FlushDecodeCache() therefore exists only for callers that mutate code
+// bytes through a channel AddressSpace cannot observe (there is none in
+// this repo; it is kept for API compatibility and tests). The one window
+// the generation cannot close is an instruction overwriting *its own*
+// basic block mid-flight; real hardware requires an ISB there, and the
+// runtime's W^X policy forbids it entirely.
 #ifndef LFI_EMU_MACHINE_H_
 #define LFI_EMU_MACHINE_H_
 
@@ -62,6 +81,12 @@ struct CpuFault {
   std::string detail;
 };
 
+// How Run() fetches instructions.
+enum class Dispatch : uint8_t {
+  kBlock,  // basic-block cache, one probe per block (default)
+  kStep,   // per-instruction page cache (legacy; baseline for benchmarks)
+};
+
 // The emulated CPU. One Machine per hardware context; multiple sandboxes
 // time-share it through the runtime's scheduler.
 class Machine {
@@ -86,8 +111,17 @@ class Machine {
 
   const CpuFault& fault() const { return fault_; }
 
-  // Drops cached decoded instructions (call after unmapping text pages).
-  void FlushDecodeCache() { decode_cache_.clear(); }
+  // Selects the fetch strategy (see Dispatch). kStep exists so benchmarks
+  // can compare against the pre-block-cache interpreter; both modes are
+  // semantically identical, including cycle accounting.
+  void set_dispatch(Dispatch d) { dispatch_ = d; }
+  Dispatch dispatch() const { return dispatch_; }
+
+  // Drops all cached decoded instructions immediately. NOT required after
+  // Map/Unmap/Protect or code writes -- the mutation generation already
+  // invalidates those lazily (see the file comment). Kept for callers
+  // that want an explicit, eager flush.
+  void FlushDecodeCache() { ClearCaches(); }
 
   // Reads a general-purpose register by Inst operand conventions
   // (zr reads 0; sp reads the stack pointer). Exposed for the runtime.
@@ -95,14 +129,50 @@ class Machine {
   void WriteReg(arch::Reg r, uint64_t v);
 
  private:
+  // A pre-decoded instruction plus its static issue cost (CostOf depends
+  // only on the instruction and the fixed core params, so hoisting it to
+  // decode time takes it off the hot path entirely).
+  struct DecodedInst {
+    arch::Inst inst;
+    arch::InstCost cost;
+  };
+
+  // A decoded straight-line run: starts at its cache key's PC and ends at
+  // the first branch/system instruction, page end, or undecodable word.
+  struct Block {
+    std::vector<DecodedInst> insts;
+  };
+
+  // Legacy per-page decode cache (Dispatch::kStep).
   struct DecodedPage {
     std::vector<arch::Inst> insts;   // kPageSize / 4 entries
     std::vector<uint8_t> status;     // 0 = undecoded, 1 = ok, 2 = bad
   };
 
-  // Executes one instruction; returns false if execution must stop (fault
-  // or brk), with stop_ set.
+  StopReason RunBlocks(uint64_t max_instructions);
+  StopReason RunSteps(uint64_t max_instructions);
+
+  // Executes one pre-decoded instruction; returns false if execution must
+  // stop (fault or brk), with stop_ set.
+  bool ExecInst(const arch::Inst& i, const arch::InstCost& cost);
+
+  // Legacy single-step: align-check + fetch + decode + execute.
   bool Step();
+
+  // Returns the (possibly freshly decoded) block starting at pc, or
+  // nullptr with fault_ set. Revalidates the generation stamp first.
+  const Block* FetchBlock(uint64_t pc);
+
+  // Drops caches if the address space mutated since they were filled.
+  void RevalidateCaches() {
+    const uint64_t gen = mem_->mutation_generation();
+    if (gen != cache_generation_) {
+      ClearCaches();
+      cache_generation_ = gen;
+    }
+  }
+
+  void ClearCaches();
 
   const arch::Inst* FetchDecode(uint64_t pc);
 
@@ -112,7 +182,25 @@ class Machine {
   CpuFault fault_;
   StopReason stop_ = StopReason::kStepLimit;
   uint64_t rt_base_ = 0, rt_len_ = 0;
+  Dispatch dispatch_ = Dispatch::kBlock;
+  // Generation stamp both caches were filled under; ~0 forces the first
+  // RevalidateCaches() to start clean.
+  uint64_t cache_generation_ = ~uint64_t{0};
+  std::unordered_map<uint64_t, Block> block_cache_;
   std::unordered_map<uint64_t, DecodedPage> decode_cache_;
+  // Direct-mapped front cache over block_cache_: the common case (a hot
+  // loop re-entering the same few blocks) resolves in one compare instead
+  // of a hash probe. Entries point into block_cache_ nodes (stable across
+  // inserts) and are wiped whenever block_cache_ is cleared.
+  struct BlockLutEntry {
+    uint64_t pc = ~uint64_t{0};
+    const Block* block = nullptr;
+  };
+  static constexpr size_t kBlockLutBits = 12;
+  std::vector<BlockLutEntry> block_lut_;
+  static size_t LutIndex(uint64_t pc) {
+    return (pc >> 2) & ((size_t{1} << kBlockLutBits) - 1);
+  }
 };
 
 }  // namespace lfi::emu

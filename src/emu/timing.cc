@@ -89,36 +89,6 @@ Timing::Timing(const arch::CoreParams& params)
       l2_(uint64_t{params.l1d_kib} * 1024 * 16, 8),
       tlb_(static_cast<unsigned>(params.tlb_entries)) {}
 
-uint64_t Timing::Issue(const arch::InstCost& cost, const int* srcs, int nsrcs,
-                       int dst, const int* vsrcs, int nvsrcs, int vdst,
-                       uint64_t extra_latency) {
-  ++retired_;
-  slot_acc_ += static_cast<uint64_t>(cost.slots);
-  if (cost.is_mem) ++mem_acc_;
-  // Earliest start: front-end floor, bandwidth floor, operand readiness.
-  uint64_t start = frontier_;
-  const uint64_t bw_floor =
-      std::max({slot_acc_ / static_cast<uint64_t>(params_.issue_width),
-                cost.is_mem
-                    ? mem_acc_ / static_cast<uint64_t>(params_.mem_ports)
-                    : uint64_t{0},
-                miss_acc_ / static_cast<uint64_t>(params_.mlp)}) +
-      flat_;
-  start = std::max(start, bw_floor);
-  for (int k = 0; k < nsrcs; ++k) {
-    if (srcs[k] >= 0) start = std::max(start, reg_ready_[srcs[k]]);
-  }
-  for (int k = 0; k < nvsrcs; ++k) {
-    if (vsrcs[k] >= 0) start = std::max(start, vreg_ready_[vsrcs[k]]);
-  }
-  const uint64_t done =
-      start + static_cast<uint64_t>(cost.latency) + extra_latency;
-  if (dst >= 0) reg_ready_[dst] = done;
-  if (vdst >= 0) vreg_ready_[vdst] = done;
-  max_completion_ = std::max(max_completion_, done);
-  return done;
-}
-
 uint64_t Timing::MemoryExtra(uint64_t addr, bool is_store) {
   uint64_t extra = 0;
   if (!tlb_.Access(addr)) {
@@ -136,7 +106,10 @@ uint64_t Timing::MemoryExtra(uint64_t addr, bool is_store) {
   // Miss latency can overlap across accesses, but only up to the machine's
   // miss-level parallelism; a stream of misses is throughput-bound on the
   // MSHRs even when no consumer stalls on the data.
-  miss_acc_ += extra;
+  if (extra != 0) {
+    miss_acc_ += extra;
+    miss_q_ = miss_acc_ / static_cast<uint64_t>(params_.mlp);
+  }
   // Stores retire without stalling consumers; charge only their miss
   // bandwidth at a reduced weight.
   if (is_store) extra /= 4;

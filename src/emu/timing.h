@@ -12,6 +12,7 @@
 #ifndef LFI_EMU_TIMING_H_
 #define LFI_EMU_TIMING_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -93,9 +94,52 @@ class Timing {
   //  `vsrcs`/`vdst` index the vector scoreboard.
   // Returns the cycle at which the result is ready (used to chain the
   // address-dependent latency of memory operations).
+  //
+  // Defined inline: this runs once per retired instruction and is the
+  // single hottest function in the emulator. The bandwidth floors are
+  // maintained as cached quotients (slot_q_, mem_q_, miss_q_) instead of
+  // dividing the raw accumulators here; the carry loops below produce
+  // exactly the same values as the divisions in Cycles().
   uint64_t Issue(const arch::InstCost& cost, const int* srcs, int nsrcs,
                  int dst, const int* vsrcs = nullptr, int nvsrcs = 0,
-                 int vdst = -1, uint64_t extra_latency = 0);
+                 int vdst = -1, uint64_t extra_latency = 0) {
+    ++retired_;
+    slot_acc_ += static_cast<uint64_t>(cost.slots);
+    slot_rem_ += static_cast<uint64_t>(cost.slots);
+    while (slot_rem_ >= static_cast<uint64_t>(params_.issue_width)) {
+      slot_rem_ -= static_cast<uint64_t>(params_.issue_width);
+      ++slot_q_;
+    }
+    if (cost.is_mem) {
+      ++mem_acc_;
+      if (++mem_rem_ == static_cast<uint64_t>(params_.mem_ports)) {
+        mem_rem_ = 0;
+        ++mem_q_;
+      }
+    }
+    // Earliest start: front-end floor, bandwidth floor, operand readiness.
+    uint64_t start = frontier_;
+    const uint64_t bw_floor =
+        std::max({slot_q_, cost.is_mem ? mem_q_ : uint64_t{0}, miss_q_}) +
+        flat_;
+    if (bw_floor > start) start = bw_floor;
+    for (int k = 0; k < nsrcs; ++k) {
+      if (srcs[k] >= 0 && reg_ready_[srcs[k]] > start) {
+        start = reg_ready_[srcs[k]];
+      }
+    }
+    for (int k = 0; k < nvsrcs; ++k) {
+      if (vsrcs[k] >= 0 && vreg_ready_[vsrcs[k]] > start) {
+        start = vreg_ready_[vsrcs[k]];
+      }
+    }
+    const uint64_t done =
+        start + static_cast<uint64_t>(cost.latency) + extra_latency;
+    if (dst >= 0) reg_ready_[dst] = done;
+    if (vdst >= 0) vreg_ready_[vdst] = done;
+    if (done > max_completion_) max_completion_ = done;
+    return done;
+  }
 
   // Memory access bookkeeping: returns extra latency cycles from cache/TLB
   // behaviour for an access at `addr`.
@@ -132,6 +176,12 @@ class Timing {
   uint64_t slot_acc_ = 0;             // issue slots consumed * 1
   uint64_t mem_acc_ = 0;              // memory ops
   uint64_t miss_acc_ = 0;             // accumulated miss-latency cycles
+  // Cached bandwidth-floor quotients (see Issue): slot_q_ == slot_acc_ /
+  // issue_width, mem_q_ == mem_acc_ / mem_ports, miss_q_ == miss_acc_ /
+  // mlp at all times, maintained without per-instruction division.
+  uint64_t slot_q_ = 0, slot_rem_ = 0;
+  uint64_t mem_q_ = 0, mem_rem_ = 0;
+  uint64_t miss_q_ = 0;
   uint64_t frontier_ = 0;             // front-end stall floor
   uint64_t max_completion_ = 0;
   uint64_t flat_ = 0;

@@ -71,7 +71,9 @@ void Runtime::FreeSlot(Proc* p) {
     (void)space_.Unmap(p->base + off, range.first);
   }
   p->mappings.clear();
-  machine_.FlushDecodeCache();
+  // No decode-cache flush needed: Unmap bumped the address space's
+  // mutation generation, which invalidates the machine's cached blocks at
+  // its next block entry (see emu/machine.h).
   free_slots_.push_back(p->slot);
   --used_slots_;
 }
@@ -194,6 +196,7 @@ Result<int> Runtime::LoadImage(const elf::ElfImage& image) {
 
   p->brk_start = max_data_end;
   p->brk = max_data_end;
+  p->brk_mapped = max_data_end;
   p->mmap_cursor = kProgramEnd - kStackSize - (uint64_t{64} << 20);
 
   // Initial CPU state: all reserved registers satisfy their invariants.
@@ -618,7 +621,9 @@ uint64_t Runtime::SysBrk(Proc* p, uint64_t addr) {
   if (want < p->brk_start || want > p->mmap_cursor) {
     return p->base + p->brk;
   }
-  const uint64_t old_end = AlignUp(p->brk, kPage);
+  // Grow only past the high-water mark: after a shrink the old pages stay
+  // mapped, and Map refuses to clobber live pages.
+  const uint64_t old_end = std::max(AlignUp(p->brk, kPage), p->brk_mapped);
   const uint64_t new_end = AlignUp(want, kPage);
   if (new_end > old_end) {
     if (!space_.Map(p->base + old_end, new_end - old_end,
@@ -627,6 +632,7 @@ uint64_t Runtime::SysBrk(Proc* p, uint64_t addr) {
       return p->base + p->brk;
     }
     p->mappings[old_end] = {new_end - old_end, kPermRead | kPermWrite};
+    p->brk_mapped = new_end;
   }
   p->brk = want;
   return p->base + p->brk;
@@ -668,6 +674,7 @@ uint64_t Runtime::SysFork(Proc* p) {
   child->state = ProcState::kReady;
   child->brk_start = p->brk_start;
   child->brk = p->brk;
+  child->brk_mapped = p->brk_mapped;
   child->mmap_cursor = p->mmap_cursor;
   child->mappings = p->mappings;
   child->fds = p->fds;

@@ -65,6 +65,9 @@ struct Proc {
   std::string fault_detail;  // populated when killed by a fault
 
   uint64_t brk_start = 0, brk = 0;   // heap bounds
+  uint64_t brk_mapped = 0;  // high-water mark of pages mapped for the heap
+                            // (brk can shrink without unmapping; regrowth
+                            // below this mark must not re-Map live pages)
   uint64_t mmap_cursor = 0;          // grows down toward the heap
   std::vector<FileDesc> fds;
   std::vector<int> children;

@@ -48,6 +48,18 @@ struct TestVm {
   uint64_t X(int n) { return machine.state().x[n]; }
 };
 
+// Assembles `src` with the TestVm layout (text at kCode) without mapping
+// anything; used to produce replacement code bytes for remap tests.
+asmtext::Image AssembleAt(const std::string& src) {
+  auto file = asmtext::Parse(src);
+  EXPECT_TRUE(file.ok()) << (file.ok() ? "" : file.error());
+  asmtext::LayoutSpec spec;
+  spec.text_offset = kCode;
+  auto img = asmtext::Assemble(*file, spec);
+  EXPECT_TRUE(img.ok()) << (img.ok() ? "" : img.error());
+  return *img;
+}
+
 TEST(AddressSpace, MapReadWrite) {
   AddressSpace as;
   ASSERT_TRUE(as.Map(0x4000, 0x8000, kPermRead | kPermWrite).ok());
@@ -104,6 +116,66 @@ TEST(AddressSpace, ShareRangePlacesAliasedPages) {
   // COW: writing one copy leaves the other intact.
   ASSERT_TRUE(a.Write(0x40000, 8, 8).ok());
   EXPECT_EQ(*a.Read(0x4000, 8), 7u);
+}
+
+TEST(AddressSpace, CheckEmptyAndWrappingRanges) {
+  AddressSpace as;
+  ASSERT_TRUE(as.Map(0x4000, kPageSize, kPermRead).ok());
+  // Zero-length ranges are vacuously valid anywhere, even unmapped.
+  EXPECT_TRUE(as.Check(0x4000, 0, kPermRead));
+  EXPECT_TRUE(as.Check(0x900000, 0, kPermRead));
+  // A range wrapping past 2^64 never validates (and must not loop).
+  EXPECT_FALSE(as.Check(~uint64_t{0} - 8, 16, kPermRead));
+  EXPECT_FALSE(as.Check(~uint64_t{0}, 1, kPermRead));
+}
+
+TEST(AddressSpace, MapUnmapProtectRejectWrappingRanges) {
+  AddressSpace as;
+  const uint64_t top = ~kPageMask;  // last page-aligned address
+  EXPECT_FALSE(as.Map(top, 2 * kPageSize, kPermRead).ok());
+  EXPECT_FALSE(as.Unmap(top, 2 * kPageSize).ok());
+  EXPECT_FALSE(as.Protect(top, 2 * kPageSize, kPermRead).ok());
+  ASSERT_TRUE(as.Map(0x4000, kPageSize, kPermRead | kPermWrite).ok());
+  EXPECT_FALSE(as.ShareRange(0x4000, top, 2 * kPageSize).ok());
+  EXPECT_FALSE(as.ShareRange(top, 0x40000, 2 * kPageSize).ok());
+}
+
+TEST(AddressSpace, MapRejectsOverlapUnlessFixed) {
+  AddressSpace as;
+  ASSERT_TRUE(as.Map(kPageSize, 2 * kPageSize, kPermRead | kPermWrite).ok());
+  ASSERT_TRUE(as.Write(kPageSize, 77, 8).ok());
+  // A partially overlapping map is rejected and maps nothing at all.
+  EXPECT_FALSE(as.Map(2 * kPageSize, 2 * kPageSize, kPermRead).ok());
+  EXPECT_EQ(*as.Read(kPageSize, 8), 77u);
+  EXPECT_FALSE(as.Check(3 * kPageSize, 8, kPermRead));
+  // MAP_FIXED-style replacement succeeds and zero-fills.
+  ASSERT_TRUE(
+      as.Map(kPageSize, kPageSize, kPermRead | kPermWrite, MapMode::kFixed)
+          .ok());
+  EXPECT_EQ(*as.Read(kPageSize, 8), 0u);
+}
+
+TEST(AddressSpace, MutationGenerationTracksExecRelevantChanges) {
+  AddressSpace as;
+  uint64_t g = as.mutation_generation();
+  ASSERT_TRUE(as.Map(0x4000, kPageSize, kPermRead | kPermWrite).ok());
+  EXPECT_GT(as.mutation_generation(), g);
+  g = as.mutation_generation();
+  // Writes to non-executable pages must not bump the generation.
+  ASSERT_TRUE(as.Write(0x4000, 1, 8).ok());
+  uint8_t byte = 0;
+  ASSERT_TRUE(as.HostWrite(0x4000, {&byte, 1}).ok());
+  EXPECT_EQ(as.mutation_generation(), g);
+  // Making the page executable bumps; so does every write to it after.
+  ASSERT_TRUE(
+      as.Protect(0x4000, kPageSize, kPermRead | kPermWrite | kPermExec).ok());
+  EXPECT_GT(as.mutation_generation(), g);
+  g = as.mutation_generation();
+  ASSERT_TRUE(as.Write(0x4000, 2, 8).ok());
+  EXPECT_GT(as.mutation_generation(), g);
+  g = as.mutation_generation();
+  ASSERT_TRUE(as.HostWrite(0x4000, {&byte, 1}).ok());
+  EXPECT_GT(as.mutation_generation(), g);
 }
 
 TEST(Machine, ArithmeticLoop) {
@@ -378,6 +450,54 @@ TEST(Machine, RuntimeRegionStopsExecution) {
   vm.machine.SetRuntimeRegion(0x70000000, 0x10000);
   EXPECT_EQ(vm.Run(), StopReason::kRuntimeEntry);
   EXPECT_EQ(vm.machine.state().pc, 0x70000000u);
+}
+
+// Regression: after the code region is remapped with different bytes, the
+// machine must execute the new code, not a stale decoded copy. (The
+// original per-page decode cache kept serving the old instructions here.)
+TEST(Machine, RemapInvalidatesDecodedCode) {
+  TestVm vm("  mov x0, #1\n  brk #0\n");
+  const uint64_t entry = vm.machine.state().pc;
+  ASSERT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(0), 1u);
+  // Remap the code region (fresh zero pages) and install different code.
+  ASSERT_TRUE(
+      vm.space.Map(kCode, 0x40000, kPermRead | kPermExec, MapMode::kFixed)
+          .ok());
+  const asmtext::Image img = AssembleAt("  mov x0, #2\n  brk #0\n");
+  ASSERT_TRUE(
+      vm.space.HostWrite(img.text_addr, {img.text.data(), img.text.size()})
+          .ok());
+  vm.machine.state().pc = entry;
+  ASSERT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(0), 2u);  // a stale cache would still deliver #1
+}
+
+// Same property for in-place code patching through HostWrite (no remap).
+TEST(Machine, HostWriteToExecPageInvalidatesDecodedCode) {
+  TestVm vm("  mov x0, #1\n  brk #0\n");
+  const uint64_t entry = vm.machine.state().pc;
+  ASSERT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(0), 1u);
+  const asmtext::Image img = AssembleAt("  mov x0, #3\n  brk #0\n");
+  ASSERT_TRUE(
+      vm.space.HostWrite(img.text_addr, {img.text.data(), img.text.size()})
+          .ok());
+  vm.machine.state().pc = entry;
+  ASSERT_EQ(vm.Run(), StopReason::kBrk);
+  EXPECT_EQ(vm.X(0), 3u);
+}
+
+// Removing exec permission must also invalidate: re-running previously
+// decoded code faults at fetch instead of executing from the cache.
+TEST(Machine, ProtectDropsExecAndRerunFetchFaults) {
+  TestVm vm("  mov x0, #1\n  brk #0\n");
+  const uint64_t entry = vm.machine.state().pc;
+  ASSERT_EQ(vm.Run(), StopReason::kBrk);
+  ASSERT_TRUE(vm.space.Protect(kCode, 0x40000, kPermRead).ok());
+  vm.machine.state().pc = entry;
+  ASSERT_EQ(vm.Run(), StopReason::kFault);
+  EXPECT_EQ(vm.machine.fault().kind, CpuFault::Kind::kFetch);
 }
 
 // --- Timing model properties ---

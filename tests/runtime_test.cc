@@ -283,6 +283,150 @@ TEST(Runtime, PipeBetweenParentAndChild) {
   EXPECT_EQ(t.P()->exit_status, 65);
 }
 
+TEST(Runtime, PipeWriteWithNoReadersFails) {
+  TestRun t(R"(
+    adrp x0, fds
+    add x0, x0, :lo12:fds
+    rtcall #10          // pipe
+    adrp x9, fds
+    add x9, x9, :lo12:fds
+    ldr w0, [x9]        // read fd
+    rtcall #4           // close the only reader
+    ldr w0, [x9, #4]    // write fd
+    adrp x1, fds
+    add x1, x1, :lo12:fds
+    mov x2, #1
+    rtcall #1           // write -> no readers left
+    rtcall #0           // exit(write result)
+  .bss
+  fds:
+    .zero 8
+  )");
+  ASSERT_GE(t.pid, 0);
+  t.rt.RunUntilIdle();
+  EXPECT_EQ(t.P()->exit_status, -22);  // EINVAL-style broken pipe
+}
+
+TEST(Runtime, PipeReadAfterWriterCloseDrainsThenEofs) {
+  TestRun t(R"(
+    adrp x0, fds
+    add x0, x0, :lo12:fds
+    rtcall #10          // pipe
+    adrp x9, fds
+    add x9, x9, :lo12:fds
+    ldr w0, [x9, #4]    // write fd
+    adrp x1, byte
+    add x1, x1, :lo12:byte
+    mov x2, #1
+    rtcall #1           // write one byte
+    ldr w0, [x9, #4]
+    rtcall #4           // close the writer
+    // Buffered data must still be readable after the writer is gone.
+    ldr w0, [x9]
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    mov x2, #1
+    rtcall #2           // read -> 1
+    mov x10, x0
+    // The next read must be EOF (0), not a hang.
+    ldr w0, [x9]
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    mov x2, #1
+    rtcall #2           // read -> 0
+    cmp x10, #1
+    b.ne bad
+    cbnz x0, bad
+    mov x0, #7
+    rtcall #0
+  bad:
+    mov x0, #1
+    rtcall #0
+  .data
+  byte:
+    .byte 65
+  .bss
+  fds:
+    .zero 8
+  buf:
+    .zero 8
+  )");
+  ASSERT_GE(t.pid, 0);
+  t.rt.RunUntilIdle();
+  EXPECT_EQ(t.P()->exit_status, 7);
+}
+
+TEST(Runtime, PipeWritePartialAtCapacityBoundary) {
+  // Fill the pipe to one byte short of capacity, then write two bytes:
+  // exactly one must be accepted.
+  TestRun t(R"(
+    adrp x0, fds
+    add x0, x0, :lo12:fds
+    rtcall #10          // pipe
+    adrp x9, fds
+    add x9, x9, :lo12:fds
+    ldr w0, [x9, #4]    // write fd
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    movz x2, #0xffff    // capacity - 1
+    rtcall #1
+    movz x10, #0xffff
+    cmp x0, x10
+    b.ne bad
+    ldr w0, [x9, #4]
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    mov x2, #2
+    rtcall #1           // only 1 byte of space left
+    add x0, x0, #100    // exit(100 + partial count)
+    rtcall #0
+  bad:
+    mov x0, #1
+    rtcall #0
+  .bss
+  fds:
+    .zero 8
+  buf:
+    .zero 65536
+  )");
+  ASSERT_GE(t.pid, 0);
+  t.rt.RunUntilIdle();
+  EXPECT_EQ(t.P()->exit_status, 101);
+}
+
+TEST(Runtime, PipeWriteBlocksWhenFull) {
+  // A write to a completely full pipe with a live reader must block; with
+  // nobody draining, the process deadlocks and RunUntilIdle reports it
+  // still alive in kBlockedWrite.
+  TestRun t(R"(
+    adrp x0, fds
+    add x0, x0, :lo12:fds
+    rtcall #10          // pipe
+    adrp x9, fds
+    add x9, x9, :lo12:fds
+    ldr w0, [x9, #4]    // write fd
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    movz x2, #1, lsl #16  // 65536 = full capacity
+    rtcall #1
+    ldr w0, [x9, #4]
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    mov x2, #1
+    rtcall #1           // blocks forever
+    mov x0, #0
+    rtcall #0
+  .bss
+  fds:
+    .zero 8
+  buf:
+    .zero 65536
+  )");
+  ASSERT_GE(t.pid, 0);
+  EXPECT_EQ(t.rt.RunUntilIdle(), 1);  // one live, deadlocked process
+  EXPECT_EQ(t.P()->state, ProcState::kBlockedWrite);
+}
+
 TEST(Runtime, GetpidAndYield) {
   TestRun t(R"(
     rtcall #12          // getpid
