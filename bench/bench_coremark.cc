@@ -10,7 +10,7 @@ namespace {
 
 constexpr uint64_t kScale = 1500000;
 
-void RunCore(const arch::CoreParams& core) {
+void RunCore(const arch::CoreParams& core, JsonReport* json) {
   const std::string src = workloads::Generate("coremark", kScale);
   const Outcome base = Run(BuildLfi(src, Config::kNative), core, false);
   if (!base.ok) {
@@ -21,6 +21,8 @@ void RunCore(const arch::CoreParams& core) {
               core.name.c_str(),
               static_cast<unsigned long long>(base.cycles),
               static_cast<unsigned long long>(base.insts));
+  const std::string prefix = "coremark." + core.name + ".";
+  json->Add(prefix + "native.cycles", static_cast<double>(base.cycles));
   for (Config c : {Config::kO0, Config::kO1, Config::kO2,
                    Config::kO2NoLoads}) {
     const Outcome o =
@@ -31,6 +33,10 @@ void RunCore(const arch::CoreParams& core) {
     }
     std::printf("  %-18s %6.1f%% overhead\n", ConfigName(c),
                 OverheadPct(base.cycles, o.cycles));
+    json->Add(prefix + ConfigSlug(c) + ".cycles",
+              static_cast<double>(o.cycles));
+    json->Add(prefix + ConfigSlug(c) + ".overhead_pct",
+              OverheadPct(base.cycles, o.cycles));
   }
   // O2 with per-sandbox predictor contexts (a second sandbox runs
   // alongside, so domain crossings actually happen).
@@ -46,6 +52,10 @@ void RunCore(const arch::CoreParams& core) {
       rt.RunUntilIdle(uint64_t{2000} * 1000 * 1000);
       std::printf("  %-18s %6.1f%% overhead (2 sandboxes, vs 2x native)\n",
                   "O2 + SCXTNUM", OverheadPct(2 * base.cycles, rt.Cycles()));
+      json->Add(prefix + "o2-scxtnum.cycles",
+                static_cast<double>(rt.Cycles()));
+      json->Add(prefix + "o2-scxtnum.overhead_pct",
+                OverheadPct(2 * base.cycles, rt.Cycles()));
     }
   }
 }
@@ -53,9 +63,10 @@ void RunCore(const arch::CoreParams& core) {
 }  // namespace
 }  // namespace lfi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = lfi::bench::JsonReport::FromArgs(argc, argv);
   std::printf("=== CoreMark-like workload (artifact appendix A.6.3) ===\n");
-  lfi::bench::RunCore(lfi::arch::AppleM1LikeParams());
-  lfi::bench::RunCore(lfi::arch::GcpT2aLikeParams());
-  return 0;
+  lfi::bench::RunCore(lfi::arch::AppleM1LikeParams(), &json);
+  lfi::bench::RunCore(lfi::arch::GcpT2aLikeParams(), &json);
+  return json.Write() ? 0 : 1;
 }

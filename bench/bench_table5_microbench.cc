@@ -130,10 +130,12 @@ std::string YieldProgram(int self, int partner) {
 
 void RunCore(const arch::CoreParams& core, bool with_gvisor,
              double linux_syscall_ns, double linux_pipe_ns,
-             double gvisor_syscall_ns, double gvisor_pipe_ns) {
+             double gvisor_syscall_ns, double gvisor_pipe_ns,
+             JsonReport* json) {
   std::printf("\n%s (%.1f GHz)\n", core.name.c_str(), core.ghz);
   std::printf("%-10s %10s %10s %10s\n", "benchmark", "LFI",
               "Linux(ref)", with_gvisor ? "gVisor(ref)" : "");
+  const std::string prefix = "table5." + core.name + ".";
 
   // syscall: ns per getpid round trip.
   {
@@ -145,6 +147,9 @@ void RunCore(const arch::CoreParams& core, bool with_gvisor,
       std::printf("%-10s %8.0fns %8.0fns", "syscall", ns, linux_syscall_ns);
       if (with_gvisor) std::printf(" %9.0fns", gvisor_syscall_ns);
       std::printf("\n");
+      json->Add(prefix + "syscall.cycles",
+                static_cast<double>(r.cycles - base.cycles));
+      json->Add(prefix + "syscall.ns", ns);
     } else {
       std::printf("syscall ERROR %s\n", r.error.c_str());
     }
@@ -158,6 +163,8 @@ void RunCore(const arch::CoreParams& core, bool with_gvisor,
       std::printf("%-10s %8.0fns %8.0fns", "pipe", ns, linux_pipe_ns);
       if (with_gvisor) std::printf(" %9.0fns", gvisor_pipe_ns);
       std::printf("\n");
+      json->Add(prefix + "pipe.cycles", static_cast<double>(r.cycles));
+      json->Add(prefix + "pipe.ns", ns);
     } else {
       std::printf("pipe ERROR %s\n", r.error.c_str());
     }
@@ -171,6 +178,8 @@ void RunCore(const arch::CoreParams& core, bool with_gvisor,
       std::printf("%-10s %8.0fns %10s", "yield", ns, "-");
       if (with_gvisor) std::printf(" %10s", "-");
       std::printf("\n");
+      json->Add(prefix + "yield.cycles", static_cast<double>(r.cycles));
+      json->Add(prefix + "yield.ns", ns);
     } else {
       std::printf("yield ERROR %s\n", r.error.c_str());
     }
@@ -180,15 +189,16 @@ void RunCore(const arch::CoreParams& core, bool with_gvisor,
 }  // namespace
 }  // namespace lfi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = lfi::bench::JsonReport::FromArgs(argc, argv);
   std::printf(
       "=== Table 5: isolation-crossing microbenchmarks ===\n"
       "LFI values are measured in-simulator; Linux/gVisor columns are the\n"
       "paper's reported measurements, shown as the hardware-protection\n"
       "reference points.\n");
   lfi::bench::RunCore(lfi::arch::AppleM1LikeParams(), /*with_gvisor=*/false,
-                      129, 1504, 0, 0);
+                      129, 1504, 0, 0, &json);
   lfi::bench::RunCore(lfi::arch::GcpT2aLikeParams(), /*with_gvisor=*/true,
-                      160, 2494, 12019, 22899);
-  return 0;
+                      160, 2494, 12019, 22899, &json);
+  return json.Write() ? 0 : 1;
 }

@@ -10,6 +10,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -170,6 +173,103 @@ inline Outcome Run(const Built& built, const arch::CoreParams& core,
   o.insts = rt.machine().timing().Retired();
   o.status = p->exit_status;
   return o;
+}
+
+// Machine-readable results sink for the CI bench-regression gate.
+//
+// Each bench binary may be invoked with `--json <path>`; every metric it
+// prints for humans is also Add()ed here, and Write() emits them as one
+// flat JSON object `{"metric.name": value, ...}`. Because the substrate
+// is a deterministic simulator the values are exact, so the regression
+// checker (tools/check_bench_regression.py) can compare runs across
+// machines. Write() merges into an existing file so several bench
+// binaries can share one output path.
+class JsonReport {
+ public:
+  // Scans argv for `--json <path>` (or `--json=<path>`). With no flag the
+  // report is disabled and Add/Write are no-ops.
+  static JsonReport FromArgs(int argc, char** argv) {
+    JsonReport r;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        r.path_ = argv[i + 1];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        r.path_ = arg.substr(7);
+      }
+    }
+    return r;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& metric, double value) {
+    if (enabled()) metrics_[metric] = value;
+  }
+
+  // Writes all metrics, merged over any that a previous bench binary
+  // already recorded in the same file. Returns false on I/O failure.
+  bool Write() const {
+    if (!enabled()) return true;
+    std::map<std::string, double> all = ReadExisting();
+    for (const auto& [k, v] : metrics_) all[k] = v;
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    out << "{\n";
+    bool first = true;
+    for (const auto& [k, v] : all) {
+      if (!first) out << ",\n";
+      first = false;
+      std::ostringstream num;
+      num.precision(17);
+      num << v;
+      out << "  \"" << k << "\": " << num.str();
+    }
+    out << "\n}\n";
+    return out.good();
+  }
+
+ private:
+  // Minimal parser for the flat {"key": number} files Write() produces;
+  // anything unparseable is ignored (the file is then overwritten).
+  std::map<std::string, double> ReadExisting() const {
+    std::map<std::string, double> out;
+    std::ifstream in(path_);
+    if (!in) return out;
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t k0 = line.find('"');
+      if (k0 == std::string::npos) continue;
+      const size_t k1 = line.find('"', k0 + 1);
+      if (k1 == std::string::npos) continue;
+      const size_t colon = line.find(':', k1);
+      if (colon == std::string::npos) continue;
+      try {
+        out[line.substr(k0 + 1, k1 - k0 - 1)] =
+            std::stod(line.substr(colon + 1));
+      } catch (...) {
+      }
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::map<std::string, double> metrics_;
+};
+
+// Kebab-case config slug for metric names (ConfigName has spaces).
+inline const char* ConfigSlug(Config c) {
+  switch (c) {
+    case Config::kNative: return "native";
+    case Config::kO0: return "o0";
+    case Config::kO1: return "o1";
+    case Config::kO2: return "o2";
+    case Config::kO2NoLoads: return "o2-noloads";
+  }
+  return "?";
 }
 
 inline double OverheadPct(uint64_t base, uint64_t value) {

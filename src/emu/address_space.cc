@@ -104,6 +104,7 @@ uint8_t* AddressSpace::WritablePage(Page* page) {
 }
 
 Result<uint64_t> AddressSpace::Read(uint64_t addr, unsigned size) const {
+  if (trace_ != nullptr) trace_->Record(addr, size, Access::kRead);
   // Fast path: access within a single page.
   if (((addr ^ (addr + size - 1)) & ~kPageMask) == 0) {
     const Page* page = FindPage(addr);
@@ -140,6 +141,7 @@ Result<uint64_t> AddressSpace::Read(uint64_t addr, unsigned size) const {
 }
 
 Status AddressSpace::Write(uint64_t addr, uint64_t value, unsigned size) {
+  if (trace_ != nullptr) trace_->Record(addr, size, Access::kWrite);
   // Fast path: access within a single page.
   if (((addr ^ (addr + size - 1)) & ~kPageMask) == 0) {
     auto it = pages_.find(addr / kPageSize);

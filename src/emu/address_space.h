@@ -57,6 +57,35 @@ enum class MapMode : uint8_t {
   kFixed,      // MAP_FIXED-style: silently replace existing pages
 };
 
+// One attempted guest data access. Recorded *before* the permission check,
+// so a faulting attempt is visible too — essential for soundness fuzzing,
+// where the question is which addresses sandboxed code can make the CPU
+// emit, not which ones happen to be mapped in this emulator.
+struct AccessRecord {
+  uint64_t addr = 0;
+  uint32_t size = 0;
+  Access kind = Access::kRead;
+};
+
+// Fixed-size buffer of the data accesses attempted by the current
+// instruction. Installed on an AddressSpace by Machine while an ExecHook
+// is attached; cleared by the Machine before each instruction. Sized for
+// the worst case (a pair access is two records; straddles stay one).
+class AccessTrace {
+ public:
+  void Clear() { n_ = 0; }
+  void Record(uint64_t addr, uint32_t size, Access kind) {
+    if (n_ < recs_.size()) recs_[n_++] = {addr, size, kind};
+  }
+  std::span<const AccessRecord> records() const {
+    return {recs_.data(), n_};
+  }
+
+ private:
+  std::array<AccessRecord, 8> recs_{};
+  size_t n_ = 0;
+};
+
 // Sparse paged memory. Copyable page contents are shared copy-on-write.
 class AddressSpace {
  public:
@@ -116,6 +145,12 @@ class AddressSpace {
   // that mutate page contents through a route this class cannot see.
   void BumpGeneration() { ++generation_; }
 
+  // Attaches (or detaches, with nullptr) an access trace: every guest
+  // Read/Write attempt is recorded into it before permission checking.
+  // Host accesses and instruction fetches are not traced (fetch coverage
+  // comes from the PC stream the Machine's ExecHook already sees).
+  void set_access_trace(AccessTrace* trace) { trace_ = trace; }
+
  private:
   using PageData = std::array<uint8_t, kPageSize>;
   struct Page {
@@ -134,6 +169,9 @@ class AddressSpace {
   }
 
   mutable MemFault last_fault_;
+  // Owned by the attaching Machine; the pointee is mutated from const
+  // accessors (tracing is observation, not address-space state).
+  AccessTrace* trace_ = nullptr;
   std::unordered_map<uint64_t, Page> pages_;  // keyed by addr / kPageSize
   // Page numbers currently mapped executable. Lets the write fast path
   // skip the generation bump entirely when no exec pages exist, and lets

@@ -290,7 +290,10 @@ StopReason Machine::RunBlocks(uint64_t max_instructions) {
                             : static_cast<size_t>(budget);
     for (size_t k = 0; k < take; ++k) {
       const DecodedInst& di = b->insts[k];
-      if (!ExecInst(di.inst, di.cost)) return stop_;
+      if (hook_ == nullptr ? !ExecInst(di.inst, di.cost)
+                           : !ExecHooked(di.inst, di.cost)) {
+        return stop_;
+      }
     }
     executed += take;
     if (take < b->insts.size()) break;  // step budget exhausted mid-block
@@ -324,7 +327,21 @@ bool Machine::Step() {
     stop_ = StopReason::kFault;
     return false;
   }
-  return ExecInst(*ip, arch::CostOf(*ip, timing_.params()));
+  const InstCost cost = arch::CostOf(*ip, timing_.params());
+  return hook_ == nullptr ? ExecInst(*ip, cost) : ExecHooked(*ip, cost);
+}
+
+bool Machine::ExecHooked(const Inst& i, const InstCost& cost) {
+  hook_trace_.Clear();
+  const uint64_t pc = state_.pc;
+  const bool ok = ExecInst(i, cost);
+  if (!hook_->OnInst(i, pc, state_, hook_trace_.records(), !ok)) {
+    // The hook's verdict wins over whatever stop ExecInst produced: a
+    // violation on a faulting instruction is still a violation.
+    stop_ = StopReason::kHookStop;
+    return false;
+  }
+  return ok;
 }
 
 bool Machine::ExecInst(const Inst& i, const InstCost& cost) {

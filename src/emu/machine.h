@@ -29,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +65,27 @@ enum class StopReason : uint8_t {
   kRuntimeEntry,  // PC entered the registered runtime region
   kFault,         // memory/decode/alignment fault; see fault()
   kBrk,           // brk instruction (debug trap)
+  kHookStop,      // the attached ExecHook requested a stop
+};
+
+// Per-instruction observation hook, the substrate for invariant checking
+// and soundness fuzzing. While attached (set_exec_hook), OnInst is called
+// after EVERY executed instruction — including one that faulted
+// (`faulted` == true), in which case the instruction did not retire but
+// `accesses` still records the memory addresses it *attempted*, and
+// `after` is the unmodified pre-fault register state. `pc` is the
+// instruction's own address; `after.pc` is where control went next.
+// Return false to stop Run() with StopReason::kHookStop.
+//
+// Cost: one branch per instruction when detached; when attached, data
+// accesses are additionally traced through the AddressSpace.
+class ExecHook {
+ public:
+  virtual ~ExecHook() = default;
+  virtual bool OnInst(const arch::Inst& inst, uint64_t pc,
+                      const CpuState& after,
+                      std::span<const AccessRecord> accesses,
+                      bool faulted) = 0;
 };
 
 // Description of a fault that stopped execution.
@@ -128,6 +150,14 @@ class Machine {
   uint64_t ReadReg(arch::Reg r) const;
   void WriteReg(arch::Reg r, uint64_t v);
 
+  // Attaches (or detaches, with nullptr) the per-instruction hook. The
+  // hook must outlive the Machine or be detached first.
+  void set_exec_hook(ExecHook* hook) {
+    hook_ = hook;
+    mem_->set_access_trace(hook == nullptr ? nullptr : &hook_trace_);
+  }
+  ExecHook* exec_hook() const { return hook_; }
+
  private:
   // A pre-decoded instruction plus its static issue cost (CostOf depends
   // only on the instruction and the fixed core params, so hoisting it to
@@ -156,6 +186,10 @@ class Machine {
   // stop (fault or brk), with stop_ set.
   bool ExecInst(const arch::Inst& i, const arch::InstCost& cost);
 
+  // ExecInst with the observation hook wrapped around it: clears the
+  // access trace, executes, then consults hook_ (which must be non-null).
+  bool ExecHooked(const arch::Inst& i, const arch::InstCost& cost);
+
   // Legacy single-step: align-check + fetch + decode + execute.
   bool Step();
 
@@ -180,6 +214,8 @@ class Machine {
   CpuState state_;
   Timing timing_;
   CpuFault fault_;
+  ExecHook* hook_ = nullptr;
+  AccessTrace hook_trace_;
   StopReason stop_ = StopReason::kStepLimit;
   uint64_t rt_base_ = 0, rt_len_ = 0;
   Dispatch dispatch_ = Dispatch::kBlock;

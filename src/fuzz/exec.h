@@ -1,0 +1,105 @@
+// Sandboxed execution harness + slot-invariant checker.
+//
+// ExecuteWords places a verified instruction stream into a realistic slot
+// (call table at the base, text at kProgramStart, data, stack, unmapped
+// guard regions) and runs it under a Machine with the SlotInvariantChecker
+// hook attached. The checker is the soundness oracle: it asserts, per
+// retired instruction, the Section 3/4 invariants the verifier is supposed
+// to guarantee. Any violation is a sandbox escape the verifier let through.
+//
+// What counts as an escape vs. a contained trap:
+//   - any *attempted* load/store outside [base-guard, base+4GiB+guard):
+//     escape (on real hardware nothing promises a fault there; the
+//     emulator additionally maps RW "tripwire" pages just outside the
+//     window so near escapes retire and are caught red-handed);
+//   - an indirect branch whose landing pc is outside the slot and outside
+//     the runtime-entry region: escape (could be neighbor code);
+//   - reserved-register invariant broken after a retire (x21 moved, x22
+//     grew past 32 bits, x18/x23/x24 left the slot, sp left its slack
+//     window, x30 invalid outside the one-instruction load window): escape;
+//   - a system instruction executing inside verified text: escape (the
+//     verifier's one job is to make these unreachable);
+//   - fetch faults, in-window memory faults, decode faults, brk: contained
+//     (the guard regions and W^X mapping trap these on real hardware too;
+//     direct branches can only reach +-128MiB, which the kCodeEnd layout
+//     rule keeps clear of neighbor text).
+#ifndef LFI_FUZZ_EXEC_H_
+#define LFI_FUZZ_EXEC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "emu/machine.h"
+
+namespace lfi::fuzz {
+
+// Per-instruction invariant checker (the ExecHook soundness oracle).
+class SlotInvariantChecker : public emu::ExecHook {
+ public:
+  struct Config {
+    uint64_t base = 0;          // slot base (4GiB aligned)
+    uint64_t guard_bytes = 48 * 1024;
+    uint64_t rt_base = 0;       // runtime-entry region
+    uint64_t rt_len = 0;
+    // Slack around the slot for sp: the verifier admits one small
+    // (<1KiB) adjustment or a +-256B writeback between proving accesses,
+    // so sp may transiently sit that far outside the window.
+    uint64_t sp_slack = 4096;
+  };
+
+  explicit SlotInvariantChecker(const Config& cfg) : cfg_(cfg) {}
+
+  bool OnInst(const arch::Inst& inst, uint64_t pc, const emu::CpuState& after,
+              std::span<const emu::AccessRecord> accesses,
+              bool faulted) override;
+
+  // Empty when no violation has been observed.
+  const std::string& violation() const { return violation_; }
+  uint64_t checked() const { return checked_; }
+
+ private:
+  bool Fail(uint64_t pc, const arch::Inst& inst, std::string what);
+
+  bool InWindow(uint64_t addr, uint64_t len) const {
+    return addr >= cfg_.base - cfg_.guard_bytes &&
+           addr + len <= cfg_.base + (uint64_t{1} << 32) + cfg_.guard_bytes;
+  }
+  bool InSlot(uint64_t addr) const {
+    return addr >= cfg_.base && addr < cfg_.base + (uint64_t{1} << 32);
+  }
+  bool InRuntime(uint64_t addr) const {
+    return addr >= cfg_.rt_base && addr < cfg_.rt_base + cfg_.rt_len;
+  }
+
+  Config cfg_;
+  std::string violation_;
+  uint64_t checked_ = 0;
+};
+
+// How ExecuteWords sets up and bounds the run.
+struct ExecOptions {
+  uint64_t seed = 1;            // scratch-register entropy (hostile values)
+  uint64_t max_insts = 2000;
+  uint64_t guard_bytes = 48 * 1024;
+  uint64_t table_bytes = 4096;
+  emu::Dispatch dispatch = emu::Dispatch::kBlock;
+};
+
+struct ExecResult {
+  emu::StopReason stop = emu::StopReason::kStepLimit;
+  emu::CpuFault fault;          // valid when the run ended in a fault
+  std::string violation;        // non-empty => sandbox escape detected
+  uint64_t retired = 0;
+  uint64_t cycles = 0;
+  emu::CpuState final_state;
+};
+
+// Executes `words` (which should already be verifier-accepted; the harness
+// does not verify) inside a fresh slot under the invariant checker.
+ExecResult ExecuteWords(std::span<const uint32_t> words,
+                        const ExecOptions& opts);
+
+}  // namespace lfi::fuzz
+
+#endif  // LFI_FUZZ_EXEC_H_

@@ -1,0 +1,419 @@
+#include "fuzz/fuzz.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "arch/decode.h"
+#include "asmtext/assemble.h"
+#include "asmtext/parser.h"
+#include "asmtext/printer.h"
+#include "fuzz/gen.h"
+#include "rewriter/rewriter.h"
+#include "runtime/layout.h"
+
+namespace lfi::fuzz {
+namespace {
+
+std::span<const uint8_t> AsBytes(const std::vector<uint32_t>& words) {
+  return {reinterpret_cast<const uint8_t*>(words.data()), words.size() * 4};
+}
+
+std::string HexWord(uint32_t w) {
+  char buf[16];
+  snprintf(buf, sizeof buf, "%08x", w);
+  return buf;
+}
+
+std::string Disasm(uint32_t w) {
+  auto d = arch::Decode(w);
+  if (!d.ok()) return "<undecodable>";
+  std::string s = asmtext::PrintStmt(asmtext::AsmStmt::OfInst(*d));
+  if (arch::IsDirectBranch(*d)) {
+    // The printer renders a label for branches; decoded instructions have
+    // none, so spell out the raw pc-relative offset.
+    s += "  ; pc" + std::string(d->imm < 0 ? "-" : "+") +
+         std::to_string(d->imm < 0 ? -d->imm : d->imm);
+  }
+  return s;
+}
+
+void AppendWords(const std::vector<uint32_t>& words, const char* tag,
+                 std::string* out) {
+  *out += std::string(tag) + ":";
+  for (uint32_t w : words) *out += " " + HexWord(w);
+  *out += "\n";
+}
+
+std::string VerdictText(const verifier::VerifyResult& v) {
+  if (v.ok) {
+    return "accepted (" + std::to_string(v.insts_checked) + " insts)";
+  }
+  return std::string("rejected: ") + verifier::FailKindName(v.kind) +
+         " at +0x" + HexWord(uint32_t(v.fail_offset)) + ": " + v.reason;
+}
+
+void RecordCrash(const FuzzOptions& opts, FuzzReport* report,
+                 CrashArtifact a) {
+  if (!opts.artifact_dir.empty()) {
+    a.path = WriteArtifact(a, opts.artifact_dir);
+  }
+  report->crashes.push_back(std::move(a));
+}
+
+// Soundness/differential stream generation shared policy: a mix of raw
+// random words, template streams, and near-miss mutants.
+std::vector<uint32_t> GenStream(Rng& rng) {
+  const uint64_t pct = rng.Below(100);
+  if (pct < 20) return GenRandomWords(rng, 4 + rng.Below(60));
+  std::vector<uint32_t> words = GenTemplateStream(rng, 2 + rng.Below(24));
+  if (pct >= 65) MutateStream(rng, &words);
+  return words;
+}
+
+// Differential comparison: first discrepancy between two runs, or "".
+std::string DescribeDiff(const ExecResult& a, const ExecResult& b) {
+  auto hx = [](uint64_t v) {
+    char buf[32];
+    snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+    return std::string(buf);
+  };
+  if (a.stop != b.stop) {
+    return "stop reason differs: block=" + std::to_string(int(a.stop)) +
+           " step=" + std::to_string(int(b.stop));
+  }
+  if (a.retired != b.retired) {
+    return "retired differs: block=" + std::to_string(a.retired) +
+           " step=" + std::to_string(b.retired);
+  }
+  if (a.cycles != b.cycles) {
+    return "cycles differ: block=" + std::to_string(a.cycles) +
+           " step=" + std::to_string(b.cycles);
+  }
+  const emu::CpuState& s = a.final_state;
+  const emu::CpuState& t = b.final_state;
+  for (int r = 0; r < 31; ++r) {
+    if (s.x[r] != t.x[r]) {
+      return "x" + std::to_string(r) + " differs: block=" + hx(s.x[r]) +
+             " step=" + hx(t.x[r]);
+    }
+  }
+  if (s.sp != t.sp) return "sp differs: block=" + hx(s.sp) + " step=" + hx(t.sp);
+  if (s.pc != t.pc) return "pc differs: block=" + hx(s.pc) + " step=" + hx(t.pc);
+  if (s.n != t.n || s.z != t.z || s.c != t.c || s.v != t.v) {
+    return "flags differ";
+  }
+  for (size_t v = 0; v < s.vr.size(); ++v) {
+    if (!(s.vr[v] == t.vr[v])) return "v" + std::to_string(v) + " differs";
+  }
+  return "";
+}
+
+// Runs one completeness pipeline; returns a failure description or "".
+std::string RunPipeline(const std::string& src, Rng& rng,
+                        const FuzzOptions& opts, std::string* verdict) {
+  auto f = asmtext::Parse(src);
+  if (!f.ok()) return "parse failed: " + f.error();
+  rewriter::RewriteOptions ro;
+  constexpr rewriter::OptLevel levels[] = {rewriter::OptLevel::kO0,
+                                           rewriter::OptLevel::kO1,
+                                           rewriter::OptLevel::kO2};
+  ro.level = levels[rng.Below(3)];
+  ro.sandbox_loads = rng.Chance(80);
+  ro.save_restore_x30 = rng.Chance(80);
+  ro.sp_elision = rng.Chance(80);
+  auto rw = rewriter::Rewrite(*f, ro);
+  if (!rw.ok()) return "rewrite failed: " + rw.error();
+  asmtext::LayoutSpec spec;
+  spec.text_offset = runtime::kProgramStart;
+  auto img = asmtext::Assemble(*rw, spec);
+  if (!img.ok()) return "assemble of rewritten text failed: " + img.error();
+  verifier::VerifyOptions vo = opts.verify;
+  vo.check_loads = ro.sandbox_loads;
+  auto v = verifier::Verify(img->text, vo);
+  *verdict = VerdictText(v);
+  if (!v.ok) {
+    const uint64_t off = v.fail_offset;
+    std::string word;
+    if (off + 4 <= img->text.size()) {
+      uint32_t w = 0;
+      memcpy(&w, img->text.data() + off, 4);
+      word = " (word " + HexWord(w) + ": " + Disasm(w) + ")";
+    }
+    return "rewriter emitted unverifiable text: " +
+           std::string(verifier::FailKindName(v.kind)) + ": " + v.reason +
+           word;
+  }
+  return "";
+}
+
+// Drops source lines one at a time while the pipeline still fails.
+std::string MinimizeAsm(
+    const std::string& src,
+    const std::function<bool(const std::string&)>& still_fails) {
+  std::vector<std::string> lines;
+  {
+    size_t pos = 0;
+    while (pos < src.size()) {
+      size_t nl = src.find('\n', pos);
+      if (nl == std::string::npos) nl = src.size();
+      lines.push_back(src.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+  }
+  auto join = [](const std::vector<std::string>& ls) {
+    std::string out;
+    for (const auto& l : ls) {
+      out += l;
+      out += '\n';
+    }
+    return out;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t k = 0; k < lines.size(); ++k) {
+      std::vector<std::string> cand = lines;
+      cand.erase(cand.begin() + k);
+      if (still_fails(join(cand))) {
+        lines = std::move(cand);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return join(lines);
+}
+
+}  // namespace
+
+std::string FormatArtifact(const CrashArtifact& a) {
+  std::string out;
+  out += "mode: " + a.mode + "\n";
+  out += "iter: " + std::to_string(a.iter) + "\n";
+  char seedbuf[32];
+  snprintf(seedbuf, sizeof seedbuf, "0x%llx",
+           static_cast<unsigned long long>(a.seed));
+  out += "seed: " + std::string(seedbuf) + "\n";
+  out += "detail: " + a.detail + "\n";
+  if (!a.verdict.empty()) out += "verdict: " + a.verdict + "\n";
+  if (!a.words.empty()) {
+    AppendWords(a.words, "words", &out);
+    out += "disasm:\n";
+    for (size_t k = 0; k < a.words.size(); ++k) {
+      char off[16];
+      snprintf(off, sizeof off, "+0x%02zx", k * 4);
+      out += "  " + std::string(off) + "  " + HexWord(a.words[k]) + "  " +
+             Disasm(a.words[k]) + "\n";
+    }
+  }
+  if (!a.full_words.empty() && a.full_words != a.words) {
+    AppendWords(a.full_words, "full-words", &out);
+  }
+  if (!a.asm_source.empty()) {
+    out += "source: |\n";
+    size_t pos = 0;
+    while (pos < a.asm_source.size()) {
+      size_t nl = a.asm_source.find('\n', pos);
+      if (nl == std::string::npos) nl = a.asm_source.size();
+      out += "  " + a.asm_source.substr(pos, nl - pos) + "\n";
+      pos = nl + 1;
+    }
+  }
+  return out;
+}
+
+std::string WriteArtifact(const CrashArtifact& a, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path =
+      dir + "/" + a.mode + "-" + std::to_string(a.iter) + ".txt";
+  std::ofstream f(path);
+  if (!f) return "";
+  f << FormatArtifact(a);
+  return f ? path : "";
+}
+
+std::vector<uint32_t> MinimizeWords(
+    const std::vector<uint32_t>& words,
+    const std::function<bool(const std::vector<uint32_t>&)>& still_fails) {
+  if (words.empty()) return words;
+  auto prefix = [&words](size_t n) {
+    return std::vector<uint32_t>(words.begin(), words.begin() + n);
+  };
+  // Shortest failing prefix (bisection; failure is usually monotone in
+  // prefix length, and when it is not we just end up less minimal).
+  size_t lo = 1, hi = words.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (still_fails(prefix(mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::vector<uint32_t> cur = prefix(lo);
+  if (!still_fails(cur)) cur = words;  // non-monotone; keep the original
+  // Nop-out pass: substitution keeps every branch offset stable.
+  for (size_t k = 0; k < cur.size(); ++k) {
+    if (cur[k] == kNopWord) continue;
+    std::vector<uint32_t> cand = cur;
+    cand[k] = kNopWord;
+    if (still_fails(cand)) cur = std::move(cand);
+  }
+  return cur;
+}
+
+std::string RejectHistogram(const FuzzReport& r) {
+  std::string out;
+  for (size_t k = 0; k < r.reject_kinds.size(); ++k) {
+    if (r.reject_kinds[k] == 0) continue;
+    if (!out.empty()) out += " ";
+    out += std::string(verifier::FailKindName(verifier::FailKind(k))) + "=" +
+           std::to_string(r.reject_kinds[k]);
+  }
+  return out;
+}
+
+FuzzReport RunSoundness(const FuzzOptions& opts) {
+  FuzzReport report;
+  report.mode = "soundness";
+  const auto corpus = SeedCorpusWords();
+  for (uint64_t it = 0; it < opts.iters; ++it) {
+    const uint64_t iseed = DeriveSeed(opts.seed, it);
+    Rng rng(iseed);
+    std::vector<uint32_t> words =
+        it < corpus.size() ? corpus[it] : GenStream(rng);
+    ++report.iters;
+    const auto v = verifier::Verify(AsBytes(words), opts.verify);
+    if (!v.ok) {
+      ++report.rejected;
+      ++report.reject_kinds[size_t(v.kind)];
+      continue;
+    }
+    ++report.accepted;
+    ExecOptions eo;
+    eo.seed = iseed;
+    eo.max_insts = opts.max_exec_insts;
+    eo.guard_bytes = opts.verify.guard_bytes;
+    eo.table_bytes = opts.verify.table_bytes;
+    const ExecResult res = ExecuteWords(words, eo);
+    ++report.executed;
+    if (res.violation.empty()) continue;
+
+    auto fails = [&](const std::vector<uint32_t>& w) {
+      if (!verifier::Verify(AsBytes(w), opts.verify).ok) return false;
+      return !ExecuteWords(w, eo).violation.empty();
+    };
+    CrashArtifact a;
+    a.mode = "soundness";
+    a.iter = it;
+    a.seed = iseed;
+    a.detail = "SANDBOX ESCAPE: " + res.violation;
+    a.verdict = VerdictText(v);
+    a.full_words = words;
+    a.words = MinimizeWords(words, fails);
+    RecordCrash(opts, &report, std::move(a));
+    if (report.crashes.size() >= opts.max_crashes) break;
+  }
+  return report;
+}
+
+FuzzReport RunDifferential(const FuzzOptions& opts) {
+  FuzzReport report;
+  report.mode = "differential";
+  const auto corpus = SeedCorpusWords();
+  for (uint64_t it = 0; it < opts.iters; ++it) {
+    const uint64_t iseed = DeriveSeed(opts.seed, it);
+    Rng rng(iseed);
+    std::vector<uint32_t> words =
+        it < corpus.size() ? corpus[it] : GenStream(rng);
+    ++report.iters;
+    const auto v = verifier::Verify(AsBytes(words), opts.verify);
+    if (!v.ok) {
+      ++report.rejected;
+      ++report.reject_kinds[size_t(v.kind)];
+      continue;
+    }
+    ++report.accepted;
+    ExecOptions eo;
+    eo.seed = iseed;
+    eo.max_insts = opts.max_exec_insts;
+    eo.guard_bytes = opts.verify.guard_bytes;
+    eo.table_bytes = opts.verify.table_bytes;
+    eo.dispatch = emu::Dispatch::kBlock;
+    const ExecResult rb = ExecuteWords(words, eo);
+    eo.dispatch = emu::Dispatch::kStep;
+    const ExecResult rs = ExecuteWords(words, eo);
+    ++report.executed;
+    const std::string diff = DescribeDiff(rb, rs);
+    const std::string viol =
+        !rb.violation.empty() ? rb.violation : rs.violation;
+    if (diff.empty() && viol.empty()) continue;
+
+    CrashArtifact a;
+    a.mode = "differential";
+    a.iter = it;
+    a.seed = iseed;
+    a.detail = !diff.empty() ? "block/step divergence: " + diff
+                             : "SANDBOX ESCAPE (during differential): " + viol;
+    a.verdict = VerdictText(v);
+    a.full_words = words;
+    if (!diff.empty()) {
+      auto fails = [&](const std::vector<uint32_t>& w) {
+        if (!verifier::Verify(AsBytes(w), opts.verify).ok) return false;
+        ExecOptions e2 = eo;
+        e2.dispatch = emu::Dispatch::kBlock;
+        const ExecResult b2 = ExecuteWords(w, e2);
+        e2.dispatch = emu::Dispatch::kStep;
+        const ExecResult s2 = ExecuteWords(w, e2);
+        return !DescribeDiff(b2, s2).empty();
+      };
+      a.words = MinimizeWords(words, fails);
+    } else {
+      a.words = words;
+    }
+    RecordCrash(opts, &report, std::move(a));
+    if (report.crashes.size() >= opts.max_crashes) break;
+  }
+  return report;
+}
+
+FuzzReport RunCompleteness(const FuzzOptions& opts) {
+  FuzzReport report;
+  report.mode = "completeness";
+  const auto corpus = SeedCorpusAsm();
+  for (uint64_t it = 0; it < opts.iters; ++it) {
+    const uint64_t iseed = DeriveSeed(opts.seed, it);
+    Rng rng(iseed);
+    const std::string src =
+        it < corpus.size() ? corpus[it] : GenAsmProgram(rng);
+    ++report.iters;
+    std::string verdict;
+    Rng pipe_rng(iseed);  // pipeline options derive from the same seed
+    const std::string err = RunPipeline(src, pipe_rng, opts, &verdict);
+    if (err.empty()) {
+      ++report.accepted;
+      continue;
+    }
+    auto fails = [&](const std::string& s) {
+      if (s.empty()) return false;
+      Rng r2(iseed);
+      std::string v2;
+      return !RunPipeline(s, r2, opts, &v2).empty();
+    };
+    CrashArtifact a;
+    a.mode = "completeness";
+    a.iter = it;
+    a.seed = iseed;
+    a.detail = err;
+    a.verdict = verdict;
+    a.asm_source = MinimizeAsm(src, fails);
+    RecordCrash(opts, &report, std::move(a));
+    if (report.crashes.size() >= opts.max_crashes) break;
+  }
+  return report;
+}
+
+}  // namespace lfi::fuzz

@@ -1,0 +1,89 @@
+// The three fuzzing modes (Section "lfi-fuzz" of docs/FUZZING.md):
+//
+//   soundness    generated/mutated word streams -> Verify; every ACCEPTED
+//                stream executes under the SlotInvariantChecker. A
+//                violation is a sandbox escape: the most severe bug class
+//                this repo can have.
+//   completeness grammar-generated assembly -> parse -> rewrite ->
+//                assemble -> Verify; any stage failing on rewriter output
+//                is a bug (the rewriter must only emit verifiable text).
+//   differential every accepted stream runs under both Dispatch::kBlock
+//                and Dispatch::kStep; final state, stop reason, retired
+//                count and cycle count must match exactly.
+//
+// All three are deterministic in (seed, iters): crash artifacts record the
+// per-iteration derived seed, so any finding replays in isolation.
+#ifndef LFI_FUZZ_FUZZ_H_
+#define LFI_FUZZ_FUZZ_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/exec.h"
+#include "verifier/verifier.h"
+
+namespace lfi::fuzz {
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  uint64_t iters = 1000;
+  uint64_t max_exec_insts = 2000;
+  verifier::VerifyOptions verify;
+  // When non-empty, each crash is also dumped as a text artifact here.
+  std::string artifact_dir;
+  // Stop a run after this many crashes (artifact flood guard).
+  uint64_t max_crashes = 25;
+};
+
+struct CrashArtifact {
+  std::string mode;                  // soundness | completeness | differential
+  uint64_t iter = 0;
+  uint64_t seed = 0;                 // derived seed; replays the iteration
+  std::string detail;                // what went wrong
+  std::string verdict;               // verifier verdict at crash time
+  std::vector<uint32_t> words;       // minimized stream (word modes)
+  std::vector<uint32_t> full_words;  // original, pre-minimization
+  std::string asm_source;            // completeness mode
+  std::string path;                  // artifact file, when written
+};
+
+// Renders the artifact as text: header, hex words, disassembly, source.
+// The `words:` line is machine-parseable for replay (lfi_fuzz --replay).
+std::string FormatArtifact(const CrashArtifact& a);
+
+// Writes the artifact under `dir` (created if needed); returns the path,
+// or an empty string if the write failed.
+std::string WriteArtifact(const CrashArtifact& a, const std::string& dir);
+
+struct FuzzReport {
+  std::string mode;
+  uint64_t iters = 0;
+  uint64_t accepted = 0;
+  uint64_t executed = 0;
+  uint64_t rejected = 0;
+  // Verifier rejections bucketed by stable FailKind.
+  std::array<uint64_t, size_t(verifier::FailKind::kCount)> reject_kinds{};
+  std::vector<CrashArtifact> crashes;
+  bool ok() const { return crashes.empty(); }
+};
+
+FuzzReport RunSoundness(const FuzzOptions& opts);
+FuzzReport RunCompleteness(const FuzzOptions& opts);
+FuzzReport RunDifferential(const FuzzOptions& opts);
+
+// Trivial minimizer: shortest failing prefix by bisection, then a nop-out
+// pass (words are replaced, not removed, so branch offsets stay put).
+// `still_fails` must be true for `words` itself.
+std::vector<uint32_t> MinimizeWords(
+    const std::vector<uint32_t>& words,
+    const std::function<bool(const std::vector<uint32_t>&)>& still_fails);
+
+// One-line histogram of reject kinds ("undecodable=12 sp-protocol=3 ...").
+std::string RejectHistogram(const FuzzReport& r);
+
+}  // namespace lfi::fuzz
+
+#endif  // LFI_FUZZ_FUZZ_H_

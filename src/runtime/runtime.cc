@@ -347,6 +347,11 @@ int Runtime::RunUntilIdle(uint64_t max_total_insts) {
       case emu::StopReason::kBrk:
         KillProc(p, "brk trap");
         break;
+      case emu::StopReason::kHookStop:
+        // The runtime never attaches an ExecHook; an external hook (e.g. a
+        // debugger) stopping the machine just ends this timeslice.
+        Enqueue(p->pid);
+        break;
     }
   }
   return static_cast<int>(live_procs());

@@ -15,14 +15,23 @@ using arch::Mn;
 using arch::Reg;
 using arch::Width;
 
+// A classified rule violation; kind == kNone means the check passed.
+struct Violation {
+  FailKind kind = FailKind::kNone;
+  std::string reason;
+
+  Violation() = default;
+  Violation(FailKind k, std::string r) : kind(k), reason(std::move(r)) {}
+  bool ok() const { return kind == FailKind::kNone; }
+};
+
 // True if `r` is a register that is architecturally guaranteed (by the
 // invariants this verifier enforces) to hold a valid sandbox address:
 // x18, x21, x23, x24.
 bool IsAddressReg(Reg r) { return arch::IsAddressReserved(r); }
 
 // Checks the addressing of one memory access. `i` must be a memory access.
-// Returns an empty string when safe, else the reason.
-std::string CheckAccess(const Inst& i, const VerifyOptions& opts) {
+Violation CheckAccess(const Inst& i, const VerifyOptions& opts) {
   const auto& m = i.mem;
   // Total footprint of the access (pair accesses touch 2*msize).
   const uint64_t footprint =
@@ -32,25 +41,30 @@ std::string CheckAccess(const Inst& i, const VerifyOptions& opts) {
     // Only the guarded mode is safe: base x21, 32-bit zero-extended index,
     // no shift (a shifted index could scale past the 4GiB slot).
     if (m.mode != AddrMode::kRegUxtw) {
-      return "register-offset access without uxtw";
+      return {FailKind::kBadAddressingMode,
+              "register-offset access without uxtw"};
     }
     if (m.base != arch::kRegBase) {
-      return "guarded addressing mode requires base x21";
+      return {FailKind::kBadAddressingMode,
+              "guarded addressing mode requires base x21"};
     }
     if (m.shift != 0) {
-      return "guarded addressing mode must use shift #0";
+      return {FailKind::kBadAddressingMode,
+              "guarded addressing mode must use shift #0"};
     }
-    return "";
+    return {};
   }
 
   // Immediate modes: base must be a reserved address register or sp.
   if (!IsAddressReg(m.base) && !m.base.IsSp()) {
-    return "memory access through unguarded base register";
+    return {FailKind::kBadAddressingMode,
+            "memory access through unguarded base register"};
   }
   // Writeback modifies the base: only sp may be updated this way (the
   // +-256-byte index stays well inside the guard region, Section 4.2).
   if (m.HasWriteback() && !m.base.IsSp()) {
-    return "writeback addressing on a reserved register";
+    return {FailKind::kReservedWriteback,
+            "writeback addressing on a reserved register"};
   }
   // The offset must not be able to escape past a guard region even when
   // the base sits at the very edge of the sandbox.
@@ -58,9 +72,10 @@ std::string CheckAccess(const Inst& i, const VerifyOptions& opts) {
   const int64_t hi = m.imm + static_cast<int64_t>(footprint);
   if (lo < -static_cast<int64_t>(opts.guard_bytes) ||
       hi > static_cast<int64_t>(opts.guard_bytes)) {
-    return "immediate offset reaches past the guard region";
+    return {FailKind::kGuardRangeOverflow,
+            "immediate offset reaches past the guard region"};
   }
-  return "";
+  return {};
 }
 
 // True if this instruction is `blr x30`.
@@ -78,27 +93,28 @@ bool IsTableLoad(const Inst& i, const VerifyOptions& opts) {
 }
 
 // Checks writes to reserved registers in instruction `insts[k]`.
-// Returns an empty string when safe.
-std::string CheckReservedWrites(const std::vector<Inst>& insts, size_t k,
-                                const VerifyOptions& opts) {
+Violation CheckReservedWrites(const std::vector<Inst>& insts, size_t k,
+                              const VerifyOptions& opts) {
   const Inst& i = insts[k];
 
   // x21 (sandbox base): never written, through any channel.
   if (arch::WritesGpr(i, arch::kRegBase)) {
-    return "write to x21";
+    return {FailKind::kBaseRegWrite, "write to x21"};
   }
 
   // x18/x23/x24: only the guard.
   for (Reg r : {arch::kRegAddr, arch::kRegHoist0, arch::kRegHoist1}) {
     if (arch::WritesGpr(i, r) && !arch::IsGuardFor(i, r)) {
-      return "unguarded write to " + arch::RegName(r, Width::kX);
+      return {FailKind::kAddressRegWrite,
+              "unguarded write to " + arch::RegName(r, Width::kX)};
     }
   }
 
   // x22: any write must zero the top 32 bits.
   if (arch::WritesGpr(i, arch::kRegScratch) &&
       !arch::WriteZeroExtends(i, arch::kRegScratch)) {
-    return "64-bit write to x22 breaks its 32-bit invariant";
+    return {FailKind::kScratchRegWrite,
+            "64-bit write to x22 breaks its 32-bit invariant"};
   }
 
   // x30: guard, bl/blr, or a table load followed immediately by blr x30.
@@ -108,17 +124,19 @@ std::string CheckReservedWrites(const std::vector<Inst>& insts, size_t k,
     if (!by_branch && !by_guard) {
       if (IsTableLoad(i, opts)) {
         if (k + 1 >= insts.size() || !IsBlrX30(insts[k + 1])) {
-          return "call-table load of x30 not followed by blr x30";
+          return {FailKind::kLinkRegProtocol,
+                  "call-table load of x30 not followed by blr x30"};
         }
       } else if (arch::IsLoad(i)) {
         // A reload of x30 from memory (e.g. an epilogue ldp) must be
         // followed by the x30 guard before any branch could use it.
         if (k + 1 >= insts.size() ||
             !arch::IsGuardFor(insts[k + 1], arch::kRegLink)) {
-          return "load of x30 not followed by its guard";
+          return {FailKind::kLinkRegProtocol,
+                  "load of x30 not followed by its guard"};
         }
       } else {
-        return "unguarded write to x30";
+        return {FailKind::kLinkRegProtocol, "unguarded write to x30"};
       }
     }
   }
@@ -128,14 +146,14 @@ std::string CheckReservedWrites(const std::vector<Inst>& insts, size_t k,
   if (arch::WritesGpr(i, Reg::Sp())) {
     if (arch::IsMemAccess(i)) {
       // sp writeback: the imm9 encoding bounds the step to +-256 bytes.
-      return "";
+      return {};
     }
-    if (arch::IsSpGuard(i)) return "";
+    if (arch::IsSpGuard(i)) return {};
     const bool small_adjust =
         (i.mn == Mn::kAddImm || i.mn == Mn::kSubImm) && i.rn.IsSp() &&
         i.rd.IsSp() && i.width == Width::kX && i.imm < 1024;
     if (!small_adjust) {
-      return "unguarded write to sp";
+      return {FailKind::kSpProtocol, "unguarded write to sp"};
     }
     // Scan forward: an sp-based access must occur before any branch and
     // before any further sp write (other than sp-based writeback, which
@@ -143,25 +161,51 @@ std::string CheckReservedWrites(const std::vector<Inst>& insts, size_t k,
     for (size_t j = k + 1; j < insts.size(); ++j) {
       const Inst& n = insts[j];
       if (arch::IsBranch(n)) {
-        return "sp adjusted without a following in-block access";
+        return {FailKind::kSpProtocol,
+                "sp adjusted without a following in-block access"};
       }
-      if (arch::IsMemAccess(n) && n.mem.base.IsSp()) return "";
-      if (arch::IsSpGuard(n)) return "";  // re-canonicalized: safe
+      if (arch::IsMemAccess(n) && n.mem.base.IsSp()) return {};
+      if (arch::IsSpGuard(n)) return {};  // re-canonicalized: safe
       if (arch::WritesGpr(n, Reg::Sp())) {
-        return "sp adjusted twice without an access";
+        return {FailKind::kSpProtocol,
+                "sp adjusted twice without an access"};
       }
     }
-    return "sp adjusted without a following in-block access";
+    return {FailKind::kSpProtocol,
+            "sp adjusted without a following in-block access"};
   }
-  return "";
+  return {};
 }
 
 }  // namespace
+
+const char* FailKindName(FailKind k) {
+  switch (k) {
+    case FailKind::kNone: return "none";
+    case FailKind::kTextSize: return "text-size";
+    case FailKind::kUndecodable: return "undecodable";
+    case FailKind::kSystemInstruction: return "system-instruction";
+    case FailKind::kLlscDisallowed: return "llsc-disallowed";
+    case FailKind::kBadAddressingMode: return "bad-addressing-mode";
+    case FailKind::kGuardRangeOverflow: return "guard-range-overflow";
+    case FailKind::kReservedWriteback: return "reserved-writeback";
+    case FailKind::kUnguardedIndirectBranch:
+      return "unguarded-indirect-branch";
+    case FailKind::kBaseRegWrite: return "base-reg-write";
+    case FailKind::kAddressRegWrite: return "address-reg-write";
+    case FailKind::kScratchRegWrite: return "scratch-reg-write";
+    case FailKind::kLinkRegProtocol: return "link-reg-protocol";
+    case FailKind::kSpProtocol: return "sp-protocol";
+    case FailKind::kCount: break;
+  }
+  return "?";
+}
 
 VerifyResult Verify(std::span<const uint8_t> text,
                     const VerifyOptions& opts) {
   if (text.size() % 4 != 0) {
     return VerifyResult::Fail(text.size() & ~uint64_t{3},
+                              FailKind::kTextSize,
                               "text size not a multiple of 4");
   }
   // Decode everything up front (still one linear pass; the lookahead rules
@@ -171,8 +215,8 @@ VerifyResult Verify(std::span<const uint8_t> text,
   for (uint64_t off = 0; off < text.size(); off += 4) {
     auto inst = arch::Decode(arch::ReadWordLE(text, off));
     if (!inst) {
-      return VerifyResult::Fail(off, "undecodable instruction: " +
-                                         inst.error());
+      return VerifyResult::Fail(off, FailKind::kUndecodable,
+                                "undecodable instruction: " + inst.error());
     }
     insts.push_back(*inst);
   }
@@ -185,10 +229,11 @@ VerifyResult Verify(std::span<const uint8_t> text,
     // everything outside the supported ARMv8.0 subset; system instructions
     // that do decode are forbidden here.
     if (i.mn == Mn::kSvc || i.mn == Mn::kMrs || i.mn == Mn::kMsr) {
-      return VerifyResult::Fail(off, "system instruction");
+      return VerifyResult::Fail(off, FailKind::kSystemInstruction,
+                                "system instruction");
     }
     if (!opts.allow_llsc && (i.mn == Mn::kLdxr || i.mn == Mn::kStxr)) {
-      return VerifyResult::Fail(off,
+      return VerifyResult::Fail(off, FailKind::kLlscDisallowed,
                                 "ll/sc disallowed (timerless side-channel "
                                 "mitigation)");
     }
@@ -197,27 +242,28 @@ VerifyResult Verify(std::span<const uint8_t> text,
     if (arch::IsMemAccess(i)) {
       const bool pure_load = arch::IsLoad(i) && !arch::IsStore(i);
       if (opts.check_loads || !pure_load) {
-        if (auto why = CheckAccess(i, opts); !why.empty()) {
-          return VerifyResult::Fail(off, why);
+        if (auto v = CheckAccess(i, opts); !v.ok()) {
+          return VerifyResult::Fail(off, v.kind, std::move(v.reason));
         }
       } else if (i.mem.HasWriteback() && !i.mem.base.IsSp() &&
                  arch::IsReservedGpr(i.mem.base)) {
-        return VerifyResult::Fail(off, "writeback on reserved register");
+        return VerifyResult::Fail(off, FailKind::kReservedWriteback,
+                                  "writeback on reserved register");
       }
     }
 
     // Property 1b: indirect branches.
     if (arch::IsIndirectBranch(i)) {
       if (!IsAddressReg(i.rn) && i.rn != arch::kRegLink) {
-        return VerifyResult::Fail(off,
+        return VerifyResult::Fail(off, FailKind::kUnguardedIndirectBranch,
                                   "indirect branch through unguarded "
                                   "register");
       }
     }
 
     // Property 2: reserved-register integrity.
-    if (auto why = CheckReservedWrites(insts, k, opts); !why.empty()) {
-      return VerifyResult::Fail(off, why);
+    if (auto v = CheckReservedWrites(insts, k, opts); !v.ok()) {
+      return VerifyResult::Fail(off, v.kind, std::move(v.reason));
     }
   }
   return VerifyResult::Ok(insts.size());

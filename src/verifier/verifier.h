@@ -44,9 +44,35 @@ struct VerifyOptions {
   bool allow_llsc = true;
 };
 
+// Stable classification of why a text was rejected. Tools that triage
+// verdicts mechanically (the fuzzer, tests, CI) switch on this instead of
+// string-matching the free-form `reason`, which stays human-oriented and
+// may be reworded freely.
+enum class FailKind : uint8_t {
+  kNone = 0,                  // ok == true
+  kTextSize,                  // text length not a multiple of 4
+  kUndecodable,               // word outside the ARMv8.0 allowlist
+  kSystemInstruction,         // svc/mrs/msr
+  kLlscDisallowed,            // ldxr/stxr with allow_llsc == false
+  kBadAddressingMode,         // unguarded base / non-uxtw register offset
+  kGuardRangeOverflow,        // immediate offset reaches past a guard region
+  kReservedWriteback,         // writeback addressing on a reserved register
+  kUnguardedIndirectBranch,   // br/blr/ret through a non-reserved register
+  kBaseRegWrite,              // any write to x21
+  kAddressRegWrite,           // unguarded write to x18/x23/x24
+  kScratchRegWrite,           // 64-bit write to x22
+  kLinkRegProtocol,           // x30 written outside the bl/guard/table rules
+  kSpProtocol,                // sp written outside the Section 4.2 rules
+  kCount,                     // number of kinds (for histogram arrays)
+};
+
+// Short stable name for a kind ("sp-protocol", ...), for logs/artifacts.
+const char* FailKindName(FailKind k);
+
 struct VerifyResult {
   bool ok = false;
   uint64_t fail_offset = 0;  // byte offset of the offending instruction
+  FailKind kind = FailKind::kNone;
   std::string reason;
   uint64_t insts_checked = 0;
 
@@ -56,9 +82,11 @@ struct VerifyResult {
     r.insts_checked = n;
     return r;
   }
-  static VerifyResult Fail(uint64_t offset, std::string reason) {
+  static VerifyResult Fail(uint64_t offset, FailKind kind,
+                           std::string reason) {
     VerifyResult r;
     r.fail_offset = offset;
+    r.kind = kind;
     r.reason = std::move(reason);
     return r;
   }

@@ -9,21 +9,12 @@
 #include "elf/elf.h"
 #include "emu/machine.h"
 #include "asmtext/assemble.h"
+#include "fuzz_util.h"
 
 namespace lfi {
 namespace {
 
-class Rng {
- public:
-  explicit Rng(uint64_t seed) : state_(seed) {}
-  uint64_t Next() {
-    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
-    return state_ ^ (state_ >> 29);
-  }
-
- private:
-  uint64_t state_;
-};
+using test::Rng;
 
 // Runs one `subs`/`adds` with the given operands and returns (result,
 // NZCV) from the emulator.

@@ -1,0 +1,18 @@
+// Shared randomness for randomized tests.
+//
+// The Rng here is the canonical fuzzing generator from src/fuzz/rng.h
+// (formerly an ad-hoc copy in differential_test.cc). Tests must use this
+// one so that any seed recorded in a CI log or crash artifact reproduces
+// the same stream in every suite.
+#ifndef LFI_TESTS_FUZZ_UTIL_H_
+#define LFI_TESTS_FUZZ_UTIL_H_
+
+#include "fuzz/rng.h"
+
+namespace lfi::test {
+
+using Rng = fuzz::Rng;
+
+}  // namespace lfi::test
+
+#endif  // LFI_TESTS_FUZZ_UTIL_H_

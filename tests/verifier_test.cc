@@ -36,6 +36,7 @@ TEST(Verifier, AcceptsMinimalSafeProgram) {
     ret
   )");
   EXPECT_TRUE(r.ok) << r.reason;
+  EXPECT_EQ(r.kind, FailKind::kNone);
   EXPECT_EQ(r.insts_checked, 4u);
 }
 
@@ -66,6 +67,7 @@ TEST(Verifier, AcceptsRuntimeCallSequence) {
 struct RejectCase {
   const char* name;
   const char* src;
+  FailKind kind;
 };
 
 class RejectTest : public ::testing::TestWithParam<RejectCase> {};
@@ -73,75 +75,126 @@ class RejectTest : public ::testing::TestWithParam<RejectCase> {};
 TEST_P(RejectTest, HostilePatternRejected) {
   auto r = Check(GetParam().src);
   EXPECT_FALSE(r.ok) << GetParam().name << " was accepted";
+  EXPECT_EQ(r.kind, GetParam().kind)
+      << GetParam().name << " rejected as " << FailKindName(r.kind) << " ("
+      << r.reason << ")";
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Hostile, RejectTest,
     ::testing::Values(
         // Unguarded memory accesses.
-        RejectCase{"raw load", "ldr x0, [x1]\n"},
-        RejectCase{"raw store", "str x0, [x1]\n"},
-        RejectCase{"raw store imm", "str x0, [x1, #8]\n"},
-        RejectCase{"raw pair", "ldp x0, x1, [x2]\n"},
-        RejectCase{"raw exclusive", "ldxr x0, [x1]\n"},
-        RejectCase{"raw atomic release", "stlr x0, [x1]\n"},
+        RejectCase{"raw load", "ldr x0, [x1]\n",
+                   FailKind::kBadAddressingMode},
+        RejectCase{"raw store", "str x0, [x1]\n",
+                   FailKind::kBadAddressingMode},
+        RejectCase{"raw store imm", "str x0, [x1, #8]\n",
+                   FailKind::kBadAddressingMode},
+        RejectCase{"raw pair", "ldp x0, x1, [x2]\n",
+                   FailKind::kBadAddressingMode},
+        RejectCase{"raw exclusive", "ldxr x0, [x1]\n",
+                   FailKind::kBadAddressingMode},
+        RejectCase{"raw atomic release", "stlr x0, [x1]\n",
+                   FailKind::kBadAddressingMode},
         // Bad register-offset modes.
-        RejectCase{"lsl reg offset", "ldr x0, [x21, x1, lsl #3]\n"},
-        RejectCase{"sxtw reg offset", "ldr x0, [x21, w1, sxtw]\n"},
-        RejectCase{"uxtw off x18", "ldr x0, [x18, w1, uxtw]\n"},
-        RejectCase{"uxtw with shift", "ldr x0, [x21, w1, uxtw #3]\n"},
+        RejectCase{"lsl reg offset", "ldr x0, [x21, x1, lsl #3]\n",
+                   FailKind::kBadAddressingMode},
+        RejectCase{"sxtw reg offset", "ldr x0, [x21, w1, sxtw]\n",
+                   FailKind::kBadAddressingMode},
+        RejectCase{"uxtw off x18", "ldr x0, [x18, w1, uxtw]\n",
+                   FailKind::kBadAddressingMode},
+        RejectCase{"uxtw with shift", "ldr x0, [x21, w1, uxtw #3]\n",
+                   FailKind::kBadAddressingMode},
         // Writes to reserved registers.
-        RejectCase{"write x21", "add x21, x21, #1\n"},
-        RejectCase{"mov into x21", "mov x21, x0\n"},
-        RejectCase{"load into x21", "ldr x21, [sp]\n"},
-        RejectCase{"write x18 plain", "add x18, x18, #1\n"},
-        RejectCase{"mov into x18", "mov x18, x0\n"},
-        RejectCase{"w-write to x18", "mov w18, w0\n"},
-        RejectCase{"load into x18", "ldr x18, [sp]\n"},
-        RejectCase{"guard-like sxtw", "add x18, x21, w0, sxtw\n"},
-        RejectCase{"guard-like shifted", "add x18, x21, w0, uxtw #2\n"},
-        RejectCase{"guard wrong base", "add x18, x0, w1, uxtw\n"},
-        RejectCase{"write x23", "mov x23, x0\n"},
-        RejectCase{"write x24", "add x24, x24, #8\n"},
-        RejectCase{"64-bit write x22", "mov x22, x0\n"},
-        RejectCase{"load x22 64-bit", "ldr x22, [sp]\n"},
-        RejectCase{"sxtw into w22... as x", "sxtw x22, w0\n"},
+        RejectCase{"write x21", "add x21, x21, #1\n",
+                   FailKind::kBaseRegWrite},
+        RejectCase{"mov into x21", "mov x21, x0\n", FailKind::kBaseRegWrite},
+        RejectCase{"load into x21", "ldr x21, [sp]\n",
+                   FailKind::kBaseRegWrite},
+        RejectCase{"write x18 plain", "add x18, x18, #1\n",
+                   FailKind::kAddressRegWrite},
+        RejectCase{"mov into x18", "mov x18, x0\n",
+                   FailKind::kAddressRegWrite},
+        RejectCase{"w-write to x18", "mov w18, w0\n",
+                   FailKind::kAddressRegWrite},
+        RejectCase{"load into x18", "ldr x18, [sp]\n",
+                   FailKind::kAddressRegWrite},
+        RejectCase{"guard-like sxtw", "add x18, x21, w0, sxtw\n",
+                   FailKind::kAddressRegWrite},
+        RejectCase{"guard-like shifted", "add x18, x21, w0, uxtw #2\n",
+                   FailKind::kAddressRegWrite},
+        RejectCase{"guard wrong base", "add x18, x0, w1, uxtw\n",
+                   FailKind::kAddressRegWrite},
+        RejectCase{"write x23", "mov x23, x0\n", FailKind::kAddressRegWrite},
+        RejectCase{"write x24", "add x24, x24, #8\n",
+                   FailKind::kAddressRegWrite},
+        RejectCase{"64-bit write x22", "mov x22, x0\n",
+                   FailKind::kScratchRegWrite},
+        RejectCase{"load x22 64-bit", "ldr x22, [sp]\n",
+                   FailKind::kScratchRegWrite},
+        RejectCase{"sxtw into w22... as x", "sxtw x22, w0\n",
+                   FailKind::kScratchRegWrite},
         // x30 violations.
-        RejectCase{"mov into x30", "mov x30, x0\n"},
-        RejectCase{"x30 load no guard", "ldr x30, [sp]\nret\n"},
-        RejectCase{"x30 pair load no guard", "ldp x29, x30, [sp], #16\nret\n"},
-        RejectCase{"table load no blr", "ldr x30, [x21, #24]\nret\n"},
-        RejectCase{"table load too far", "ldr x30, [x21, #8192]\nblr x30\n"},
+        RejectCase{"mov into x30", "mov x30, x0\n",
+                   FailKind::kLinkRegProtocol},
+        RejectCase{"x30 load no guard", "ldr x30, [sp]\nret\n",
+                   FailKind::kLinkRegProtocol},
+        RejectCase{"x30 pair load no guard", "ldp x29, x30, [sp], #16\nret\n",
+                   FailKind::kLinkRegProtocol},
+        RejectCase{"table load no blr", "ldr x30, [x21, #24]\nret\n",
+                   FailKind::kLinkRegProtocol},
+        RejectCase{"table load too far", "ldr x30, [x21, #8192]\nblr x30\n",
+                   FailKind::kLinkRegProtocol},
         // sp violations.
-        RejectCase{"mov sp", "mov sp, x0\n"},
-        RejectCase{"big sp sub", "sub sp, sp, #4096\nstr x0, [sp]\n"},
-        RejectCase{"sp sub no access", "sub sp, sp, #16\nret\n"},
+        RejectCase{"mov sp", "mov sp, x0\n", FailKind::kSpProtocol},
+        RejectCase{"big sp sub", "sub sp, sp, #4096\nstr x0, [sp]\n",
+                   FailKind::kSpProtocol},
+        RejectCase{"sp sub no access", "sub sp, sp, #16\nret\n",
+                   FailKind::kSpProtocol},
         RejectCase{"sp sub then branch", "sub sp, sp, #16\nb l\nl:\n"
-                                         "str x0, [sp]\n"},
-        RejectCase{"sp guard wrong reg", "add sp, x21, x0\n"},
-        RejectCase{"sp from x21 imm", "add sp, x21, #8\n"},
+                                         "str x0, [sp]\n",
+                   FailKind::kSpProtocol},
+        RejectCase{"sp guard wrong reg", "add sp, x21, x0\n",
+                   FailKind::kSpProtocol},
+        RejectCase{"sp from x21 imm", "add sp, x21, #8\n",
+                   FailKind::kSpProtocol},
         // Indirect branches through arbitrary registers.
-        RejectCase{"br raw", "br x0\n"},
-        RejectCase{"blr raw", "blr x1\n"},
-        RejectCase{"ret raw", "ret x2\n"},
+        RejectCase{"br raw", "br x0\n", FailKind::kUnguardedIndirectBranch},
+        RejectCase{"blr raw", "blr x1\n",
+                   FailKind::kUnguardedIndirectBranch},
+        RejectCase{"ret raw", "ret x2\n",
+                   FailKind::kUnguardedIndirectBranch},
         // System instructions.
-        RejectCase{"svc", "svc #0\n"},
+        RejectCase{"svc", "svc #0\n", FailKind::kSystemInstruction},
         // Writeback on reserved base.
         RejectCase{"writeback x18", "add x18, x21, w0, uxtw\n"
-                                    "ldr x0, [x18], #8\n"},
+                                    "ldr x0, [x18], #8\n",
+                   FailKind::kReservedWriteback},
         RejectCase{"pre-index x23", "add x23, x21, w0, uxtw\n"
-                                    "str x0, [x23, #16]!\n"}));
+                                    "str x0, [x23, #16]!\n",
+                   FailKind::kReservedWriteback}));
 
 TEST(Verifier, RejectsUndecodableWords) {
   const std::vector<uint8_t> junk = {0xff, 0xff, 0xff, 0xff};
   auto r = Verify({junk.data(), junk.size()});
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(r.fail_offset, 0u);
+  EXPECT_EQ(r.kind, FailKind::kUndecodable);
 }
 
 TEST(Verifier, RejectsUnalignedTextSize) {
   const std::vector<uint8_t> bytes = {0x1f, 0x20, 0x03};
-  EXPECT_FALSE(Verify({bytes.data(), bytes.size()}).ok);
+  auto r = Verify({bytes.data(), bytes.size()});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.kind, FailKind::kTextSize);
+}
+
+TEST(Verifier, LlscRejectionHasStableKind) {
+  VerifyOptions opts;
+  opts.allow_llsc = false;
+  auto r = Check("add x18, x21, w0, uxtw\nldxr x1, [x18]\n", opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.kind, FailKind::kLlscDisallowed);
 }
 
 TEST(Verifier, QRegisterOffsetCannotEscapeGuardRegion) {
@@ -149,6 +202,7 @@ TEST(Verifier, QRegisterOffsetCannotEscapeGuardRegion) {
   // 48KiB guard region on 16-byte accesses; must be rejected.
   auto r = Check("add x18, x21, w0, uxtw\nldr q0, [x18, #65520]\n");
   EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.kind, FailKind::kGuardRangeOverflow);
   // But a q access within the guard region is fine.
   EXPECT_TRUE(Check("add x18, x21, w0, uxtw\nldr q0, [x18, #32752]\n").ok);
 }
