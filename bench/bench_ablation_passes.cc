@@ -86,23 +86,27 @@ std::string LoadChainWorkload() {
 
 struct Variant {
   const char* name;
+  const char* slug;
   rewriter::OptLevel level;
   bool sp_elision;
 };
 
-void Measure(const char* title, const std::string& src,
-             const arch::CoreParams& core) {
+void Measure(const char* title, const char* key, const std::string& src,
+             const arch::CoreParams& core, JsonReport* json) {
   std::printf("\n%s\n", title);
   const Outcome base = Run(BuildLfi(src, Config::kNative), core, false);
   if (!base.ok) {
     std::printf("  native ERROR %s\n", base.error.c_str());
     return;
   }
+  const std::string prefix = std::string("ablation.") + key + ".";
+  json->Add(prefix + "native.cycles", static_cast<double>(base.cycles));
   const Variant variants[] = {
-      {"O0 (basic 2-cycle guard)", rewriter::OptLevel::kO0, true},
-      {"O1 (zero-instruction guard)", rewriter::OptLevel::kO1, true},
-      {"O2 (adds RGE)", rewriter::OptLevel::kO2, true},
-      {"O2, sp elision disabled", rewriter::OptLevel::kO2, false},
+      {"O0 (basic 2-cycle guard)", "o0", rewriter::OptLevel::kO0, true},
+      {"O1 (zero-instruction guard)", "o1", rewriter::OptLevel::kO1, true},
+      {"O2 (adds RGE)", "o2", rewriter::OptLevel::kO2, true},
+      {"O2, sp elision disabled", "o2-nospelision", rewriter::OptLevel::kO2,
+       false},
   };
   for (const auto& v : variants) {
     auto file = asmtext::Parse(src);
@@ -134,22 +138,27 @@ void Measure(const char* title, const std::string& src,
         "sp-elided %zu)\n",
         v.name, OverheadPct(base.cycles, o.cycles), stats.input_insts,
         stats.output_insts, stats.guards_hoisted, stats.guards_elided_sp);
+    json->Add(prefix + v.slug + ".cycles", static_cast<double>(o.cycles));
+    json->Add(prefix + v.slug + ".output-insts",
+              static_cast<double>(stats.output_insts));
   }
 }
 
 }  // namespace
 }  // namespace lfi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = lfi::bench::JsonReport::FromArgs(argc, argv);
   std::printf("=== Ablation: per-pass effect of the rewriter optimizations "
               "(apple-m1 model) ===\n");
   const auto core = lfi::arch::AppleM1LikeParams();
-  lfi::bench::Measure("[A] struct-field store runs (RGE territory)",
-                      lfi::bench::StructWorkload(), core);
+  lfi::bench::Measure("[A] struct-field store runs (RGE territory)", "struct",
+                      lfi::bench::StructWorkload(), core, &json);
   lfi::bench::Measure("[B] call/frame-heavy code (sp-elision territory)",
-                      lfi::bench::CallWorkload(), core);
+                      "call", lfi::bench::CallWorkload(), core, &json);
   lfi::bench::Measure("[C] dependent-load chains (zero-instruction-guard "
                       "territory)",
-                      lfi::bench::LoadChainWorkload(), core);
-  return 0;
+                      "loadchain", lfi::bench::LoadChainWorkload(), core,
+                      &json);
+  return json.Write() ? 0 : 1;
 }

@@ -38,6 +38,31 @@ void RunCore(const arch::CoreParams& core, JsonReport* json) {
     json->Add(prefix + ConfigSlug(c) + ".overhead_pct",
               OverheadPct(base.cycles, o.cycles));
   }
+  // Counter decomposition of the O2 run (guards executed is the guard
+  // instruction tax behind the overhead percentage above).
+  {
+    trace::TraceSink sink;
+    const Outcome o = Run(BuildLfi(src, Config::kO2), core, true, true,
+                          false, emu::Dispatch::kBlock, &sink);
+    if (o.ok) {
+      uint64_t guards = 0, loads = 0, stores = 0;
+      for (const auto& [pid, m] : sink.all_metrics()) {
+        guards += m.Get(trace::Counter::kGuardsExecuted);
+        loads += m.Get(trace::Counter::kLoads);
+        stores += m.Get(trace::Counter::kStores);
+      }
+      std::printf(
+          "  %-18s %llu guards / %llu loads / %llu stores / %llu insts\n",
+          "O2 breakdown", static_cast<unsigned long long>(guards),
+          static_cast<unsigned long long>(loads),
+          static_cast<unsigned long long>(stores),
+          static_cast<unsigned long long>(o.insts));
+      json->Add(prefix + "o2.guards", static_cast<double>(guards));
+      json->Add(prefix + "o2.loads", static_cast<double>(loads));
+      json->Add(prefix + "o2.stores", static_cast<double>(stores));
+      json->Add(prefix + "o2.insts", static_cast<double>(o.insts));
+    }
+  }
   // O2 with per-sandbox predictor contexts (a second sandbox runs
   // alongside, so domain crossings actually happen).
   {

@@ -1,12 +1,16 @@
 // Emulator dispatch microbenchmark: block-cache dispatch vs the legacy
-// per-instruction decode path.
+// per-instruction decode path, plus the cost of attaching the tracing
+// counters.
 //
 // This is a *host-side* benchmark: it measures how fast the interpreter
 // itself retires simulated instructions (Minsts/s of wall-clock time), not
 // simulated cycles. Both dispatch modes execute the identical instruction
 // stream and charge the identical Timing costs, so the simulated results
 // (exit status, cycles, retired instructions) must match bit-for-bit --
-// the benchmark asserts that before reporting the speedup.
+// the benchmark asserts that before reporting the speedup. The tracing
+// section asserts the same bit-for-bit identity between counters-attached
+// and counters-detached runs (tracing must never perturb the simulation)
+// and reports the wall-clock cost of counting.
 
 #include "harness.h"
 
@@ -22,9 +26,10 @@ struct Sample {
 };
 
 void Accumulate(Sample& best, const Built& built, const arch::CoreParams& core,
-                bool verify, emu::Dispatch dispatch) {
+                bool verify, emu::Dispatch dispatch,
+                trace::TraceSink* sink = nullptr) {
   if (!best.out.ok && !best.out.error.empty()) return;  // sticky error
-  Outcome o = Run(built, core, verify, true, false, dispatch);
+  Outcome o = Run(built, core, verify, true, false, dispatch, sink);
   if (!o.ok) {
     best.out = o;
     best.minsts_per_sec = 0.0;
@@ -38,8 +43,8 @@ void Accumulate(Sample& best, const Built& built, const arch::CoreParams& core,
 }
 
 // Returns false if the two modes diverged semantically.
-bool Compare(const char* label, const Built& built,
-             const arch::CoreParams& core, bool verify) {
+bool Compare(const char* label, const char* slug, const Built& built,
+             const arch::CoreParams& core, bool verify, JsonReport* json) {
   Sample block, step;
   // Interleave reps so host frequency drift hits both modes equally.
   for (int r = 0; r < kReps; ++r) {
@@ -69,10 +74,56 @@ bool Compare(const char* label, const Built& built,
         static_cast<unsigned long long>(block.out.cycles),
         static_cast<unsigned long long>(block.out.insts));
   }
+  const std::string prefix = std::string("emu_dispatch.") + slug + ".";
+  json->Add(prefix + "cycles", static_cast<double>(block.out.cycles));
+  json->Add(prefix + "step_minsts_per_s", step.minsts_per_sec);
+  json->Add(prefix + "block_minsts_per_s", block.minsts_per_sec);
+  json->Add(prefix + "block_speedup", speedup);
   return same;
 }
 
-int RunAll() {
+// Tracing overhead: the same build, block dispatch, with and without a
+// TraceSink attached. Simulated cycles/insts must be identical (tracing
+// charges nothing); only wall clock may move, and not by much.
+bool TraceOverhead(const Built& built, const arch::CoreParams& core,
+                   JsonReport* json) {
+  Sample off, on;
+  trace::TraceSink sink;
+  for (int r = 0; r < kReps; ++r) {
+    Accumulate(off, built, core, true, emu::Dispatch::kBlock);
+    Accumulate(on, built, core, true, emu::Dispatch::kBlock, &sink);
+  }
+  if (!off.out.ok || !on.out.ok) {
+    std::printf("  tracing          ERROR %s%s\n", off.out.error.c_str(),
+                on.out.error.c_str());
+    return false;
+  }
+  const bool same = off.out.status == on.out.status &&
+                    off.out.cycles == on.out.cycles &&
+                    off.out.insts == on.out.insts;
+  const double overhead_pct =
+      100.0 * (off.minsts_per_sec / on.minsts_per_sec - 1.0);
+  std::printf(
+      "  %-16s off: %8.1f Minsts/s   on: %8.1f Minsts/s   "
+      "wall overhead: %+.1f%%   simulated cycles: %s\n",
+      "tracing (LFI O2)", off.minsts_per_sec, on.minsts_per_sec,
+      overhead_pct, same ? "identical" : "DIVERGED");
+  json->Add("emu_dispatch.trace.wall_overhead_pct", overhead_pct);
+  // One attached run's counter decomposition, for the JSON record.
+  uint64_t guards = 0, retired = 0;
+  for (const auto& [pid, m] : sink.all_metrics()) {
+    guards += m.Get(trace::Counter::kGuardsExecuted);
+    retired += m.Get(trace::Counter::kInstRetired);
+  }
+  // The sink accumulated across kReps identical runs.
+  json->Add("emu_dispatch.trace.retired_per_run",
+            static_cast<double>(retired / kReps));
+  json->Add("emu_dispatch.trace.guards_per_run",
+            static_cast<double>(guards / kReps));
+  return same;
+}
+
+int RunAll(JsonReport* json) {
   const arch::CoreParams core = arch::AppleM1LikeParams();
   std::printf("=== Emulator dispatch: block cache vs per-inst decode ===\n");
   std::printf("coremark (scale %llu), %s core, best of %d runs\n",
@@ -80,12 +131,19 @@ int RunAll() {
               kReps);
   const std::string src = workloads::Generate("coremark", kScale);
   bool ok = true;
-  ok &= Compare("native", BuildLfi(src, Config::kNative), core, false);
-  ok &= Compare("LFI O2", BuildLfi(src, Config::kO2), core, true);
+  ok &= Compare("native", "native", BuildLfi(src, Config::kNative), core,
+                false, json);
+  const Built o2 = BuildLfi(src, Config::kO2);
+  ok &= Compare("LFI O2", "lfi-o2", o2, core, true, json);
+  ok &= TraceOverhead(o2, core, json);
+  ok &= json->Write();
   return ok ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace lfi::bench
 
-int main() { return lfi::bench::RunAll(); }
+int main(int argc, char** argv) {
+  auto json = lfi::bench::JsonReport::FromArgs(argc, argv);
+  return lfi::bench::RunAll(&json);
+}

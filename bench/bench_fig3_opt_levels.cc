@@ -12,12 +12,14 @@ namespace {
 
 constexpr uint64_t kScale = 1200000;
 
-void RunCore(const arch::CoreParams& core) {
+void RunCore(const arch::CoreParams& core, JsonReport* json) {
   std::printf("\nOverhead on SPEC 2017 stand-ins - %s (%% over native)\n",
               core.name.c_str());
   std::printf("%-16s %9s %9s %9s %12s\n", "benchmark", "LFI O0", "LFI O1",
               "LFI O2", "O2 no-loads");
   Geomean g[4];
+  const Config configs[4] = {Config::kO0, Config::kO1, Config::kO2,
+                             Config::kO2NoLoads};
   for (const auto& name : SpecNames()) {
     const std::string src = workloads::Generate(name, kScale);
     const Built native = BuildLfi(src, Config::kNative);
@@ -26,9 +28,9 @@ void RunCore(const arch::CoreParams& core) {
       std::printf("%-16s ERROR %s\n", name.c_str(), base.error.c_str());
       continue;
     }
+    const std::string prefix = "fig3." + core.name + "." + name + ".";
+    json->Add(prefix + "native.cycles", static_cast<double>(base.cycles));
     double pct[4];
-    const Config configs[4] = {Config::kO0, Config::kO1, Config::kO2,
-                               Config::kO2NoLoads};
     bool all_ok = true;
     for (int k = 0; k < 4; ++k) {
       const Built b = BuildLfi(src, configs[k]);
@@ -42,6 +44,8 @@ void RunCore(const arch::CoreParams& core) {
       }
       pct[k] = OverheadPct(base.cycles, o.cycles);
       g[k].Add(pct[k]);
+      json->Add(prefix + ConfigSlug(configs[k]) + ".cycles",
+                static_cast<double>(o.cycles));
     }
     if (!all_ok) continue;
     std::printf("%-16s %8.1f%% %8.1f%% %8.1f%% %11.1f%%\n", name.c_str(),
@@ -49,14 +53,20 @@ void RunCore(const arch::CoreParams& core) {
   }
   std::printf("%-16s %8.1f%% %8.1f%% %8.1f%% %11.1f%%\n", "geomean",
               g[0].Pct(), g[1].Pct(), g[2].Pct(), g[3].Pct());
+  for (int k = 0; k < 4; ++k) {
+    json->Add("fig3." + core.name + ".geomean." + ConfigSlug(configs[k]) +
+                  ".overhead_pct",
+              g[k].Pct());
+  }
 }
 
 }  // namespace
 }  // namespace lfi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = lfi::bench::JsonReport::FromArgs(argc, argv);
   std::printf("=== Figure 3: LFI optimization levels vs native ===\n");
-  lfi::bench::RunCore(lfi::arch::GcpT2aLikeParams());
-  lfi::bench::RunCore(lfi::arch::AppleM1LikeParams());
-  return 0;
+  lfi::bench::RunCore(lfi::arch::GcpT2aLikeParams(), &json);
+  lfi::bench::RunCore(lfi::arch::AppleM1LikeParams(), &json);
+  return json.Write() ? 0 : 1;
 }

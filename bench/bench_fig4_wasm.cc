@@ -18,7 +18,7 @@ const wasm::Engine kEngines[] = {
     wasm::Engine::kWamr,
 };
 
-void RunCore(const arch::CoreParams& core) {
+void RunCore(const arch::CoreParams& core, JsonReport* json) {
   std::printf("\nLFI vs Wasm on SPEC 2017 stand-ins - %s (%% over native)\n",
               core.name.c_str());
   std::printf("%-15s", "benchmark");
@@ -33,6 +33,8 @@ void RunCore(const arch::CoreParams& core) {
       std::printf("%-15s ERROR %s\n", name.c_str(), base.error.c_str());
       continue;
     }
+    const std::string prefix = "fig4." + core.name + "." + name + ".";
+    json->Add(prefix + "native.cycles", static_cast<double>(base.cycles));
     std::printf("%-15s", name.c_str());
     int col = 0;
     for (auto e : kEngines) {
@@ -43,6 +45,8 @@ void RunCore(const arch::CoreParams& core) {
         const double pct = OverheadPct(base.cycles, o.cycles);
         g[col].Add(pct);
         std::printf(" %15.1f%%", pct);
+        json->Add(prefix + wasm::EngineName(e) + ".cycles",
+                  static_cast<double>(o.cycles));
       }
       ++col;
     }
@@ -51,6 +55,7 @@ void RunCore(const arch::CoreParams& core) {
       const double pct = OverheadPct(base.cycles, lfi.cycles);
       g[5].Add(pct);
       std::printf(" %15.1f%%\n", pct);
+      json->Add(prefix + "lfi-o2.cycles", static_cast<double>(lfi.cycles));
     } else {
       std::printf(" %15s\n", "ERR");
     }
@@ -58,16 +63,24 @@ void RunCore(const arch::CoreParams& core) {
   std::printf("%-15s", "geomean");
   for (int k = 0; k < 6; ++k) std::printf(" %15.1f%%", g[k].Pct());
   std::printf("\n");
+  for (int k = 0; k < 5; ++k) {
+    json->Add("fig4." + core.name + ".geomean." +
+                  wasm::EngineName(kEngines[k]) + ".overhead_pct",
+              g[k].Pct());
+  }
+  json->Add("fig4." + core.name + ".geomean.lfi-o2.overhead_pct",
+            g[5].Pct());
 }
 
 }  // namespace
 }  // namespace lfi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = lfi::bench::JsonReport::FromArgs(argc, argv);
   std::printf(
       "=== Figure 4 / Table 4: LFI vs WebAssembly engines ===\n"
       "(all engines AOT; native baseline runs inside the LFI runtime)\n");
-  lfi::bench::RunCore(lfi::arch::GcpT2aLikeParams());
-  lfi::bench::RunCore(lfi::arch::AppleM1LikeParams());
-  return 0;
+  lfi::bench::RunCore(lfi::arch::GcpT2aLikeParams(), &json);
+  lfi::bench::RunCore(lfi::arch::AppleM1LikeParams(), &json);
+  return json.Write() ? 0 : 1;
 }

@@ -14,7 +14,7 @@ namespace {
 
 constexpr uint64_t kScale = 1200000;
 
-void Table(const arch::CoreParams& core) {
+void Table(const arch::CoreParams& core, JsonReport* json) {
   std::printf("\nLFI vs KVM - %s (%% over native)\n", core.name.c_str());
   std::printf("%-16s %12s %12s\n", "benchmark", "QEMU KVM", "LFI");
   Geomean kvm_g, lfi_g;
@@ -40,16 +40,24 @@ void Table(const arch::CoreParams& core) {
     lfi_g.Add(lfi_pct);
     std::printf("%-16s %11.1f%% %11.1f%%\n", name.c_str(), kvm_pct,
                 lfi_pct);
+    const std::string prefix = "fig5." + core.name + "." + name + ".";
+    json->Add(prefix + "native.cycles", static_cast<double>(base.cycles));
+    json->Add(prefix + "kvm.cycles", static_cast<double>(kvm.cycles));
+    json->Add(prefix + "lfi-o2.cycles", static_cast<double>(lfi.cycles));
   }
   std::printf("%-16s %11.1f%% %11.1f%%\n", "geomean", kvm_g.Pct(),
               lfi_g.Pct());
+  json->Add("fig5." + core.name + ".geomean.kvm.overhead_pct", kvm_g.Pct());
+  json->Add("fig5." + core.name + ".geomean.lfi-o2.overhead_pct",
+            lfi_g.Pct());
 }
 
 }  // namespace
 }  // namespace lfi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = lfi::bench::JsonReport::FromArgs(argc, argv);
   std::printf("=== Figure 5: LFI vs hardware-assisted virtualization ===\n");
-  lfi::bench::Table(lfi::arch::AppleM1LikeParams());
-  return 0;
+  lfi::bench::Table(lfi::arch::AppleM1LikeParams(), &json);
+  return json.Write() ? 0 : 1;
 }

@@ -4,7 +4,10 @@
 // and verifies every SPEC binary in under 0.3 s; the WABT Wasm validator
 // manages ~3 MB/s on the same machine. This benchmark measures our
 // verifier's real (host) throughput over the rewritten workload binaries.
-// Uses google-benchmark since this is a host-time measurement.
+// Uses google-benchmark since this is a host-time measurement; a custom
+// main() strips `--json <path>` before benchmark::Initialize sees it and
+// records the deterministic verification facts (bytes, instructions
+// checked, decode/check split) plus the measured throughput.
 
 #include <benchmark/benchmark.h>
 
@@ -69,7 +72,55 @@ void BM_VerifySingleWorkload(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifySingleWorkload);
 
+// One timed verification pass outside google-benchmark, for the JSON
+// report: the byte/instruction counts are deterministic (and act as a
+// structural regression gate); the MB/s figure is informational.
+void ReportJson(JsonReport* json) {
+  const auto& text = CombinedText();
+  verifier::VerifyStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = verifier::Verify({text.data(), text.size()}, {}, &stats);
+  const double secs = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t0).count();
+  if (!r.ok) {
+    std::fprintf(stderr, "sec52: combined text failed verification: %s\n",
+                 r.reason.c_str());
+    return;
+  }
+  json->Add("sec52.verify.text.bytes", static_cast<double>(text.size()));
+  json->Add("sec52.verify.insts_checked",
+            static_cast<double>(r.insts_checked));
+  json->Add("sec52.verify.mb_per_s",
+            secs > 0 ? text.size() / secs / 1e6 : 0.0);
+  json->Add("sec52.verify.decode_fraction",
+            stats.decode_seconds + stats.check_seconds > 0
+                ? stats.decode_seconds /
+                      (stats.decode_seconds + stats.check_seconds)
+                : 0.0);
+}
+
 }  // namespace
 }  // namespace lfi::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  auto json = lfi::bench::JsonReport::FromArgs(argc, argv);
+  // Strip --json from argv: google-benchmark rejects flags it does not
+  // recognize.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) continue;
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lfi::bench::ReportJson(&json);
+  return json.Write() ? 0 : 1;
+}

@@ -11,7 +11,7 @@ namespace {
 
 constexpr uint64_t kScale = 400000;
 
-void Table() {
+void Table(JsonReport* json) {
   std::printf("%-16s %12s %12s %12s %12s\n", "benchmark", "text(nat)",
               "LFI text+%", "LFI file+%", "WAMR file+%");
   Geomean text_g, file_g, wamr_g;
@@ -30,6 +30,11 @@ void Table() {
     file_g.Add(file_pct);
     std::printf("%-16s %12zu %11.1f%% %11.1f%%", w.name.c_str(),
                 native.text_bytes, text_pct, file_pct);
+    const std::string prefix = "sec63." + w.name + ".";
+    json->Add(prefix + "native-text.bytes",
+              static_cast<double>(native.text_bytes));
+    json->Add(prefix + "lfi-text.bytes",
+              static_cast<double>(lfi.text_bytes));
     if (w.wasm_compatible) {
       const Built wamr = BuildWasm(src, wasm::Engine::kWamr);
       if (wamr.ok) {
@@ -37,21 +42,27 @@ void Table() {
             OverheadPct(native.file_bytes, wamr.file_bytes);
         wamr_g.Add(wamr_pct);
         std::printf(" %11.1f%%", wamr_pct);
+        json->Add(prefix + "wamr-file.bytes",
+                  static_cast<double>(wamr.file_bytes));
       }
     }
     std::printf("\n");
   }
   std::printf("%-16s %12s %11.1f%% %11.1f%% %11.1f%%\n", "geomean", "",
               text_g.Pct(), file_g.Pct(), wamr_g.Pct());
+  json->Add("sec63.geomean.lfi-text.overhead_pct", text_g.Pct());
+  json->Add("sec63.geomean.lfi-file.overhead_pct", file_g.Pct());
+  json->Add("sec63.geomean.wamr-file.overhead_pct", wamr_g.Pct());
 }
 
 }  // namespace
 }  // namespace lfi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = lfi::bench::JsonReport::FromArgs(argc, argv);
   std::printf(
       "=== Section 6.3: code size overhead ===\n"
       "(LFI at O2; WAMR column only for the Wasm-compatible subset)\n");
-  lfi::bench::Table();
-  return 0;
+  lfi::bench::Table(&json);
+  return json.Write() ? 0 : 1;
 }

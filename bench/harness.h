@@ -21,6 +21,7 @@
 #include "elf/elf.h"
 #include "rewriter/rewriter.h"
 #include "runtime/runtime.h"
+#include "trace/trace.h"
 #include "wasm/wasm.h"
 #include "workloads/workloads.h"
 
@@ -137,11 +138,15 @@ struct Outcome {
   std::string error;
 };
 
-// Runs a built executable to completion on the given core model.
+// Runs a built executable to completion on the given core model. Pass a
+// TraceSink to decompose the run into per-sandbox counters (guards
+// executed, loads/stores, block-cache traffic, ...) — attaching one must
+// not change any simulated result, only host time.
 inline Outcome Run(const Built& built, const arch::CoreParams& core,
                    bool verify, bool check_loads = true,
                    bool nested_pagetables = false,
-                   emu::Dispatch dispatch = emu::Dispatch::kBlock) {
+                   emu::Dispatch dispatch = emu::Dispatch::kBlock,
+                   trace::TraceSink* sink = nullptr) {
   Outcome o;
   if (!built.ok) {
     o.error = built.error;
@@ -154,6 +159,7 @@ inline Outcome Run(const Built& built, const arch::CoreParams& core,
   runtime::Runtime rt(cfg);
   rt.machine().timing().set_nested_pagetables(nested_pagetables);
   rt.machine().set_dispatch(dispatch);
+  if (sink != nullptr) rt.set_trace_sink(sink);
   auto pid = rt.Load({built.elf.data(), built.elf.size()});
   if (!pid.ok()) {
     o.error = pid.error();

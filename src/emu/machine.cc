@@ -155,6 +155,14 @@ uint64_t F32ToBits(float f) { return std::bit_cast<uint32_t>(f); }
 Machine::Machine(AddressSpace* mem, const arch::CoreParams& params)
     : mem_(mem), timing_(params), block_lut_(size_t{1} << kBlockLutBits) {}
 
+uint8_t Machine::ClassifyInst(const Inst& i) {
+  uint8_t f = 0;
+  if (arch::IsLoad(i)) f |= kClassLoad;
+  if (arch::IsStore(i)) f |= kClassStore;
+  if (arch::IsGuardFor(i, i.rd) || arch::IsSpGuard(i)) f |= kClassGuard;
+  return f;
+}
+
 void Machine::ClearCaches() {
   block_cache_.clear();
   decode_cache_.clear();
@@ -220,9 +228,13 @@ const Inst* Machine::FetchDecode(uint64_t pc) {
 const Machine::Block* Machine::FetchBlock(uint64_t pc) {
   RevalidateCaches();
   BlockLutEntry& lut = block_lut_[LutIndex(pc)];
-  if (lut.pc == pc) return lut.block;
+  if (lut.pc == pc) {
+    if (counters_ != nullptr) ++counters_->block_hits;
+    return lut.block;
+  }
   auto it = block_cache_.find(pc);
   if (it != block_cache_.end()) {
+    if (counters_ != nullptr) ++counters_->block_hits;
     lut = {pc, &it->second};
     return lut.block;
   }
@@ -252,9 +264,11 @@ const Machine::Block* Machine::FetchBlock(uint64_t pc) {
       // if control actually reaches it.
       break;
     }
-    b.insts.push_back({*inst, arch::CostOf(*inst, timing_.params())});
+    b.insts.push_back(
+        {*inst, arch::CostOf(*inst, timing_.params()), ClassifyInst(*inst)});
     if (EndsBlock(inst->mn) || b.insts.size() >= kMaxBlockInsts) break;
   }
+  if (counters_ != nullptr) ++counters_->block_misses;
   if (block_cache_.size() >= kMaxCachedBlocks) {
     block_cache_.clear();
     std::fill(block_lut_.begin(), block_lut_.end(), BlockLutEntry{});
@@ -265,8 +279,19 @@ const Machine::Block* Machine::FetchBlock(uint64_t pc) {
 }
 
 StopReason Machine::Run(uint64_t max_instructions) {
-  return dispatch_ == Dispatch::kBlock ? RunBlocks(max_instructions)
-                                       : RunSteps(max_instructions);
+  if (counters_ == nullptr) {
+    return dispatch_ == Dispatch::kBlock ? RunBlocks(max_instructions)
+                                         : RunSteps(max_instructions);
+  }
+  // Retired instructions are counted as a Timing delta around the whole
+  // run rather than per instruction: Timing::Issue already increments its
+  // own retire counter on the hot path, so this is exact and free.
+  const uint64_t retired_before = timing_.Retired();
+  const StopReason r = dispatch_ == Dispatch::kBlock
+                           ? RunBlocks(max_instructions)
+                           : RunSteps(max_instructions);
+  counters_->retired += timing_.Retired() - retired_before;
+  return r;
 }
 
 StopReason Machine::RunBlocks(uint64_t max_instructions) {
@@ -288,11 +313,27 @@ StopReason Machine::RunBlocks(uint64_t max_instructions) {
     const size_t take = b->insts.size() <= budget
                             ? b->insts.size()
                             : static_cast<size_t>(budget);
-    for (size_t k = 0; k < take; ++k) {
-      const DecodedInst& di = b->insts[k];
-      if (hook_ == nullptr ? !ExecInst(di.inst, di.cost)
-                           : !ExecHooked(di.inst, di.cost)) {
-        return stop_;
+    if (counters_ == nullptr) {
+      for (size_t k = 0; k < take; ++k) {
+        const DecodedInst& di = b->insts[k];
+        if (hook_ == nullptr ? !ExecInst(di.inst, di.cost)
+                             : !ExecHooked(di.inst, di.cost)) {
+          return stop_;
+        }
+      }
+    } else {
+      // Counting twin of the loop above; classes come from the flags byte
+      // precomputed at decode time and are tallied only after the
+      // instruction retires (a faulting instruction counts nothing).
+      for (size_t k = 0; k < take; ++k) {
+        const DecodedInst& di = b->insts[k];
+        if (hook_ == nullptr ? !ExecInst(di.inst, di.cost)
+                             : !ExecHooked(di.inst, di.cost)) {
+          return stop_;
+        }
+        counters_->loads += di.class_flags & kClassLoad;
+        counters_->stores += (di.class_flags >> 1) & 1;
+        counters_->guards += (di.class_flags >> 2) & 1;
       }
     }
     executed += take;
@@ -328,7 +369,16 @@ bool Machine::Step() {
     return false;
   }
   const InstCost cost = arch::CostOf(*ip, timing_.params());
-  return hook_ == nullptr ? ExecInst(*ip, cost) : ExecHooked(*ip, cost);
+  const bool ok = hook_ == nullptr ? ExecInst(*ip, cost) : ExecHooked(*ip, cost);
+  if (ok && counters_ != nullptr) {
+    // kStep has no decode-time flags byte; classify on the fly (this path
+    // is the legacy baseline, not the hot one).
+    const uint8_t f = ClassifyInst(*ip);
+    counters_->loads += f & kClassLoad;
+    counters_->stores += (f >> 1) & 1;
+    counters_->guards += (f >> 2) & 1;
+  }
+  return ok;
 }
 
 bool Machine::ExecHooked(const Inst& i, const InstCost& cost) {

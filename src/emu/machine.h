@@ -38,6 +38,7 @@
 #include "arch/inst.h"
 #include "emu/address_space.h"
 #include "emu/timing.h"
+#include "trace/trace.h"
 
 namespace lfi::emu {
 
@@ -158,13 +159,32 @@ class Machine {
   }
   ExecHook* exec_hook() const { return hook_; }
 
+  // Attaches (or detaches, with nullptr) an execution-counter accumulator.
+  // While attached, the dispatch loops tally retired instructions by class
+  // (loads/stores/guards) plus decode-cache traffic into it; the caller
+  // owns attribution (the runtime snapshots it around timeslices). The
+  // disabled path costs one pointer test per dispatched *block* — the
+  // per-instruction loop is unchanged. Caveat: an ExecHook stop on a
+  // retired instruction skews the class tallies (not retired-count) by at
+  // most one; hooks and counters are not used together in practice.
+  void set_counters(trace::ExecCounters* c) { counters_ = c; }
+  trace::ExecCounters* counters() const { return counters_; }
+
  private:
+  // Instruction-class bits, precomputed at decode time so the counting
+  // dispatch loop adds without re-classifying.
+  static constexpr uint8_t kClassLoad = 1 << 0;
+  static constexpr uint8_t kClassStore = 1 << 1;
+  static constexpr uint8_t kClassGuard = 1 << 2;
+  static uint8_t ClassifyInst(const arch::Inst& i);
+
   // A pre-decoded instruction plus its static issue cost (CostOf depends
   // only on the instruction and the fixed core params, so hoisting it to
   // decode time takes it off the hot path entirely).
   struct DecodedInst {
     arch::Inst inst;
     arch::InstCost cost;
+    uint8_t class_flags;
   };
 
   // A decoded straight-line run: starts at its cache key's PC and ends at
@@ -201,6 +221,11 @@ class Machine {
   void RevalidateCaches() {
     const uint64_t gen = mem_->mutation_generation();
     if (gen != cache_generation_) {
+      // Don't count the very first fill (sentinel stamp) as an
+      // invalidation; nothing was dropped.
+      if (counters_ != nullptr && cache_generation_ != ~uint64_t{0}) {
+        ++counters_->block_invalidations;
+      }
       ClearCaches();
       cache_generation_ = gen;
     }
@@ -216,6 +241,7 @@ class Machine {
   CpuFault fault_;
   ExecHook* hook_ = nullptr;
   AccessTrace hook_trace_;
+  trace::ExecCounters* counters_ = nullptr;
   StopReason stop_ = StopReason::kStepLimit;
   uint64_t rt_base_ = 0, rt_len_ = 0;
   Dispatch dispatch_ = Dispatch::kBlock;

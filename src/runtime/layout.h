@@ -69,6 +69,32 @@ enum class Rtcall : int {
   kCount = 16,
 };
 
+// Display name for a runtime-call number ("write", "yield-to", ...);
+// nullptr for numbers outside the table. Shape matches
+// trace::SyscallNameFn so exporters can take it directly.
+constexpr const char* RtcallName(int call) {
+  switch (static_cast<Rtcall>(call)) {
+    case Rtcall::kExit: return "exit";
+    case Rtcall::kWrite: return "write";
+    case Rtcall::kRead: return "read";
+    case Rtcall::kOpen: return "open";
+    case Rtcall::kClose: return "close";
+    case Rtcall::kBrk: return "brk";
+    case Rtcall::kMmap: return "mmap";
+    case Rtcall::kMunmap: return "munmap";
+    case Rtcall::kFork: return "fork";
+    case Rtcall::kWait: return "wait";
+    case Rtcall::kPipe: return "pipe";
+    case Rtcall::kYield: return "yield";
+    case Rtcall::kGetpid: return "getpid";
+    case Rtcall::kClock: return "clock";
+    case Rtcall::kYieldTo: return "yield-to";
+    case Rtcall::kLseek: return "lseek";
+    case Rtcall::kCount: break;
+  }
+  return nullptr;
+}
+
 }  // namespace lfi::runtime
 
 #endif  // LFI_RUNTIME_LAYOUT_H_

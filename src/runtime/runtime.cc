@@ -129,10 +129,14 @@ Result<int> Runtime::LoadImage(const elf::ElfImage& image) {
     for (const auto& seg : image.segments) {
       if (!seg.exec) continue;
       auto res = verifier::Verify({seg.data.data(), seg.data.size()},
-                                  cfg_.verify);
+                                  cfg_.verify, &verify_stats_);
       if (!res.ok) {
-        return Error{"verification failed at text offset " +
-                     std::to_string(res.fail_offset) + ": " + res.reason};
+        std::string err = "verification failed (" +
+                          std::string(verifier::FailKindName(res.kind)) +
+                          ") at text offset " +
+                          std::to_string(res.fail_offset) + ": " + res.reason;
+        last_verify_ = std::move(res);
+        return Error{std::move(err)};
       }
     }
   }
@@ -299,6 +303,12 @@ void Runtime::SwitchTo(Proc* p, bool fast) {
   if (current_pid_ != p->pid && current_pid_ != 0) {
     machine_.timing().ChargeFlat(fast ? cfg_.fast_yield_cycles
                                       : cfg_.context_switch_cycles);
+    if (sink_ != nullptr) {
+      sink_->metrics(p->pid).Add(fast ? trace::Counter::kFastYields
+                                      : trace::Counter::kContextSwitches);
+      sink_->EmitInstant(trace::EventKind::kSchedSwitch, p->pid, Cycles(),
+                         static_cast<uint64_t>(current_pid_), fast ? 1 : 0);
+    }
   }
   if (cfg_.spectre_ctx_isolation &&
       machine_.timing().predictor().context() !=
@@ -320,8 +330,15 @@ int Runtime::RunUntilIdle(uint64_t max_total_insts) {
     if (p == nullptr) break;
     SwitchTo(p, fast_switch);
     fast_switch = false;
+    trace::ExecCounters ctr_before;
+    uint64_t slice_start = 0;
+    if (sink_ != nullptr) {
+      ctr_before = exec_counters_;
+      slice_start = Cycles();
+    }
     const auto stop = machine_.Run(cfg_.timeslice_insts);
     p->cpu = machine_.state();
+    if (sink_ != nullptr) AttributeSlice(p, ctr_before, slice_start, stop);
     switch (stop) {
       case emu::StopReason::kRuntimeEntry: {
         const uint64_t entry = p->cpu.pc;
@@ -357,11 +374,39 @@ int Runtime::RunUntilIdle(uint64_t max_total_insts) {
   return static_cast<int>(live_procs());
 }
 
+void Runtime::AttributeSlice(Proc* p, const trace::ExecCounters& before,
+                             uint64_t slice_start_cycles,
+                             emu::StopReason stop) {
+  using trace::Counter;
+  trace::Metrics& m = sink_->metrics(p->pid);
+  const trace::ExecCounters& a = exec_counters_;
+  m.Add(Counter::kInstRetired, a.retired - before.retired);
+  m.Add(Counter::kGuardsExecuted, a.guards - before.guards);
+  m.Add(Counter::kLoads, a.loads - before.loads);
+  m.Add(Counter::kStores, a.stores - before.stores);
+  m.Add(Counter::kBlockCacheHits, a.block_hits - before.block_hits);
+  m.Add(Counter::kBlockCacheMisses, a.block_misses - before.block_misses);
+  const uint64_t inval = a.block_invalidations - before.block_invalidations;
+  if (inval > 0) {
+    m.Add(Counter::kBlockCacheInvalidations, inval);
+    sink_->EmitInstant(trace::EventKind::kBlockInvalidate, p->pid, Cycles(),
+                       space_.mutation_generation());
+  }
+  sink_->Emit(trace::EventKind::kSchedSlice, p->pid, slice_start_cycles,
+              Cycles(), static_cast<uint64_t>(stop));
+}
+
 // ---- Runtime calls ----
 
 void Runtime::HandleRuntimeEntry(Proc* p) {
   const uint64_t off = p->cpu.pc - kRuntimeEntryBase;
   const int call = static_cast<int>(off / kRuntimeEntryGranule);
+  const uint64_t sys_enter = sink_ != nullptr ? Cycles() : 0;
+  if (sink_ != nullptr) {
+    trace::Metrics& m = sink_->metrics(p->pid);
+    m.Add(trace::Counter::kSyscalls);
+    m.AddSyscall(call);
+  }
   // The fast direct yield skips the general runtime-call prologue: the
   // program loaded its entry point statically from the call table, so the
   // runtime needs no dispatch work (Section 4.4's "fast direct yield").
@@ -377,6 +422,10 @@ void Runtime::HandleRuntimeEntry(Proc* p) {
   uint64_t r = 0;
   switch (static_cast<Rtcall>(call)) {
     case Rtcall::kExit:
+      if (sink_ != nullptr) {
+        sink_->Emit(trace::EventKind::kSyscall, p->pid, sys_enter, Cycles(),
+                    static_cast<uint64_t>(call), 0);
+      }
       DoExit(p, static_cast<int>(p->cpu.x[0]));
       return;
     case Rtcall::kWrite:
@@ -402,12 +451,25 @@ void Runtime::HandleRuntimeEntry(Proc* p) {
       break;
     case Rtcall::kFork:
       r = SysFork(p);
+      if (sink_ != nullptr && static_cast<int64_t>(r) > 0) {
+        sink_->metrics(p->pid).Add(trace::Counter::kForks);
+        sink_->EmitInstant(trace::EventKind::kFork, p->pid, Cycles(), r);
+      }
       break;
     case Rtcall::kWait:
       // wait(status_ptr): block until a child exits.
       p->block_buf = p->cpu.x[0];
       p->state = ProcState::kBlockedWait;
       if (TryUnblock(p)) Enqueue(p->pid);
+      if (sink_ != nullptr) {
+        if (p->state == ProcState::kReady) {
+          sink_->Emit(trace::EventKind::kSyscall, p->pid, sys_enter, Cycles(),
+                      static_cast<uint64_t>(call), p->cpu.x[0]);
+        } else {
+          sink_->EmitInstant(trace::EventKind::kSyscallBlock, p->pid, Cycles(),
+                             static_cast<uint64_t>(call));
+        }
+      }
       return;
     case Rtcall::kPipe:
       r = SysPipe(p, p->cpu.x[0]);
@@ -437,6 +499,10 @@ void Runtime::HandleRuntimeEntry(Proc* p) {
         }
       }
       ready_.push_front(target);
+      if (sink_ != nullptr) {
+        sink_->EmitInstant(trace::EventKind::kYieldTo, p->pid, Cycles(),
+                           static_cast<uint64_t>(target));
+      }
       r = 0;
       break;
     }
@@ -450,9 +516,17 @@ void Runtime::HandleRuntimeEntry(Proc* p) {
   if (p->state == ProcState::kReady) {
     p->cpu.x[0] = r;
     Enqueue(p->pid);
+    if (sink_ != nullptr) {
+      sink_->Emit(trace::EventKind::kSyscall, p->pid, sys_enter, Cycles(),
+                  static_cast<uint64_t>(call), r);
+    }
   } else if (p->state == ProcState::kBlockedRead ||
              p->state == ProcState::kBlockedWrite) {
     // Blocked: x0 will be set on completion.
+    if (sink_ != nullptr) {
+      sink_->EmitInstant(trace::EventKind::kSyscallBlock, p->pid, Cycles(),
+                         static_cast<uint64_t>(call));
+    }
   }
 }
 
@@ -465,6 +539,10 @@ void Runtime::ReapChild(Proc* parent, Proc* child) {
 void Runtime::DoExit(Proc* p, int status) {
   p->exit_kind = ExitKind::kExited;
   p->exit_status = status;
+  if (sink_ != nullptr) {
+    sink_->EmitInstant(trace::EventKind::kProcExit, p->pid, Cycles(),
+                       static_cast<uint64_t>(static_cast<uint32_t>(status)));
+  }
   // Close descriptors (updates pipe endpoint counts).
   for (uint64_t fd = 0; fd < p->fds.size(); ++fd) {
     if (p->fds[fd].kind != FileDesc::Kind::kFree) SysClose(p, fd);
@@ -487,6 +565,10 @@ void Runtime::DoExit(Proc* p, int status) {
 
 void Runtime::KillProc(Proc* p, const std::string& why) {
   p->fault_detail = why;
+  if (sink_ != nullptr) {
+    sink_->metrics(p->pid).Add(trace::Counter::kFaults);
+    sink_->EmitInstant(trace::EventKind::kFault, p->pid, Cycles());
+  }
   p->exit_kind = ExitKind::kKilled;
   p->exit_status = -1;
   DoExit(p, -1);
@@ -531,6 +613,11 @@ uint64_t Runtime::SysWrite(Proc* p, uint64_t fd, uint64_t buf,
       const uint64_t n = std::min(space_left, len);
       d.pipe->buf.insert(d.pipe->buf.end(), tmp.begin(),
                          tmp.begin() + static_cast<ptrdiff_t>(n));
+      if (sink_ != nullptr) {
+        sink_->metrics(p->pid).Add(trace::Counter::kPipeBytesWritten, n);
+        sink_->EmitInstant(trace::EventKind::kPipeWrite, p->pid, Cycles(),
+                           fd, n);
+      }
       return n;
     }
     default:
@@ -575,6 +662,11 @@ uint64_t Runtime::SysRead(Proc* p, uint64_t fd, uint64_t buf, uint64_t len) {
       d.pipe->buf.erase(d.pipe->buf.begin(),
                         d.pipe->buf.begin() + static_cast<ptrdiff_t>(n));
       machine_.timing().ChargeFlat(n / 64);
+      if (sink_ != nullptr) {
+        sink_->metrics(p->pid).Add(trace::Counter::kPipeBytesRead, n);
+        sink_->EmitInstant(trace::EventKind::kPipeRead, p->pid, Cycles(),
+                           fd, n);
+      }
       return n;
     }
     default:

@@ -22,6 +22,7 @@
 #include "emu/machine.h"
 #include "runtime/layout.h"
 #include "runtime/vfs.h"
+#include "trace/trace.h"
 #include "verifier/verifier.h"
 
 namespace lfi::runtime {
@@ -130,6 +131,28 @@ class Runtime {
   // Allocates a slot without loading (for scalability accounting tests).
   Result<uint64_t> ReserveSlot();
 
+  // Attaches (or detaches, with nullptr) a trace sink: per-pid counters
+  // and cycle-stamped events for every timeslice, switch, runtime call,
+  // pipe transfer, fork, fault, and exit from here on. Also attaches the
+  // machine-level execution counters, whose deltas are attributed to the
+  // running pid around each timeslice. The sink must outlive the Runtime
+  // or be detached first.
+  void set_trace_sink(trace::TraceSink* sink) {
+    sink_ = sink;
+    machine_.set_counters(sink == nullptr ? nullptr : &exec_counters_);
+  }
+  trace::TraceSink* trace_sink() const { return sink_; }
+
+  // Verifier statistics accumulated across every Load (always on; the
+  // cost is two clock reads per loaded segment).
+  const verifier::VerifyStats& verify_stats() const { return verify_stats_; }
+
+  // Result of the most recent verification rejection (ok == true if no
+  // Load has ever been rejected), so callers can report the FailKind.
+  const verifier::VerifyResult& last_verify_result() const {
+    return last_verify_;
+  }
+
  private:
   int AllocPid() { return next_pid_++; }
   Result<uint64_t> AllocSlot();
@@ -143,6 +166,12 @@ class Runtime {
   void SwitchTo(Proc* p, bool fast);
   void Enqueue(int pid) { ready_.push_back(pid); }
   bool TryUnblock(Proc* p);
+
+  // Adds the machine-counter deltas of the timeslice that just ran to
+  // p's metrics and emits its sched-slice event. Only called with sink_
+  // attached.
+  void AttributeSlice(Proc* p, const trace::ExecCounters& before,
+                      uint64_t slice_start_cycles, emu::StopReason stop);
 
   // Runtime-call dispatch.
   void HandleRuntimeEntry(Proc* p);
@@ -172,6 +201,10 @@ class Runtime {
   emu::AddressSpace space_;
   emu::Machine machine_;
   Vfs vfs_;
+  trace::TraceSink* sink_ = nullptr;
+  trace::ExecCounters exec_counters_;
+  verifier::VerifyStats verify_stats_;
+  verifier::VerifyResult last_verify_ = verifier::VerifyResult::Ok(0);
   std::map<int, std::unique_ptr<Proc>> procs_;
   std::deque<int> ready_;
   int current_pid_ = 0;  // proc whose state is loaded into machine_

@@ -1,0 +1,154 @@
+#include "trace/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace lfi::trace {
+
+namespace {
+
+constexpr const char* kCounterNames[] = {
+    "inst-retired",
+    "guards-executed",
+    "loads",
+    "stores",
+    "syscalls",
+    "context-switches",
+    "fast-yields",
+    "block-cache-hits",
+    "block-cache-misses",
+    "block-cache-invalidations",
+    "pipe-bytes-read",
+    "pipe-bytes-written",
+    "faults",
+    "forks",
+};
+static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
+              static_cast<size_t>(Counter::kCount));
+
+constexpr const char* kEventKindNames[] = {
+    "sched-slice",   "sched-switch", "syscall", "syscall-block",
+    "yield-to",      "fork",         "pipe-read", "pipe-write",
+    "block-invalidate", "fault",     "proc-exit",
+};
+static_assert(sizeof(kEventKindNames) / sizeof(kEventKindNames[0]) ==
+              static_cast<size_t>(EventKind::kCount));
+
+// Formats a syscall number through the caller's name table, with a
+// stable fallback so exports never depend on the runtime being linked.
+void FormatSyscallName(char* buf, size_t n, int number,
+                       SyscallNameFn syscall_name) {
+  const char* name = syscall_name != nullptr ? syscall_name(number) : nullptr;
+  if (name != nullptr) {
+    snprintf(buf, n, "%s", name);
+  } else {
+    snprintf(buf, n, "rtcall#%d", number);
+  }
+}
+
+// Cycles -> trace_event microsecond timestamp at `ghz`, printed with a
+// fixed format so identical simulations serialize identically.
+void WriteTimestampUs(std::ostream& os, uint64_t cycles, double ghz) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.3f",
+           static_cast<double>(cycles) / (ghz * 1000.0));
+  os << buf;
+}
+
+}  // namespace
+
+const char* CounterName(Counter c) {
+  auto i = static_cast<size_t>(c);
+  return i < static_cast<size_t>(Counter::kCount) ? kCounterNames[i] : "?";
+}
+
+const char* EventKindName(EventKind k) {
+  auto i = static_cast<size_t>(k);
+  return i < static_cast<size_t>(EventKind::kCount) ? kEventKindNames[i] : "?";
+}
+
+void TraceSink::WriteStats(std::ostream& os,
+                           SyscallNameFn syscall_name) const {
+  os << "=== per-sandbox metrics ===\n";
+  for (const auto& [pid, m] : metrics_) {
+    char line[128];
+    snprintf(line, sizeof(line), "sandbox pid %d\n", pid);
+    os << line;
+    for (size_t i = 0; i < static_cast<size_t>(Counter::kCount); ++i) {
+      if (m.c[i] == 0) continue;
+      snprintf(line, sizeof(line), "  %-26s %12" PRIu64 "\n",
+               kCounterNames[i], m.c[i]);
+      os << line;
+    }
+    for (int n = 0; n < kMaxSyscalls; ++n) {
+      if (m.syscalls[n] == 0) continue;
+      char name[32];
+      FormatSyscallName(name, sizeof(name), n, syscall_name);
+      snprintf(line, sizeof(line), "    syscall %-18s %12" PRIu64 "\n", name,
+               m.syscalls[n]);
+      os << line;
+    }
+  }
+  char line[128];
+  snprintf(line, sizeof(line),
+           "events retained %zu / capacity %zu (dropped %" PRIu64 ")\n",
+           ring_.size(), ring_.capacity(), ring_.dropped());
+  os << line;
+}
+
+void TraceSink::WriteChromeTrace(std::ostream& os, double ghz,
+                                 SyscallNameFn syscall_name) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  // Process/thread metadata so viewers label each sandbox's track.
+  bool first = true;
+  for (const auto& [pid, m] : metrics_) {
+    (void)m;
+    if (!first) os << ",\n";
+    first = false;
+    char line[160];
+    snprintf(line, sizeof(line),
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+             "\"args\":{\"name\":\"sandbox %d\"}}",
+             pid, pid, pid);
+    os << line;
+  }
+  for (size_t k = 0; k < ring_.size(); ++k) {
+    const Event& e = ring_.at(k);
+    if (!first) os << ",\n";
+    first = false;
+    char name[48];
+    switch (e.kind) {
+      case EventKind::kSyscall:
+      case EventKind::kSyscallBlock:
+        FormatSyscallName(name, sizeof(name), static_cast<int>(e.arg0),
+                          syscall_name);
+        break;
+      default:
+        snprintf(name, sizeof(name), "%s", EventKindName(e.kind));
+        break;
+    }
+    char head[96];
+    snprintf(head, sizeof(head), "{\"name\":\"%s\",\"pid\":%d,\"tid\":%d,",
+             name, e.pid, e.pid);
+    os << head;
+    if (e.end > e.start) {
+      os << "\"ph\":\"X\",\"ts\":";
+      WriteTimestampUs(os, e.start, ghz);
+      os << ",\"dur\":";
+      WriteTimestampUs(os, e.end - e.start, ghz);
+    } else {
+      os << "\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      WriteTimestampUs(os, e.start, ghz);
+    }
+    char args[160];
+    snprintf(args, sizeof(args),
+             ",\"args\":{\"kind\":\"%s\",\"cycle\":%" PRIu64
+             ",\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64 "}}",
+             EventKindName(e.kind), e.start, e.arg0, e.arg1);
+    os << args;
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace lfi::trace

@@ -1,5 +1,6 @@
 #include "verifier/verifier.h"
 
+#include <chrono>
 #include <vector>
 
 #include "arch/decode.h"
@@ -202,11 +203,33 @@ const char* FailKindName(FailKind k) {
 }
 
 VerifyResult Verify(std::span<const uint8_t> text,
-                    const VerifyOptions& opts) {
+                    const VerifyOptions& opts, VerifyStats* stats) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 =
+      stats != nullptr ? Clock::now() : Clock::time_point{};
+  bool decoded = false;
+  Clock::time_point decode_done = t0;
+  // Every return funnels through this so the stats accumulator sees the
+  // verdict and the per-pass split regardless of which pass rejected.
+  auto finish = [&](VerifyResult r) {
+    if (stats != nullptr) {
+      const Clock::time_point t1 = Clock::now();
+      ++stats->calls;
+      ++stats->fail_counts[static_cast<size_t>(r.kind)];
+      stats->insts_checked += r.insts_checked;
+      const Clock::time_point split = decoded ? decode_done : t1;
+      stats->decode_seconds +=
+          std::chrono::duration<double>(split - t0).count();
+      stats->check_seconds +=
+          std::chrono::duration<double>(t1 - split).count();
+    }
+    return r;
+  };
+
   if (text.size() % 4 != 0) {
-    return VerifyResult::Fail(text.size() & ~uint64_t{3},
-                              FailKind::kTextSize,
-                              "text size not a multiple of 4");
+    return finish(VerifyResult::Fail(text.size() & ~uint64_t{3},
+                                     FailKind::kTextSize,
+                                     "text size not a multiple of 4"));
   }
   // Decode everything up front (still one linear pass; the lookahead rules
   // for x30 and sp need the decoded successors).
@@ -215,11 +238,14 @@ VerifyResult Verify(std::span<const uint8_t> text,
   for (uint64_t off = 0; off < text.size(); off += 4) {
     auto inst = arch::Decode(arch::ReadWordLE(text, off));
     if (!inst) {
-      return VerifyResult::Fail(off, FailKind::kUndecodable,
-                                "undecodable instruction: " + inst.error());
+      return finish(
+          VerifyResult::Fail(off, FailKind::kUndecodable,
+                             "undecodable instruction: " + inst.error()));
     }
     insts.push_back(*inst);
   }
+  decoded = true;
+  if (stats != nullptr) decode_done = Clock::now();
 
   for (size_t k = 0; k < insts.size(); ++k) {
     const uint64_t off = k * 4;
@@ -229,13 +255,13 @@ VerifyResult Verify(std::span<const uint8_t> text,
     // everything outside the supported ARMv8.0 subset; system instructions
     // that do decode are forbidden here.
     if (i.mn == Mn::kSvc || i.mn == Mn::kMrs || i.mn == Mn::kMsr) {
-      return VerifyResult::Fail(off, FailKind::kSystemInstruction,
-                                "system instruction");
+      return finish(VerifyResult::Fail(off, FailKind::kSystemInstruction,
+                                       "system instruction"));
     }
     if (!opts.allow_llsc && (i.mn == Mn::kLdxr || i.mn == Mn::kStxr)) {
-      return VerifyResult::Fail(off, FailKind::kLlscDisallowed,
-                                "ll/sc disallowed (timerless side-channel "
-                                "mitigation)");
+      return finish(VerifyResult::Fail(
+          off, FailKind::kLlscDisallowed,
+          "ll/sc disallowed (timerless side-channel mitigation)"));
     }
 
     // Property 1a: memory accesses.
@@ -243,30 +269,30 @@ VerifyResult Verify(std::span<const uint8_t> text,
       const bool pure_load = arch::IsLoad(i) && !arch::IsStore(i);
       if (opts.check_loads || !pure_load) {
         if (auto v = CheckAccess(i, opts); !v.ok()) {
-          return VerifyResult::Fail(off, v.kind, std::move(v.reason));
+          return finish(VerifyResult::Fail(off, v.kind, std::move(v.reason)));
         }
       } else if (i.mem.HasWriteback() && !i.mem.base.IsSp() &&
                  arch::IsReservedGpr(i.mem.base)) {
-        return VerifyResult::Fail(off, FailKind::kReservedWriteback,
-                                  "writeback on reserved register");
+        return finish(VerifyResult::Fail(off, FailKind::kReservedWriteback,
+                                         "writeback on reserved register"));
       }
     }
 
     // Property 1b: indirect branches.
     if (arch::IsIndirectBranch(i)) {
       if (!IsAddressReg(i.rn) && i.rn != arch::kRegLink) {
-        return VerifyResult::Fail(off, FailKind::kUnguardedIndirectBranch,
-                                  "indirect branch through unguarded "
-                                  "register");
+        return finish(VerifyResult::Fail(
+            off, FailKind::kUnguardedIndirectBranch,
+            "indirect branch through unguarded register"));
       }
     }
 
     // Property 2: reserved-register integrity.
     if (auto v = CheckReservedWrites(insts, k, opts); !v.ok()) {
-      return VerifyResult::Fail(off, v.kind, std::move(v.reason));
+      return finish(VerifyResult::Fail(off, v.kind, std::move(v.reason)));
     }
   }
-  return VerifyResult::Ok(insts.size());
+  return finish(VerifyResult::Ok(insts.size()));
 }
 
 }  // namespace lfi::verifier

@@ -21,6 +21,7 @@
 #ifndef LFI_VERIFIER_VERIFIER_H_
 #define LFI_VERIFIER_VERIFIER_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -92,9 +93,24 @@ struct VerifyResult {
   }
 };
 
-// Verifies a text segment (little-endian instruction words).
+// Accumulated verification statistics, for observability (`lfi-run
+// --stats`). Host wall-clock times, split by the verifier's two passes
+// (decode-all, then the property checks); being host times they are NOT
+// deterministic and must never feed the simulated-cycle trace.
+struct VerifyStats {
+  uint64_t calls = 0;             // Verify() invocations
+  uint64_t insts_checked = 0;     // instructions in accepted texts
+  double decode_seconds = 0;
+  double check_seconds = 0;
+  // Verdict histogram; index FailKind::kNone counts accepted texts.
+  std::array<uint64_t, static_cast<size_t>(FailKind::kCount)> fail_counts{};
+};
+
+// Verifies a text segment (little-endian instruction words). When `stats`
+// is non-null, per-pass timing and the verdict are accumulated into it.
 VerifyResult Verify(std::span<const uint8_t> text,
-                    const VerifyOptions& opts = {});
+                    const VerifyOptions& opts = {},
+                    VerifyStats* stats = nullptr);
 
 }  // namespace lfi::verifier
 

@@ -626,5 +626,196 @@ TEST(Runtime, LseekOnFile) {
   EXPECT_EQ(t.P()->exit_status, 'E');
 }
 
+TEST(Runtime, ClosedFdGivesEbadfEverywhere) {
+  // After close, the descriptor must be dead for every call: a second
+  // close, a write, and a read all return EBADF (-9).
+  TestRun t(R"(
+    adrp x0, path
+    add x0, x0, :lo12:path
+    mov x1, #0
+    rtcall #3           // open -> fd
+    mov x9, x0
+    mov x0, x9
+    rtcall #4           // close -> 0
+    cbnz x0, bad
+    mov x0, x9
+    rtcall #4           // double close -> EBADF
+    add x10, x0, #9     // 0 if EBADF
+    mov x0, x9
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    mov x2, #1
+    rtcall #1           // write to closed fd -> EBADF
+    add x11, x0, #9
+    mov x0, x9
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    mov x2, #1
+    rtcall #2           // read from closed fd -> EBADF
+    add x12, x0, #9
+    orr x10, x10, x11
+    orr x10, x10, x12
+    cbnz x10, bad
+    mov x0, #7
+    rtcall #0
+  bad:
+    mov x0, #1
+    rtcall #0
+  .data
+  path:
+    .asciz "/f"
+  .bss
+  buf:
+    .zero 8
+  )");
+  ASSERT_GE(t.pid, 0);
+  t.rt.vfs().Install("/f", std::string("x"));
+  t.rt.RunUntilIdle();
+  EXPECT_EQ(t.P()->exit_status, 7);
+}
+
+TEST(Runtime, OutOfRangeFdGivesEbadf) {
+  TestRun t(R"(
+    movz x0, #999
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    mov x2, #1
+    rtcall #1           // write to never-allocated fd
+    rtcall #0
+  .bss
+  buf:
+    .zero 8
+  )");
+  ASSERT_GE(t.pid, 0);
+  t.rt.RunUntilIdle();
+  EXPECT_EQ(t.P()->exit_status, -9);
+}
+
+TEST(Runtime, ForkInheritsFileFdAndWaitReaps) {
+  // The child reads through a descriptor the parent opened before the
+  // fork; the parent waits, checks the child's status word, and exits
+  // with it. Both slots must be reclaimed.
+  TestRun t(R"(
+    adrp x0, path
+    add x0, x0, :lo12:path
+    mov x1, #0
+    rtcall #3           // open -> fd (inherited below)
+    mov x19, x0
+    rtcall #8           // fork
+    cbz x0, child
+    adrp x0, status
+    add x0, x0, :lo12:status
+    rtcall #9           // wait -> child pid
+    adrp x1, status
+    add x1, x1, :lo12:status
+    ldr w0, [x1]        // child's exit status
+    rtcall #0
+  child:
+    mov x0, x19         // inherited fd
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    mov x2, #1
+    rtcall #2           // read via inherited fd
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    ldrb w0, [x1]       // exit with the byte read
+    rtcall #0
+  .data
+  path:
+    .asciz "/f"
+  .bss
+  status:
+    .zero 8
+  buf:
+    .zero 8
+  )");
+  ASSERT_GE(t.pid, 0);
+  t.rt.vfs().Install("/f", std::string("Z"));
+  t.rt.RunUntilIdle();
+  EXPECT_EQ(t.P()->exit_kind, ExitKind::kExited);
+  EXPECT_EQ(t.P()->exit_status, 'Z');
+  // wait() reaped the child's slot; the parent's went at exit.
+  EXPECT_EQ(t.rt.slots_in_use(), 0u);
+}
+
+TEST(Runtime, BrkShrinkAndRegrow) {
+  // Grow the heap, store a value; shrink below it; brk(0) must report the
+  // shrunk break. Regrow and the pages (never unmapped, per the
+  // high-water-mark contract) must still hold the value.
+  TestRun t(R"(
+    mov x0, #0
+    rtcall #5           // brk(0) -> base break
+    mov x19, x0
+    movz x1, #0x2, lsl #16
+    add x0, x19, x1
+    rtcall #5           // grow +128KiB
+    sub x9, x0, #8
+    movz x3, #0x5ca1
+    str x3, [x9]        // plant a value near the top
+    mov x0, x19
+    rtcall #5           // shrink back to the original break
+    mov x0, #0
+    rtcall #5           // brk(0) must equal the shrunk break
+    cmp x0, x19
+    b.ne bad
+    movz x1, #0x2, lsl #16
+    add x0, x19, x1
+    rtcall #5           // regrow over the same range
+    ldr x0, [x9]        // value must have survived (pages stayed mapped)
+    rtcall #0
+  bad:
+    mov x0, #1
+    rtcall #0
+  )");
+  ASSERT_GE(t.pid, 0);
+  t.rt.RunUntilIdle();
+  EXPECT_EQ(t.P()->exit_status, 0x5ca1);
+}
+
+TEST(Runtime, ExitClosesPipeFdsNoLeak) {
+  // The child exits without closing its pipe descriptors. Exit must close
+  // them (DoExit walks the fd table): once the parent drops its own write
+  // end, a read on the drained pipe must see EOF, not block on a writer
+  // count leaked by the dead child.
+  TestRun t(R"(
+    adrp x0, fds
+    add x0, x0, :lo12:fds
+    rtcall #10          // pipe
+    rtcall #8           // fork
+    cbz x0, child
+    adrp x9, fds
+    add x9, x9, :lo12:fds
+    ldr w0, [x9, #4]
+    rtcall #4           // parent closes its write end
+    adrp x0, status
+    add x0, x0, :lo12:status
+    rtcall #9           // wait for the child (its fds close at exit)
+    ldr w0, [x9]
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    mov x2, #1
+    rtcall #2           // read -> must be EOF (0), not a deadlock
+    cbnz x0, bad
+    mov x0, #7
+    rtcall #0
+  child:
+    mov x0, #0
+    rtcall #0           // exits with both pipe fds still open
+  bad:
+    mov x0, #1
+    rtcall #0
+  .bss
+  fds:
+    .zero 8
+  status:
+    .zero 8
+  buf:
+    .zero 8
+  )");
+  ASSERT_GE(t.pid, 0);
+  EXPECT_EQ(t.rt.RunUntilIdle(), 0) << "leaked pipe writer caused deadlock";
+  EXPECT_EQ(t.P()->exit_status, 7);
+}
+
 }  // namespace
 }  // namespace lfi::runtime

@@ -10,10 +10,12 @@ noise. Usage:
     bench_table5_microbench --json current.json   # merges into same file
     tools/check_bench_regression.py BENCH_BASELINE.json current.json
 
-Only `.cycles` metrics gate (derived metrics like overhead_pct and ns
-are reported but never fail the check, since they amplify small cycle
-deltas). Exit status is 0 unless --strict is given and a cycle metric
-moved by more than the tolerance.
+Only `.cycles` and `.bytes` metrics gate (both are exact under the
+deterministic simulator; derived metrics like overhead_pct, ns, and
+Minsts/s rates are reported but never fail the check, since they either
+amplify small cycle deltas or depend on the host machine). Exit status
+is 0 unless --strict is given and a gated metric moved by more than the
+tolerance.
 """
 
 import argparse
@@ -69,14 +71,14 @@ def main():
             regressions.append(metric)
             continue
         delta = 0.0 if b == c else (100.0 * (c - b) / b if b else float("inf"))
-        gated = metric.endswith(".cycles")
+        gated = metric.endswith((".cycles", ".bytes"))
         ok = not gated or abs(delta) <= args.tolerance
         rows.append((metric, b, c, delta, "ok" if ok else "REGRESSION"))
         if not ok:
             regressions.append(metric)
 
     header = (f"bench regression check: tolerance +/-{args.tolerance:g}% "
-              f"on .cycles metrics")
+              f"on .cycles/.bytes metrics")
     lines_md = [f"### {header}", "",
                 "| metric | baseline | current | delta | |",
                 "|---|---:|---:|---:|---|"]

@@ -2,20 +2,35 @@
 // them to completion under the runtime (Section 5.3). Prints each
 // sandbox's captured output and exit status.
 //
-// Usage: lfi-run [--no-verify] [--core=m1|t2a] prog.elf [prog2.elf ...]
+// Observability (docs/OBSERVABILITY.md):
+//   --stats        per-sandbox counter table + verifier stats on stderr
+//   --trace FILE   Chrome trace_event JSON (open in Perfetto or
+//                  chrome://tracing); timestamps come from the simulated
+//                  clock, so identical runs produce byte-identical files
+//
+// Usage: lfi-run [--no-verify] [--core=m1|t2a] [--stats] [--trace out.json]
+//                prog.elf [prog2.elf ...]
+//
+// Exit status: program's own status; 1 if a sandbox was killed, deadlocked,
+// or the verifier rejected an input (REJECT line mirrors lfi-verify);
+// 2 on usage/IO errors.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "runtime/runtime.h"
+#include "trace/trace.h"
 
 int main(int argc, char** argv) {
   lfi::runtime::RuntimeConfig cfg;
   cfg.core = lfi::arch::AppleM1LikeParams();
   std::vector<std::string> paths;
+  bool want_stats = false;
+  const char* trace_path = nullptr;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
     if (arg == "--no-verify") {
@@ -24,10 +39,18 @@ int main(int argc, char** argv) {
       cfg.core = lfi::arch::GcpT2aLikeParams();
     } else if (arg == "--core=m1") {
       cfg.core = lfi::arch::AppleM1LikeParams();
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--trace") {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "lfi-run: --trace needs a file argument\n");
+        return 2;
+      }
+      trace_path = argv[++k];
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
-                   "usage: lfi-run [--no-verify] [--core=m1|t2a] prog.elf "
-                   "[...]\n");
+                   "usage: lfi-run [--no-verify] [--core=m1|t2a] [--stats] "
+                   "[--trace out.json] prog.elf [...]\n");
       return 0;
     } else {
       paths.push_back(arg);
@@ -39,6 +62,9 @@ int main(int argc, char** argv) {
   }
 
   lfi::runtime::Runtime rt(cfg);
+  lfi::trace::TraceSink sink;
+  if (want_stats || trace_path != nullptr) rt.set_trace_sink(&sink);
+
   std::vector<int> pids;
   for (const auto& path : paths) {
     std::ifstream f(path, std::ios::binary);
@@ -50,6 +76,17 @@ int main(int argc, char** argv) {
                                std::istreambuf_iterator<char>());
     auto pid = rt.Load({bytes.data(), bytes.size()});
     if (!pid) {
+      const auto& v = rt.last_verify_result();
+      if (!v.ok) {
+        // Mirror lfi-verify's REJECT output (plus the stable kind name) so
+        // scripted pipelines can treat the two tools interchangeably.
+        std::fprintf(stderr,
+                     "lfi-run: %s: REJECT (%s) at text offset 0x%llx: %s\n",
+                     path.c_str(), lfi::verifier::FailKindName(v.kind),
+                     static_cast<unsigned long long>(v.fail_offset),
+                     v.reason.c_str());
+        return 1;
+      }
       std::fprintf(stderr, "lfi-run: %s: %s\n", path.c_str(),
                    pid.error().c_str());
       return 2;
@@ -77,5 +114,41 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "lfi-run: %.1f simulated us on %s\n",
                rt.machine().timing().Nanoseconds() / 1000.0,
                cfg.core.name.c_str());
+
+  if (want_stats) {
+    // Counter table + verifier stats go to stderr so program stdout stays
+    // clean for pipelines.
+    {
+      std::ostringstream ss;
+      sink.WriteStats(ss, lfi::runtime::RtcallName);
+      const auto& vs = rt.verify_stats();
+      char line[160];
+      snprintf(line, sizeof(line),
+               "verifier: %llu call(s), %llu insts checked, decode %.3f ms, "
+               "checks %.3f ms\n",
+               static_cast<unsigned long long>(vs.calls),
+               static_cast<unsigned long long>(vs.insts_checked),
+               vs.decode_seconds * 1e3, vs.check_seconds * 1e3);
+      ss << line;
+      for (size_t k = 0; k < vs.fail_counts.size(); ++k) {
+        if (k == 0 || vs.fail_counts[k] == 0) continue;
+        snprintf(line, sizeof(line), "  reject %-24s %llu\n",
+                 lfi::verifier::FailKindName(
+                     static_cast<lfi::verifier::FailKind>(k)),
+                 static_cast<unsigned long long>(vs.fail_counts[k]));
+        ss << line;
+      }
+      const std::string s = ss.str();
+      std::fwrite(s.data(), 1, s.size(), stderr);
+    }
+  }
+  if (trace_path != nullptr) {
+    std::ofstream tf(trace_path, std::ios::binary | std::ios::trunc);
+    if (!tf) {
+      std::fprintf(stderr, "lfi-run: cannot write %s\n", trace_path);
+      return 2;
+    }
+    sink.WriteChromeTrace(tf, cfg.core.ghz, lfi::runtime::RtcallName);
+  }
   return rc;
 }

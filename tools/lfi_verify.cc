@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
     total_bytes += seg.data.size();
     auto r = lfi::verifier::Verify({seg.data.data(), seg.data.size()}, opts);
     if (!r.ok) {
-      std::printf("REJECT at text offset 0x%llx: %s\n",
+      std::printf("REJECT (%s) at text offset 0x%llx: %s\n",
+                  lfi::verifier::FailKindName(r.kind),
                   static_cast<unsigned long long>(r.fail_offset),
                   r.reason.c_str());
       return 1;
