@@ -1,0 +1,145 @@
+#include "chaos/chaos.h"
+
+namespace lfi::chaos {
+
+namespace {
+
+constexpr uint64_t kEintr = static_cast<uint64_t>(-4);
+constexpr uint64_t kEnomem = static_cast<uint64_t>(-12);
+
+// Domain separators so the per-pid streams for faults, syscalls, and
+// victim selection are independent draws from the same seed.
+constexpr uint64_t kVictimDomain = 0x76696374;   // "vict"
+constexpr uint64_t kFaultDomain = 0x666c74;      // "flt"
+constexpr uint64_t kSchedDomain = 0x73636864;    // "schd"
+
+}  // namespace
+
+ChaosProfile ProfileByName(const std::string& name) {
+  ChaosProfile p;
+  p.name = name;
+  if (name == "none" || name.empty()) {
+    p.name = "none";
+  } else if (name == "memfault") {
+    p.cpu_faults = true;
+  } else if (name == "syscall") {
+    p.syscall_errors = true;
+    p.short_reads = true;
+  } else if (name == "sched") {
+    p.sched_perturb = true;
+  } else if (name == "storm") {
+    p.cpu_faults = true;
+    p.syscall_errors = true;
+    p.short_reads = true;
+    p.sched_perturb = true;
+    p.victim_percent = 60;
+    p.min_fault_gap = 500;
+    p.max_fault_gap = 8000;
+    p.syscall_error_percent = 35;
+  } else {
+    p.name = "";  // unknown; caller reports usage error
+  }
+  return p;
+}
+
+ChaosEngine::ChaosEngine(uint64_t seed, ChaosProfile profile)
+    : seed_(seed),
+      profile_(std::move(profile)),
+      sched_rng_(fuzz::DeriveSeed(seed, kSchedDomain)) {}
+
+ChaosEngine::PidPlan& ChaosEngine::Plan(int pid) {
+  auto it = plans_.find(pid);
+  if (it != plans_.end()) return it->second;
+  PidPlan plan;
+  const auto upid = static_cast<uint64_t>(pid);
+  if (!pinned_victims_) {
+    fuzz::Rng pick(fuzz::DeriveSeed(seed_, kVictimDomain ^ (upid << 8)));
+    plan.victim = pick.Chance(profile_.victim_percent);
+  }
+  plan.rng = fuzz::Rng(fuzz::DeriveSeed(seed_, kFaultDomain ^ (upid << 8)));
+  plan.next_fault_at =
+      plan.rng.Range(profile_.min_fault_gap, profile_.max_fault_gap);
+  return plans_.emplace(pid, plan).first->second;
+}
+
+bool ChaosEngine::IsVictim(int pid) { return Plan(pid).victim; }
+
+void ChaosEngine::MarkVictim(int pid) {
+  if (!pinned_victims_) {
+    // First pin wins: drop any auto-selected victims already planned.
+    pinned_victims_ = true;
+    for (auto& [id, plan] : plans_) plan.victim = false;
+  }
+  Plan(pid).victim = true;
+}
+
+bool ChaosEngine::OnInst(const arch::Inst& inst, uint64_t pc,
+                         const emu::CpuState& after,
+                         std::span<const emu::AccessRecord> accesses,
+                         bool faulted) {
+  (void)inst;
+  (void)after;
+  (void)accesses;
+  if (faulted) return true;  // a real fault is already on its way
+  PidPlan& plan = Plan(current_pid_);
+  ++plan.retired;
+  if (!plan.victim || !profile_.cpu_faults ||
+      plan.retired < plan.next_fault_at) {
+    return true;
+  }
+  plan.next_fault_at =
+      plan.retired +
+      plan.rng.Range(profile_.min_fault_gap, profile_.max_fault_gap);
+  static constexpr emu::CpuFault::Kind kKinds[] = {
+      emu::CpuFault::Kind::kMemory, emu::CpuFault::Kind::kDecode,
+      emu::CpuFault::Kind::kIllegal, emu::CpuFault::Kind::kPcAlign};
+  pending_ = emu::CpuFault{};
+  pending_.kind = plan.rng.Pick(kKinds);
+  pending_.pc = pc;
+  pending_.detail = "chaos-injected " + std::string([&] {
+    switch (pending_.kind) {
+      case emu::CpuFault::Kind::kMemory: return "data";
+      case emu::CpuFault::Kind::kDecode: return "decode";
+      case emu::CpuFault::Kind::kIllegal: return "illegal";
+      case emu::CpuFault::Kind::kPcAlign: return "pc-align";
+      default: return "fault";
+    }
+  }());
+  fault_pending_ = true;
+  return false;
+}
+
+bool ChaosEngine::TakePendingFault(emu::CpuFault* out) {
+  if (!fault_pending_) return false;
+  fault_pending_ = false;
+  *out = pending_;
+  return true;
+}
+
+bool ChaosEngine::InjectSyscallError(int pid, int call, uint64_t* err) {
+  if (!profile_.syscall_errors) return false;
+  PidPlan& plan = Plan(pid);
+  if (!plan.victim) return false;
+  (void)call;
+  if (!plan.rng.Chance(profile_.syscall_error_percent)) return false;
+  *err = plan.rng.Chance(50) ? kEnomem : kEintr;
+  return true;
+}
+
+uint64_t ChaosEngine::ClampIoLen(int pid, uint64_t len) {
+  if (!profile_.short_reads || len <= 1) return len;
+  PidPlan& plan = Plan(pid);
+  if (!plan.victim || !plan.rng.Chance(30)) return len;
+  return plan.rng.Range(1, len - 1);
+}
+
+bool ChaosEngine::PerturbSchedule() {
+  return profile_.sched_perturb && sched_rng_.Chance(25);
+}
+
+uint64_t ChaosEngine::PerturbTimeslice(uint64_t slice) {
+  if (!profile_.sched_perturb || slice < 8) return slice;
+  return sched_rng_.Range(slice / 4, slice);
+}
+
+}  // namespace lfi::chaos

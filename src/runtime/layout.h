@@ -66,7 +66,9 @@ enum class Rtcall : int {
   kClock = 13,
   kYieldTo = 14,  // fast direct yield: microkernel-style IPC (Section 5.3)
   kLseek = 15,
-  kCount = 16,
+  kSigaction = 16,  // register a fault-signal handler (supervisor.h)
+  kSigreturn = 17,  // return from a delivered fault signal
+  kCount = 18,
 };
 
 // Display name for a runtime-call number ("write", "yield-to", ...);
@@ -90,6 +92,8 @@ constexpr const char* RtcallName(int call) {
     case Rtcall::kClock: return "clock";
     case Rtcall::kYieldTo: return "yield-to";
     case Rtcall::kLseek: return "lseek";
+    case Rtcall::kSigaction: return "sigaction";
+    case Rtcall::kSigreturn: return "sigreturn";
     case Rtcall::kCount: break;
   }
   return nullptr;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "chaos/chaos.h"
+
 namespace lfi::runtime {
 
 namespace {
@@ -21,9 +23,26 @@ constexpr uint64_t kEnoent = static_cast<uint64_t>(-2);
 constexpr uint64_t kEsrch = static_cast<uint64_t>(-3);
 constexpr uint64_t kEbadf = static_cast<uint64_t>(-9);
 constexpr uint64_t kEchild = static_cast<uint64_t>(-10);
+constexpr uint64_t kEagain = static_cast<uint64_t>(-11);
 constexpr uint64_t kEnomem = static_cast<uint64_t>(-12);
 constexpr uint64_t kEfault = static_cast<uint64_t>(-14);
 constexpr uint64_t kEinval = static_cast<uint64_t>(-22);
+constexpr uint64_t kEmfile = static_cast<uint64_t>(-24);
+
+// Runtime calls the chaos engine may replace with an error return. Exit,
+// wait, and the signal calls are excluded: injecting there changes
+// process lifetime rather than exercising error paths.
+bool ChaosInjectableCall(int call) {
+  switch (static_cast<Rtcall>(call)) {
+    case Rtcall::kWrite: case Rtcall::kRead: case Rtcall::kOpen:
+    case Rtcall::kClose: case Rtcall::kBrk: case Rtcall::kMmap:
+    case Rtcall::kMunmap: case Rtcall::kFork: case Rtcall::kPipe:
+    case Rtcall::kLseek:
+      return true;
+    default:
+      return false;
+  }
+}
 
 }  // namespace
 
@@ -65,6 +84,12 @@ Result<uint64_t> Runtime::AllocSlot() {
 }
 
 Result<uint64_t> Runtime::ReserveSlot() { return AllocSlot(); }
+
+void Runtime::set_chaos(chaos::ChaosEngine* chaos) {
+  chaos_ = chaos;
+  machine_.set_exec_hook(
+      chaos != nullptr && chaos->WantsExecHook() ? chaos : nullptr);
+}
 
 void Runtime::FreeSlot(Proc* p) {
   for (const auto& [off, range] : p->mappings) {
@@ -148,28 +173,41 @@ Result<int> Runtime::LoadImage(const elf::ElfImage& image) {
   p->pid = AllocPid();
   p->slot = *slot;
   p->base = SlotBase(*slot);
+  p->policy = cfg_.default_policy;
 
   if (auto st = MapSlotCommon(p.get()); !st.ok()) return Error{st.error()};
+  if (auto st = MapImage(p.get(), image); !st.ok()) return Error{st.error()};
+  // Keep a copy of the (verified) image so the restart policy can re-load
+  // it without re-reading or re-verifying.
+  p->image = std::make_shared<const elf::ElfImage>(image);
+  InitFds(p.get());
 
+  const int pid = p->pid;
+  procs_[pid] = std::move(p);
+  Enqueue(pid);
+  return pid;
+}
+
+Status Runtime::MapImage(Proc* p, const elf::ElfImage& image) {
   uint64_t max_data_end = kProgramStart;
   for (const auto& seg : image.segments) {
     const uint64_t start = seg.vaddr;
     const uint64_t end = seg.vaddr + std::max<uint64_t>(seg.memsz,
                                                         seg.data.size());
     if (start < kProgramStart || end > kProgramEnd - kStackSize) {
-      return Error{"segment outside the loadable sandbox area"};
+      return Status::Fail("segment outside the loadable sandbox area");
     }
     if (seg.exec && end > kCodeEnd) {
-      return Error{"executable segment within 128MiB of the slot end"};
+      return Status::Fail("executable segment within 128MiB of the slot end");
     }
     if (seg.exec && seg.write) {
-      return Error{"W^X violation: segment is writable and executable"};
+      return Status::Fail("W^X violation: segment is writable and executable");
     }
     const uint64_t page_start = AlignDown(start, kPage);
     const uint64_t page_end = AlignUp(end, kPage);
     for (const auto& [off, range] : p->mappings) {
       if (page_start < off + range.first && off < page_end) {
-        return Error{"segments share a page"};
+        return Status::Fail("segments share a page");
       }
     }
     uint8_t perms = 0;
@@ -180,19 +218,19 @@ Result<int> Runtime::LoadImage(const elf::ElfImage& image) {
     if (auto st = space_.Map(p->base + page_start, page_end - page_start,
                              kPermRead | kPermWrite);
         !st.ok()) {
-      return Error{st.error()};
+      return st;
     }
     if (!seg.data.empty()) {
       if (auto st = space_.HostWrite(p->base + start,
                                      {seg.data.data(), seg.data.size()});
           !st.ok()) {
-        return Error{st.error()};
+        return st;
       }
     }
     if (auto st = space_.Protect(p->base + page_start,
                                  page_end - page_start, perms);
         !st.ok()) {
-      return Error{st.error()};
+      return st;
     }
     p->mappings[page_start] = {page_end - page_start, perms};
     max_data_end = std::max(max_data_end, page_end);
@@ -212,12 +250,7 @@ Result<int> Runtime::LoadImage(const elf::ElfImage& image) {
   p->cpu.x[23] = p->base;
   p->cpu.x[24] = p->base;
   p->cpu.x[30] = p->base + image.entry;
-  InitFds(p.get());
-
-  const int pid = p->pid;
-  procs_[pid] = std::move(p);
-  Enqueue(pid);
-  return pid;
+  return Status::Ok();
 }
 
 // ---- Scheduler ----
@@ -250,7 +283,13 @@ bool Runtime::TryUnblock(Proc* p) {
         if (c != nullptr && c->state == ProcState::kZombie) {
           if (p->block_buf != 0) {
             uint8_t bytes[4];
-            const uint32_t status = static_cast<uint32_t>(c->exit_status);
+            // Wait-status word: exited children report their low status
+            // byte; killed children report 0x100 | signal (so a parent
+            // can distinguish "exit(4)" from "died of SIGILL").
+            const uint32_t status =
+                c->exit_kind == ExitKind::kKilled
+                    ? 0x100u | static_cast<uint32_t>(c->term_signal)
+                    : static_cast<uint32_t>(c->exit_status) & 0xffu;
             std::memcpy(bytes, &status, 4);
             (void)space_.HostWrite(Canon(p, p->block_buf), bytes);
           }
@@ -326,6 +365,12 @@ int Runtime::RunUntilIdle(uint64_t max_total_insts) {
   const uint64_t start = machine_.timing().Retired();
   bool fast_switch = false;
   while (machine_.timing().Retired() - start < max_total_insts) {
+    // Chaos scheduler perturbation: occasionally rotate the ready queue
+    // so a different runnable proc wins this pick.
+    if (chaos_ != nullptr && ready_.size() > 1 && chaos_->PerturbSchedule()) {
+      ready_.push_back(ready_.front());
+      ready_.pop_front();
+    }
     Proc* p = PickNext();
     if (p == nullptr) break;
     SwitchTo(p, fast_switch);
@@ -336,8 +381,20 @@ int Runtime::RunUntilIdle(uint64_t max_total_insts) {
       ctr_before = exec_counters_;
       slice_start = Cycles();
     }
-    const auto stop = machine_.Run(cfg_.timeslice_insts);
+    uint64_t slice_insts = cfg_.timeslice_insts;
+    if (chaos_ != nullptr) {
+      chaos_->BeginSlice(p->pid);
+      slice_insts = chaos_->PerturbTimeslice(slice_insts);
+    }
+    const uint64_t cyc0 = Cycles();
+    const uint64_t ret0 = machine_.timing().Retired();
+    const auto stop = machine_.Run(slice_insts);
     p->cpu = machine_.state();
+    // Per-proc execution accounting (always on; basis for the cpu-quota
+    // watchdog and the containment tests). Runtime-call service time is
+    // charged to the shared clock, not the sandbox.
+    p->cpu_cycles += Cycles() - cyc0;
+    p->insts_retired += machine_.timing().Retired() - ret0;
     if (sink_ != nullptr) AttributeSlice(p, ctr_before, slice_start, stop);
     switch (stop) {
       case emu::StopReason::kRuntimeEntry: {
@@ -358,17 +415,33 @@ int Runtime::RunUntilIdle(uint64_t max_total_insts) {
         Enqueue(p->pid);
         break;
       case emu::StopReason::kFault:
-        KillProc(p, machine_.fault().detail + " pc=" +
-                        std::to_string(machine_.fault().pc));
+        supervisor_.HandleFault(p, machine_.fault(), /*injected=*/false);
         break;
       case emu::StopReason::kBrk:
-        KillProc(p, "brk trap");
+        supervisor_.HandleFault(p, machine_.fault(), /*injected=*/false);
         break;
-      case emu::StopReason::kHookStop:
-        // The runtime never attaches an ExecHook; an external hook (e.g. a
-        // debugger) stopping the machine just ends this timeslice.
-        Enqueue(p->pid);
+      case emu::StopReason::kHookStop: {
+        emu::CpuFault injected;
+        if (chaos_ != nullptr && chaos_->TakePendingFault(&injected)) {
+          if (sink_ != nullptr) {
+            sink_->metrics(p->pid).Add(trace::Counter::kChaosInjections);
+            sink_->EmitInstant(trace::EventKind::kChaosInject, p->pid,
+                               Cycles(),
+                               static_cast<uint64_t>(injected.kind), 0);
+          }
+          supervisor_.HandleFault(p, injected, /*injected=*/true);
+        } else {
+          // Some other hook (e.g. a debugger) stopped the machine; just
+          // end this timeslice.
+          Enqueue(p->pid);
+        }
         break;
+      }
+    }
+    // Cpu-quota watchdog: checked once per timeslice, so overshoot is
+    // bounded by one quantum.
+    if (p->state != ProcState::kZombie && p->state != ProcState::kDead) {
+      supervisor_.EnforceCpuQuota(p);
     }
   }
   return static_cast<int>(live_procs());
@@ -420,7 +493,23 @@ void Runtime::HandleRuntimeEntry(Proc* p) {
   p->cpu.pc = Canon(p, ret);
 
   uint64_t r = 0;
-  switch (static_cast<Rtcall>(call)) {
+  bool chaos_injected = false;
+  if (chaos_ != nullptr && ChaosInjectableCall(call)) {
+    uint64_t err = 0;
+    if (chaos_->InjectSyscallError(p->pid, call, &err)) {
+      // The call is not executed; the sandbox sees a transient errno.
+      r = err;
+      chaos_injected = true;
+      if (sink_ != nullptr) {
+        sink_->metrics(p->pid).Add(trace::Counter::kChaosInjections);
+        sink_->EmitInstant(trace::EventKind::kChaosInject, p->pid, Cycles(),
+                           static_cast<uint64_t>(call), err);
+      }
+    }
+  }
+  if (chaos_injected) {
+    // Fall through to the common return path below.
+  } else switch (static_cast<Rtcall>(call)) {
     case Rtcall::kExit:
       if (sink_ != nullptr) {
         sink_->Emit(trace::EventKind::kSyscall, p->pid, sys_enter, Cycles(),
@@ -431,9 +520,12 @@ void Runtime::HandleRuntimeEntry(Proc* p) {
     case Rtcall::kWrite:
       r = SysWrite(p, p->cpu.x[0], p->cpu.x[1], p->cpu.x[2]);
       break;
-    case Rtcall::kRead:
-      r = SysRead(p, p->cpu.x[0], p->cpu.x[1], p->cpu.x[2]);
+    case Rtcall::kRead: {
+      uint64_t len = p->cpu.x[2];
+      if (chaos_ != nullptr) len = chaos_->ClampIoLen(p->pid, len);
+      r = SysRead(p, p->cpu.x[0], p->cpu.x[1], len);
       break;
+    }
     case Rtcall::kOpen:
       r = SysOpen(p, p->cpu.x[0], p->cpu.x[1]);
       break;
@@ -509,8 +601,24 @@ void Runtime::HandleRuntimeEntry(Proc* p) {
     case Rtcall::kLseek:
       r = SysLseek(p, p->cpu.x[0], p->cpu.x[1], p->cpu.x[2]);
       break;
+    case Rtcall::kSigaction:
+      r = supervisor_.SysSigaction(p, p->cpu.x[0], p->cpu.x[1]);
+      break;
+    case Rtcall::kSigreturn:
+      // Restores the interrupted context in full (including x0 and pc);
+      // the common return path below would clobber that, so return here.
+      supervisor_.SysSigreturn(p, p->cpu.x[0]);
+      if (p->state == ProcState::kReady &&
+          p->exit_kind == ExitKind::kRunning) {
+        Enqueue(p->pid);
+        if (sink_ != nullptr) {
+          sink_->Emit(trace::EventKind::kSyscall, p->pid, sys_enter, Cycles(),
+                      static_cast<uint64_t>(call), 0);
+        }
+      }
+      return;
     default:
-      KillProc(p, "bad runtime call " + std::to_string(call));
+      KillProc(p, "bad runtime call " + std::to_string(call), kSigSys);
       return;
   }
   if (p->state == ProcState::kReady) {
@@ -563,8 +671,10 @@ void Runtime::DoExit(Proc* p, int status) {
   if (current_pid_ == p->pid) current_pid_ = 0;
 }
 
-void Runtime::KillProc(Proc* p, const std::string& why) {
+void Runtime::KillProc(Proc* p, const std::string& why, int signo) {
   p->fault_detail = why;
+  p->term_signal = signo;
+  p->disposition = Disposition::kKilled;
   if (sink_ != nullptr) {
     sink_->metrics(p->pid).Add(trace::Counter::kFaults);
     sink_->EmitInstant(trace::EventKind::kFault, p->pid, Cycles());
@@ -573,6 +683,19 @@ void Runtime::KillProc(Proc* p, const std::string& why) {
   p->exit_status = -1;
   DoExit(p, -1);
   p->exit_kind = ExitKind::kKilled;
+}
+
+void Runtime::NoteLimit(Proc* p, LimitKind kind, uint64_t observed) {
+  if (sink_ != nullptr) {
+    sink_->metrics(p->pid).Add(trace::Counter::kLimitRejections);
+    sink_->EmitInstant(trace::EventKind::kLimitHit, p->pid, Cycles(),
+                       static_cast<uint64_t>(kind), observed);
+  }
+}
+
+bool Runtime::FdCapReached(Proc* p, uint64_t fd) const {
+  const uint64_t cap = p->policy.limits.max_fds;
+  return cap != 0 && fd >= cap;
 }
 
 // ---- Individual calls ----
@@ -602,8 +725,18 @@ uint64_t Runtime::SysWrite(Proc* p, uint64_t fd, uint64_t buf,
     }
     case FileDesc::Kind::kPipeWrite: {
       if (d.pipe->readers == 0) return kEinval;  // EPIPE-ish
-      const uint64_t space_left = Pipe::kCapacity - d.pipe->buf.size();
+      uint64_t capacity = Pipe::kCapacity;
+      const uint64_t pipe_cap = p->policy.limits.max_pipe_buffer_bytes;
+      if (pipe_cap != 0) capacity = std::min<uint64_t>(capacity, pipe_cap);
+      const uint64_t space_left =
+          capacity > d.pipe->buf.size() ? capacity - d.pipe->buf.size() : 0;
       if (space_left == 0) {
+        if (pipe_cap != 0) {
+          // A capped pipe degrades to non-blocking: EAGAIN instead of
+          // parking the writer until a reader drains it.
+          NoteLimit(p, LimitKind::kPipeBuf, d.pipe->buf.size());
+          return kEagain;
+        }
         p->state = ProcState::kBlockedWrite;
         p->block_fd = static_cast<int>(fd);
         p->block_buf = buf;
@@ -689,12 +822,17 @@ uint64_t Runtime::SysOpen(Proc* p, uint64_t path, uint64_t flags) {
   if (node == nullptr) return static_cast<uint64_t>(err);
   for (uint64_t fd = 3; fd < p->fds.size(); ++fd) {
     if (p->fds[fd].kind == FileDesc::Kind::kFree) {
+      if (FdCapReached(p, fd)) break;  // only slots above the cap are free
       p->fds[fd].kind = FileDesc::Kind::kFile;
       p->fds[fd].node = std::move(node);
       p->fds[fd].offset = 0;
       p->fds[fd].flags = static_cast<int>(flags);
       return fd;
     }
+  }
+  if (FdCapReached(p, p->fds.size())) {
+    NoteLimit(p, LimitKind::kFds, p->fds.size());
+    return kEmfile;
   }
   p->fds.push_back({FileDesc::Kind::kFile, std::move(node), nullptr, 0,
                     static_cast<int>(flags)});
@@ -718,6 +856,22 @@ uint64_t Runtime::SysBrk(Proc* p, uint64_t addr) {
   if (want < p->brk_start || want > p->mmap_cursor) {
     return p->base + p->brk;
   }
+  const uint64_t heap_cap = p->policy.limits.max_heap_bytes;
+  if (heap_cap != 0 && want > p->brk_start + heap_cap) {
+    NoteLimit(p, LimitKind::kHeap, want - p->brk_start);
+    return kEnomem;
+  }
+  if (want < p->brk) {
+    // Shrink: the pages stay mapped (high-water mark below), but the
+    // freed range must read back as zeros if the heap later regrows over
+    // it — otherwise stale bytes leak across a shrink/regrow cycle.
+    static constexpr uint64_t kChunk = 4096;
+    uint8_t zeros[kChunk] = {};
+    for (uint64_t off = want; off < p->brk; off += kChunk) {
+      const uint64_t n = std::min<uint64_t>(kChunk, p->brk - off);
+      (void)space_.HostWrite(p->base + off, {zeros, n});
+    }
+  }
   // Grow only past the high-water mark: after a shrink the old pages stay
   // mapped, and Map refuses to clobber live pages.
   const uint64_t old_end = std::max(AlignUp(p->brk, kPage), p->brk_mapped);
@@ -738,6 +892,11 @@ uint64_t Runtime::SysBrk(Proc* p, uint64_t addr) {
 uint64_t Runtime::SysMmap(Proc* p, uint64_t len) {
   if (len == 0) return kEinval;
   len = AlignUp(len, kPage);
+  const uint64_t mmap_cap = p->policy.limits.max_mmap_bytes;
+  if (mmap_cap != 0 && p->mmap_bytes + len > mmap_cap) {
+    NoteLimit(p, LimitKind::kMmap, p->mmap_bytes + len);
+    return kEnomem;
+  }
   if (len > p->mmap_cursor - AlignUp(p->brk, kPage)) return kEnomem;
   p->mmap_cursor -= len;
   if (!space_.Map(p->base + p->mmap_cursor, len, kPermRead | kPermWrite)
@@ -745,6 +904,7 @@ uint64_t Runtime::SysMmap(Proc* p, uint64_t len) {
     return kEnomem;
   }
   p->mappings[p->mmap_cursor] = {len, kPermRead | kPermWrite};
+  p->mmap_bytes += len;
   machine_.timing().ChargeFlat(120 + len / kPage * 20);
   return p->base + p->mmap_cursor;
 }
@@ -756,6 +916,7 @@ uint64_t Runtime::SysMunmap(Proc* p, uint64_t addr, uint64_t len) {
   if (it == p->mappings.end() || it->second.first != len) return kEinval;
   (void)space_.Unmap(p->base + off, len);
   p->mappings.erase(it);
+  p->mmap_bytes -= std::min(p->mmap_bytes, len);
   machine_.timing().ChargeFlat(100);
   return 0;
 }
@@ -769,10 +930,12 @@ uint64_t Runtime::SysFork(Proc* p) {
   child->slot = *slot;
   child->base = SlotBase(*slot);
   child->state = ProcState::kReady;
+  child->policy = p->policy;  // fault policy and limits are inherited
   child->brk_start = p->brk_start;
   child->brk = p->brk;
   child->brk_mapped = p->brk_mapped;
   child->mmap_cursor = p->mmap_cursor;
+  child->mmap_bytes = p->mmap_bytes;
   child->mappings = p->mappings;
   child->fds = p->fds;
   for (auto& d : child->fds) {
@@ -812,12 +975,9 @@ uint64_t Runtime::SysFork(Proc* p) {
 }
 
 uint64_t Runtime::SysPipe(Proc* p, uint64_t fdsptr) {
-  auto pipe = std::make_shared<Pipe>();
-  pipe->readers = 1;
-  pipe->writers = 1;
   int rfd = -1, wfd = -1;
   for (uint64_t fd = 3; fd < p->fds.size() && (rfd < 0 || wfd < 0); ++fd) {
-    if (p->fds[fd].kind == FileDesc::Kind::kFree) {
+    if (p->fds[fd].kind == FileDesc::Kind::kFree && !FdCapReached(p, fd)) {
       if (rfd < 0) {
         rfd = static_cast<int>(fd);
       } else {
@@ -825,19 +985,23 @@ uint64_t Runtime::SysPipe(Proc* p, uint64_t fdsptr) {
       }
     }
   }
-  if (rfd < 0) {
-    rfd = static_cast<int>(p->fds.size());
-    p->fds.emplace_back();
+  // Both endpoints must fit under the fd cap before anything is allocated.
+  uint64_t next = p->fds.size();
+  const uint64_t rslot = rfd >= 0 ? static_cast<uint64_t>(rfd) : next++;
+  const uint64_t wslot = wfd >= 0 ? static_cast<uint64_t>(wfd) : next++;
+  if (FdCapReached(p, rslot) || FdCapReached(p, wslot)) {
+    NoteLimit(p, LimitKind::kFds, std::max(rslot, wslot));
+    return kEmfile;
   }
-  if (wfd < 0) {
-    wfd = static_cast<int>(p->fds.size());
-    p->fds.emplace_back();
-  }
-  p->fds[rfd] = {FileDesc::Kind::kPipeRead, nullptr, pipe, 0, 0};
-  p->fds[wfd] = {FileDesc::Kind::kPipeWrite, nullptr, pipe, 0, 0};
+  while (p->fds.size() <= std::max(rslot, wslot)) p->fds.emplace_back();
+  auto pipe = std::make_shared<Pipe>();
+  pipe->readers = 1;
+  pipe->writers = 1;
+  p->fds[rslot] = {FileDesc::Kind::kPipeRead, nullptr, pipe, 0, 0};
+  p->fds[wslot] = {FileDesc::Kind::kPipeWrite, nullptr, pipe, 0, 0};
   uint8_t bytes[8];
-  const uint32_t r32 = static_cast<uint32_t>(rfd);
-  const uint32_t w32 = static_cast<uint32_t>(wfd);
+  const uint32_t r32 = static_cast<uint32_t>(rslot);
+  const uint32_t w32 = static_cast<uint32_t>(wslot);
   std::memcpy(bytes, &r32, 4);
   std::memcpy(bytes + 4, &w32, 4);
   if (!space_.HostWrite(Canon(p, fdsptr), bytes).ok()) return kEfault;

@@ -21,9 +21,14 @@
 #include "elf/elf.h"
 #include "emu/machine.h"
 #include "runtime/layout.h"
+#include "runtime/supervisor.h"
 #include "runtime/vfs.h"
 #include "trace/trace.h"
 #include "verifier/verifier.h"
+
+namespace lfi::chaos {
+class ChaosEngine;
+}  // namespace lfi::chaos
 
 namespace lfi::runtime {
 
@@ -64,6 +69,19 @@ struct Proc {
   ExitKind exit_kind = ExitKind::kRunning;
   int exit_status = 0;
   std::string fault_detail;  // populated when killed by a fault
+  int term_signal = 0;       // signal number recorded at kill
+  Disposition disposition = Disposition::kNone;  // last fault resolution
+
+  // Fault policy, limits, and signal-delivery state (supervisor.h).
+  SupervisorPolicy policy;
+  SignalState sig;
+  uint32_t restarts = 0;          // restart-policy reloads so far
+  uint64_t cpu_cycles = 0;        // cycles spent executing in the sandbox
+  uint64_t insts_retired = 0;     // instructions retired by the sandbox
+  uint64_t mmap_bytes = 0;        // live bytes from SysMmap (limit basis)
+  // Retained for the restart policy; null for forked children (their
+  // address space is a COW copy, not an image).
+  std::shared_ptr<const elf::ElfImage> image;
 
   uint64_t brk_start = 0, brk = 0;   // heap bounds
   uint64_t brk_mapped = 0;  // high-water mark of pages mapped for the heap
@@ -99,6 +117,11 @@ struct RuntimeConfig {
   // costs `scxtnum_write_cycles`.
   bool spectre_ctx_isolation = false;
   uint64_t scxtnum_write_cycles = 12;
+  // Fault policy applied to every loaded sandbox (overridable per pid via
+  // Runtime::set_policy) and the cycle charges of the recovery paths.
+  SupervisorPolicy default_policy;
+  uint64_t signal_deliver_cycles = 180;  // frame push + redirect
+  uint64_t sigreturn_cycles = 140;       // frame validate + restore
 };
 
 // The runtime. One instance per emulated machine.
@@ -143,6 +166,18 @@ class Runtime {
   }
   trace::TraceSink* trace_sink() const { return sink_; }
 
+  // Replaces pid's fault policy and resource limits (takes effect at the
+  // next fault / limit check). No-op for unknown pids.
+  void set_policy(int pid, const SupervisorPolicy& policy) {
+    if (Proc* p = proc(pid)) p->policy = policy;
+  }
+
+  // Attaches (or detaches, with nullptr) the chaos fault-injection
+  // engine: cpu faults via the machine's ExecHook, syscall errors and
+  // short reads in the dispatcher, scheduler perturbations in
+  // RunUntilIdle. The engine must outlive the Runtime or be detached.
+  void set_chaos(chaos::ChaosEngine* chaos);
+
   // Verifier statistics accumulated across every Load (always on; the
   // cost is two clock reads per loaded segment).
   const verifier::VerifyStats& verify_stats() const { return verify_stats_; }
@@ -159,6 +194,9 @@ class Runtime {
   void FreeSlot(Proc* p);
 
   Status MapSlotCommon(Proc* p);  // call table + stack
+  // Maps an image's segments into p's slot and resets heap/mmap bounds
+  // and initial CPU state (shared by LoadImage and the restart policy).
+  Status MapImage(Proc* p, const elf::ElfImage& image);
   void InitFds(Proc* p);
 
   // Scheduler.
@@ -176,8 +214,12 @@ class Runtime {
   // Runtime-call dispatch.
   void HandleRuntimeEntry(Proc* p);
   void DoExit(Proc* p, int status);
-  void KillProc(Proc* p, const std::string& why);
+  void KillProc(Proc* p, const std::string& why, int signo = kSigKill);
   void ReapChild(Proc* parent, Proc* child);
+  // Records a graceful limit rejection (counter + event).
+  void NoteLimit(Proc* p, LimitKind kind, uint64_t observed);
+  // True when `fd` may not be allocated under p's fd-table cap.
+  bool FdCapReached(Proc* p, uint64_t fd) const;
 
   // Individual calls; operate on p->cpu registers.
   uint64_t SysWrite(Proc* p, uint64_t fd, uint64_t buf, uint64_t len);
@@ -197,10 +239,14 @@ class Runtime {
     return p->base | (ptr & 0xffffffffu);
   }
 
+  friend class Supervisor;
+
   RuntimeConfig cfg_;
   emu::AddressSpace space_;
   emu::Machine machine_;
   Vfs vfs_;
+  Supervisor supervisor_{this};
+  chaos::ChaosEngine* chaos_ = nullptr;
   trace::TraceSink* sink_ = nullptr;
   trace::ExecCounters exec_counters_;
   verifier::VerifyStats verify_stats_;

@@ -23,6 +23,11 @@ constexpr const char* kCounterNames[] = {
     "pipe-bytes-written",
     "faults",
     "forks",
+    "signals-delivered",
+    "sigreturns",
+    "restarts",
+    "limit-rejections",
+    "chaos-injections",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
               static_cast<size_t>(Counter::kCount));
@@ -31,6 +36,8 @@ constexpr const char* kEventKindNames[] = {
     "sched-slice",   "sched-switch", "syscall", "syscall-block",
     "yield-to",      "fork",         "pipe-read", "pipe-write",
     "block-invalidate", "fault",     "proc-exit",
+    "signal-deliver", "sigreturn", "proc-restart", "limit-hit",
+    "chaos-inject",
 };
 static_assert(sizeof(kEventKindNames) / sizeof(kEventKindNames[0]) ==
               static_cast<size_t>(EventKind::kCount));

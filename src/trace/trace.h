@@ -49,6 +49,11 @@ enum class Counter : uint8_t {
   kPipeBytesWritten,     // bytes moved into pipes by this sandbox
   kFaults,               // faults that killed this sandbox
   kForks,                // successful forks performed by this sandbox
+  kSignalsDelivered,     // fault signals delivered to a sandbox handler
+  kSigreturns,           // successful sigreturn completions
+  kRestarts,             // restart-policy image reloads
+  kLimitRejections,      // syscalls rejected by a resource limit
+  kChaosInjections,      // faults/errors injected by the chaos engine
   kCount,
 };
 
@@ -103,6 +108,14 @@ enum class EventKind : uint8_t {
   kBlockInvalidate, // decode cache dropped; arg0 = new generation
   kFault,           // sandbox killed; arg0 = 0
   kProcExit,        // arg0 = exit status (as u64)
+  kSignalDeliver,   // fault signal delivered; arg0 = signo, arg1 = frame
+  kSigreturn,       // handler returned; arg0 = resumed pc
+  kProcRestart,     // restart policy reloaded the image; arg0 = restart
+                    // count, arg1 = backoff cycles charged
+  kLimitHit,        // resource limit rejection; arg0 = LimitKind, arg1 =
+                    // observed value
+  kChaosInject,     // chaos engine injection; arg0 = fault kind or call
+                    // number, arg1 = 0 for cpu faults / errno for syscalls
   kCount,
 };
 

@@ -534,6 +534,36 @@ TEST(Runtime, FaultingSandboxIsKilledNotRuntime) {
   ASSERT_GE(t.pid, 0);
   t.rt.RunUntilIdle();
   EXPECT_EQ(t.P()->exit_kind, ExitKind::kKilled);
+  // The supervisor records what happened and where for post-mortems.
+  EXPECT_EQ(t.P()->disposition, Disposition::kKilled);
+  EXPECT_EQ(t.P()->term_signal, kSigSegv);
+  EXPECT_NE(t.P()->fault_detail.find("pc="), std::string::npos)
+      << t.P()->fault_detail;
+}
+
+TEST(Runtime, WaitStatusEncodesChildTermination) {
+  // A parent waiting on a faulting child must observe a wait status that
+  // distinguishes "killed by signal N" (0x100|N) from a plain exit code.
+  TestRun t(R"(
+    ldr x30, [x21, #64]     // call-table entry 8 = fork
+    blr x30
+    cbz x0, child
+    mov x0, sp              // parent: wait(&status) on the stack
+    ldr x30, [x21, #72]     // entry 9 = wait
+    blr x30
+    ldr w0, [sp]
+    ldr x30, [x21]          // entry 0 = exit(status word)
+    blr x30
+  child:
+    movz x1, #0x4000        // guard-region offset: unmapped, faults
+    add x18, x21, w1, uxtw
+    ldr x0, [x18]
+  )",
+            /*rewrite=*/false);
+  ASSERT_GE(t.pid, 0);
+  t.rt.RunUntilIdle();
+  ASSERT_EQ(t.P()->exit_kind, ExitKind::kExited);
+  EXPECT_EQ(t.P()->exit_status, 0x100 | kSigSegv);
 }
 
 TEST(Runtime, FastYieldSwitchesDirectly) {
@@ -740,8 +770,10 @@ TEST(Runtime, ForkInheritsFileFdAndWaitReaps) {
 
 TEST(Runtime, BrkShrinkAndRegrow) {
   // Grow the heap, store a value; shrink below it; brk(0) must report the
-  // shrunk break. Regrow and the pages (never unmapped, per the
-  // high-water-mark contract) must still hold the value.
+  // shrunk break. Regrow and the fresh allocation must read back as
+  // zeros: the pages stay mapped (high-water-mark contract) but the
+  // shrink scrubs the freed range, so no stale bytes leak across a
+  // shrink/regrow cycle.
   TestRun t(R"(
     mov x0, #0
     rtcall #5           // brk(0) -> base break
@@ -761,7 +793,10 @@ TEST(Runtime, BrkShrinkAndRegrow) {
     movz x1, #0x2, lsl #16
     add x0, x19, x1
     rtcall #5           // regrow over the same range
-    ldr x0, [x9]        // value must have survived (pages stayed mapped)
+    ldr x0, [x9]        // freed-then-regrown memory must read as zero
+    cmp x0, #0
+    b.ne bad
+    movz x0, #0x60d
     rtcall #0
   bad:
     mov x0, #1
@@ -769,7 +804,7 @@ TEST(Runtime, BrkShrinkAndRegrow) {
   )");
   ASSERT_GE(t.pid, 0);
   t.rt.RunUntilIdle();
-  EXPECT_EQ(t.P()->exit_status, 0x5ca1);
+  EXPECT_EQ(t.P()->exit_status, 0x60d);
 }
 
 TEST(Runtime, ExitClosesPipeFdsNoLeak) {

@@ -8,22 +8,46 @@
 //                  chrome://tracing); timestamps come from the simulated
 //                  clock, so identical runs produce byte-identical files
 //
+// Fault policy and limits (docs/FAULTS.md):
+//   --policy=kill|signal|restart   fault policy for every sandbox
+//   --restart-budget=N             restarts before degrading to kill
+//   --max-cycles=N --max-heap=N --max-mmap=N --max-fds=N --max-pipe-buf=N
+//                                  per-sandbox resource ceilings (0 = off)
+//
+// Chaos (deterministic fault injection; same flags => same run):
+//   --chaos-seed=N                 enable injection with this seed
+//   --chaos-profile=NAME           none|memfault|syscall|sched|storm
+//
 // Usage: lfi-run [--no-verify] [--core=m1|t2a] [--stats] [--trace out.json]
-//                prog.elf [prog2.elf ...]
+//                [--policy=...] [--chaos-seed=N] prog.elf [prog2.elf ...]
 //
 // Exit status: program's own status; 1 if a sandbox was killed, deadlocked,
 // or the verifier rejected an input (REJECT line mirrors lfi-verify);
 // 2 on usage/IO errors.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "runtime/runtime.h"
 #include "trace/trace.h"
+
+namespace {
+
+// Parses "--name=value" into value; returns false if arg isn't --name=.
+bool U64Flag(const std::string& arg, const char* name, uint64_t* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = std::strtoull(arg.c_str() + prefix.size(), nullptr, 0);
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   lfi::runtime::RuntimeConfig cfg;
@@ -31,8 +55,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   bool want_stats = false;
   const char* trace_path = nullptr;
+  bool chaos_enabled = false;
+  uint64_t chaos_seed = 0;
+  std::string chaos_profile = "storm";
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
+    uint64_t v = 0;
     if (arg == "--no-verify") {
       cfg.enforce_verification = false;
     } else if (arg == "--core=t2a") {
@@ -47,10 +75,41 @@ int main(int argc, char** argv) {
         return 2;
       }
       trace_path = argv[++k];
+    } else if (arg == "--policy=kill") {
+      cfg.default_policy.on_fault = lfi::runtime::FaultAction::kKill;
+    } else if (arg == "--policy=signal") {
+      cfg.default_policy.on_fault = lfi::runtime::FaultAction::kSignal;
+    } else if (arg == "--policy=restart") {
+      cfg.default_policy.on_fault = lfi::runtime::FaultAction::kRestart;
+    } else if (U64Flag(arg, "--restart-budget", &v)) {
+      cfg.default_policy.restart_budget = static_cast<uint32_t>(v);
+    } else if (U64Flag(arg, "--max-cycles", &v)) {
+      cfg.default_policy.limits.max_cpu_cycles = v;
+    } else if (U64Flag(arg, "--max-heap", &v)) {
+      cfg.default_policy.limits.max_heap_bytes = v;
+    } else if (U64Flag(arg, "--max-mmap", &v)) {
+      cfg.default_policy.limits.max_mmap_bytes = v;
+    } else if (U64Flag(arg, "--max-fds", &v)) {
+      cfg.default_policy.limits.max_fds = v;
+    } else if (U64Flag(arg, "--max-pipe-buf", &v)) {
+      cfg.default_policy.limits.max_pipe_buffer_bytes = v;
+    } else if (U64Flag(arg, "--chaos-seed", &v)) {
+      chaos_enabled = true;
+      chaos_seed = v;
+    } else if (arg.rfind("--chaos-profile=", 0) == 0) {
+      chaos_enabled = true;
+      chaos_profile = arg.substr(std::strlen("--chaos-profile="));
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: lfi-run [--no-verify] [--core=m1|t2a] [--stats] "
-                   "[--trace out.json] prog.elf [...]\n");
+                   "[--trace out.json]\n"
+                   "               [--policy=kill|signal|restart] "
+                   "[--restart-budget=N]\n"
+                   "               [--max-cycles=N] [--max-heap=N] "
+                   "[--max-mmap=N] [--max-fds=N] [--max-pipe-buf=N]\n"
+                   "               [--chaos-seed=N] "
+                   "[--chaos-profile=none|memfault|syscall|sched|storm]\n"
+                   "               prog.elf [...]\n");
       return 0;
     } else {
       paths.push_back(arg);
@@ -61,9 +120,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const lfi::chaos::ChaosProfile profile =
+      lfi::chaos::ProfileByName(chaos_profile);
+  if (chaos_enabled && profile.name.empty()) {
+    std::fprintf(stderr, "lfi-run: unknown chaos profile '%s'\n",
+                 chaos_profile.c_str());
+    return 2;
+  }
+
   lfi::runtime::Runtime rt(cfg);
   lfi::trace::TraceSink sink;
   if (want_stats || trace_path != nullptr) rt.set_trace_sink(&sink);
+  lfi::chaos::ChaosEngine chaos(chaos_seed, profile);
+  if (chaos_enabled) rt.set_chaos(&chaos);
 
   std::vector<int> pids;
   for (const auto& path : paths) {
@@ -100,11 +169,30 @@ int main(int argc, char** argv) {
     const auto* p = rt.proc(pids[k]);
     if (!p->out.empty()) std::fwrite(p->out.data(), 1, p->out.size(), stdout);
     if (p->exit_kind == lfi::runtime::ExitKind::kKilled) {
-      std::fprintf(stderr, "lfi-run: %s: killed (%s)\n", paths[k].c_str(),
-                   p->fault_detail.c_str());
+      std::fprintf(stderr,
+                   "lfi-run: %s: killed (%s) [signal %d, disposition %s, "
+                   "restarts %u, signals delivered %u]\n",
+                   paths[k].c_str(), p->fault_detail.c_str(), p->term_signal,
+                   lfi::runtime::DispositionName(p->disposition), p->restarts,
+                   p->sig.delivered);
       rc = 1;
     } else if (p->exit_kind == lfi::runtime::ExitKind::kExited) {
-      if (p->exit_status != 0) rc = p->exit_status;
+      if (p->exit_status != 0) {
+        // A nonzero exit after a recovered fault still reports how the
+        // fault was resolved, so operators can tell "crashed and
+        // recovered" from "plain error exit".
+        if (p->disposition != lfi::runtime::Disposition::kNone) {
+          std::fprintf(stderr,
+                       "lfi-run: %s: exit %d [disposition %s, restarts %u, "
+                       "signals delivered %u%s%s]\n",
+                       paths[k].c_str(), p->exit_status,
+                       lfi::runtime::DispositionName(p->disposition),
+                       p->restarts, p->sig.delivered,
+                       p->fault_detail.empty() ? "" : ", last fault: ",
+                       p->fault_detail.c_str());
+        }
+        rc = p->exit_status;
+      }
     }
   }
   if (leftover != 0) {
