@@ -1,0 +1,198 @@
+// Snapshot instantiation benchmarks (docs/SNAPSHOTS.md).
+//
+//   elf-load        cold instantiation: parse + verify + zero + copy every
+//                   page of the image (the modeled per-page load cost)
+//   snapshot-spawn  warm instantiation from a captured image: COW page
+//                   install only, nothing copied
+//   restart-legacy  supervisor restart via full ELF remap (the pre-
+//                   snapshot path, forced with set_restart_snapshot(pid,
+//                   nullptr))
+//   restart-restore supervisor restart via snapshot restore: only pages
+//                   the crashed run actually dirtied are re-installed
+//
+// The substrate is deterministic, so the two restart runs differ *only*
+// in the restart-path charge; the legacy cost is recovered empirically as
+// (legacy clock delta - restore clock delta) + measured restore cost, with
+// no reference to the cost-model constants.
+//
+// Gates (checked here and in BENCH_BASELINE.json): snapshot spawn >= 10x
+// cheaper than ELF load; snapshot restart >= 5x cheaper than ELF-reload
+// restart.
+
+#include "harness.h"
+
+namespace lfi::bench {
+namespace {
+
+// Hand-guarded build (the guard-region fault must survive to execution).
+Built BuildRaw(const std::string& src) {
+  Built b;
+  auto file = asmtext::Parse(src);
+  if (!file) {
+    b.error = file.error();
+    return b;
+  }
+  asmtext::LayoutSpec spec;
+  spec.text_offset = runtime::kProgramStart;
+  auto img = asmtext::Assemble(*file, spec);
+  if (!img) {
+    b.error = img.error();
+    return b;
+  }
+  b.text_bytes = img->text.size();
+  b.elf = elf::Write(elf::FromAssembled(*img));
+  b.file_bytes = b.elf.size();
+  b.ok = true;
+  return b;
+}
+
+// A service-sized image (~1MiB of data, 64+ pages) that dirties one data
+// page and then faults — the shape that makes restart interesting: the
+// image is large, the delta is small.
+std::string ServiceProg() {
+  return R"(
+    adrp x1, table
+    add x1, x1, :lo12:table
+    add x18, x21, w1, uxtw
+    mov x2, #1
+    str x2, [x18]           // dirty one data page
+    movz x1, #0x4000
+    add x18, x21, w1, uxtw
+    ldr x0, [x18]           // guard-region fault
+  .data
+  table:
+    .zero 1048576
+  )";
+}
+
+struct RestartRun {
+  bool ok = false;
+  uint64_t total_cycles = 0;
+  uint32_t restarts = 0;
+  uint64_t restore_cycles = 0;  // last_instantiation after the run
+  std::string error;
+};
+
+RestartRun RunRestartLoop(const Built& b, bool force_legacy, int budget) {
+  RestartRun r;
+  runtime::RuntimeConfig cfg;
+  cfg.core = arch::AppleM1LikeParams();
+  runtime::Runtime rt(cfg);
+  auto pid = rt.Load({b.elf.data(), b.elf.size()});
+  if (!pid.ok()) {
+    r.error = pid.error();
+    return r;
+  }
+  if (force_legacy) rt.set_restart_snapshot(*pid, nullptr);
+  runtime::SupervisorPolicy pol;
+  pol.on_fault = runtime::FaultAction::kRestart;
+  pol.restart_budget = static_cast<uint32_t>(budget);
+  pol.restart_backoff_base_cycles = 0;
+  rt.set_policy(*pid, pol);
+  const uint64_t c0 = rt.Cycles();
+  rt.RunUntilIdle(uint64_t{200} * 1000 * 1000);
+  const auto* p = rt.proc(*pid);
+  if (p->restarts != static_cast<uint32_t>(budget)) {
+    r.error = "restart budget not consumed";
+    return r;
+  }
+  r.total_cycles = rt.Cycles() - c0;
+  r.restarts = p->restarts;
+  r.restore_cycles = rt.last_instantiation().cycles;
+  r.ok = true;
+  return r;
+}
+
+}  // namespace
+}  // namespace lfi::bench
+
+int main(int argc, char** argv) {
+  using namespace lfi::bench;
+  JsonReport report = JsonReport::FromArgs(argc, argv);
+  const lfi::arch::CoreParams core = lfi::arch::AppleM1LikeParams();
+
+  const Built b = BuildRaw(ServiceProg());
+  if (!b.ok) {
+    std::fprintf(stderr, "error: build: %s\n", b.error.c_str());
+    return 1;
+  }
+
+  // ---- Instantiation: ELF load vs snapshot spawn -------------------------
+  lfi::runtime::RuntimeConfig cfg;
+  cfg.core = core;
+  lfi::runtime::Runtime rt(cfg);
+  auto pid = rt.Load({b.elf.data(), b.elf.size()});
+  if (!pid.ok()) {
+    std::fprintf(stderr, "error: load: %s\n", pid.error().c_str());
+    return 1;
+  }
+  const double load_cycles = static_cast<double>(rt.last_instantiation().cycles);
+  const double image_pages = static_cast<double>(rt.last_instantiation().pages);
+
+  auto cap = rt.CaptureSnapshot(*pid);
+  if (!cap.ok()) {
+    std::fprintf(stderr, "error: capture: %s\n", cap.error().c_str());
+    return 1;
+  }
+  auto snap =
+      std::make_shared<lfi::snapshot::Snapshot>(*std::move(cap));
+  auto spawned = rt.SpawnFromSnapshot(snap, /*start=*/false);
+  if (!spawned.ok()) {
+    std::fprintf(stderr, "error: spawn: %s\n", spawned.error().c_str());
+    return 1;
+  }
+  const double spawn_cycles =
+      static_cast<double>(rt.last_instantiation().cycles);
+  const double spawn_speedup = load_cycles / spawn_cycles;
+
+  // ---- Restart: ELF remap vs snapshot restore ----------------------------
+  const int kBudget = 100;
+  const RestartRun legacy = RunRestartLoop(b, /*force_legacy=*/true, kBudget);
+  const RestartRun restore = RunRestartLoop(b, /*force_legacy=*/false, kBudget);
+  for (const RestartRun* r : {&legacy, &restore}) {
+    if (!r->ok) {
+      std::fprintf(stderr, "error: restart loop: %s\n", r->error.c_str());
+      return 1;
+    }
+  }
+  // Identical runs except for the restart-path charge, so the per-round
+  // clock difference is exactly (legacy charge - restore charge).
+  const double restore_cycles = static_cast<double>(restore.restore_cycles);
+  const double legacy_cycles =
+      restore_cycles + static_cast<double>(legacy.total_cycles -
+                                           restore.total_cycles) /
+                           legacy.restarts;
+  const double restart_speedup = legacy_cycles / restore_cycles;
+
+  std::printf("Snapshot instantiation (%s, simulated cycles; image %.0f "
+              "pages)\n",
+              core.name.c_str(), image_pages);
+  std::printf("%-18s %12s %10s\n", "path", "cycles", "speedup");
+  std::printf("%-18s %12.1f %10s\n", "elf-load", load_cycles, "1.0x");
+  std::printf("%-18s %12.1f %9.1fx\n", "snapshot-spawn", spawn_cycles,
+              spawn_speedup);
+  std::printf("%-18s %12.1f %10s\n", "restart-legacy", legacy_cycles, "1.0x");
+  std::printf("%-18s %12.1f %9.1fx\n", "restart-restore", restore_cycles,
+              restart_speedup);
+
+  report.Add("snapshot.elf-load.cycles", load_cycles);
+  report.Add("snapshot.spawn.cycles", spawn_cycles);
+  report.Add("snapshot.spawn.speedup", spawn_speedup);
+  report.Add("snapshot.restart-legacy.cycles", legacy_cycles);
+  report.Add("snapshot.restart-restore.cycles", restore_cycles);
+  report.Add("snapshot.restart.speedup", restart_speedup);
+  if (!report.Write()) return 1;
+
+  // Self-gating: the headline claims of docs/SNAPSHOTS.md.
+  if (spawn_speedup < 10.0) {
+    std::fprintf(stderr, "FAIL: snapshot spawn only %.1fx cheaper than ELF "
+                 "load (need >= 10x)\n", spawn_speedup);
+    return 1;
+  }
+  if (restart_speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: snapshot restart only %.1fx cheaper than "
+                 "ELF-reload restart (need >= 5x)\n", restart_speedup);
+    return 1;
+  }
+  return 0;
+}

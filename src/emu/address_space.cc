@@ -221,6 +221,34 @@ Status AddressSpace::HostWrite(uint64_t addr, std::span<const uint8_t> data) {
   return Status::Ok();
 }
 
+std::shared_ptr<AddressSpace::PageData> AddressSpace::ExportPage(
+    uint64_t addr, uint8_t* perms) const {
+  const Page* page = FindPage(addr);
+  if (page == nullptr) return nullptr;
+  if (perms != nullptr) *perms = page->perms;
+  return page->data;
+}
+
+Status AddressSpace::InstallPage(uint64_t addr,
+                                 std::shared_ptr<PageData> data,
+                                 uint8_t perms) {
+  if (!PageAligned(addr)) return Status::Fail("install: unaligned page");
+  if (data == nullptr) return Status::Fail("install: null payload");
+  const uint64_t pageno = addr / kPageSize;
+  pages_[pageno] = Page{std::move(data), perms};
+  NoteExec(pageno, perms);
+  ++generation_;
+  return Status::Ok();
+}
+
+const AddressSpace::PageData* AddressSpace::PagePayload(
+    uint64_t addr, uint8_t* perms) const {
+  const Page* page = FindPage(addr);
+  if (page == nullptr) return nullptr;
+  if (perms != nullptr) *perms = page->perms;
+  return page->data.get();
+}
+
 void AddressSpace::CloneInto(AddressSpace* child) const {
   child->pages_ = pages_;  // shared_ptr copy: COW
   child->exec_pages_ = exec_pages_;

@@ -89,6 +89,12 @@ class AccessTrace {
 // Sparse paged memory. Copyable page contents are shared copy-on-write.
 class AddressSpace {
  public:
+  // One page's backing bytes. Exposed so snapshots can hold page payloads
+  // by shared_ptr: while a snapshot owns a reference, the next guest/host
+  // write to that page copies first (WritablePage's use_count test), so
+  // snapshot contents are immutable without any copying at capture time.
+  using PageData = std::array<uint8_t, kPageSize>;
+
   AddressSpace() = default;
 
   // Maps [addr, addr+len) with `perms`. Both must be page-aligned. Newly
@@ -132,6 +138,19 @@ class AddressSpace {
   // place a forked child at a new sandbox base within the same space.
   Status ShareRange(uint64_t src, uint64_t dst, uint64_t len);
 
+  // Snapshot support (src/snapshot/, docs/SNAPSHOTS.md). ExportPage hands
+  // out shared ownership of the page's payload plus its perms (nullptr if
+  // unmapped): a capture is one shared_ptr copy per page. InstallPage maps
+  // `addr`'s page sharing `data` copy-on-write (replacing any existing
+  // page) and bumps the mutation generation, so the decode cache revokes
+  // stale code after a restore. PagePayload is the raw observer used for
+  // dirty detection: a page is clean w.r.t. a snapshot iff its payload
+  // pointer and perms still match the captured ones.
+  std::shared_ptr<PageData> ExportPage(uint64_t addr, uint8_t* perms) const;
+  Status InstallPage(uint64_t addr, std::shared_ptr<PageData> data,
+                     uint8_t perms);
+  const PageData* PagePayload(uint64_t addr, uint8_t* perms) const;
+
   // Number of mapped pages (for tests and accounting).
   size_t MappedPages() const { return pages_.size(); }
 
@@ -152,7 +171,6 @@ class AddressSpace {
   void set_access_trace(AccessTrace* trace) { trace_ = trace; }
 
  private:
-  using PageData = std::array<uint8_t, kPageSize>;
   struct Page {
     std::shared_ptr<PageData> data;
     uint8_t perms = kPermNone;

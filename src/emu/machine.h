@@ -58,6 +58,8 @@ struct CpuState {
   // Exclusive monitor for ldxr/stxr.
   bool excl_valid = false;
   uint64_t excl_addr = 0;
+
+  bool operator==(const CpuState&) const = default;
 };
 
 // Why Run() returned.

@@ -93,20 +93,23 @@ bool SlotInvariantChecker::OnInst(const Inst& inst, uint64_t pc,
   return true;
 }
 
-ExecResult ExecuteWords(std::span<const uint32_t> words,
-                        const ExecOptions& opts) {
+ExecEnv::ExecEnv(std::span<const uint32_t> words, const ExecOptions& opts)
+    : base_(runtime::SlotBase(1)),
+      machine_(&space_, arch::AppleM1LikeParams()) {
   namespace rt = lfi::runtime;
-  const uint64_t base = rt::SlotBase(1);
+  const uint64_t base = base_;
   const uint64_t kPage = emu::kPageSize;
   const uint64_t rt_len =
       rt::kRuntimeEntryGranule * uint64_t(rt::Rtcall::kCount);
 
-  emu::AddressSpace space;
-  emu::Machine machine(&space, arch::AppleM1LikeParams());
+  auto map = [&](uint64_t addr, uint64_t len, uint8_t perms) {
+    (void)space_.Map(addr, len, perms);
+    ranges_.emplace_back(addr, len);
+  };
 
   // Call table page at the slot base (read-only), entries pointing into
   // the runtime-entry region like the real runtime's setup.
-  (void)space.Map(base, kPage, emu::kPermRead);
+  map(base, kPage, emu::kPermRead);
   {
     std::vector<uint8_t> table(opts.table_bytes, 0);
     for (uint64_t i = 0; i * 8 + 8 <= opts.table_bytes; ++i) {
@@ -115,25 +118,25 @@ ExecResult ExecuteWords(std::span<const uint32_t> words,
           (i % uint64_t(rt::Rtcall::kCount)) * rt::kRuntimeEntryGranule;
       memcpy(table.data() + i * 8, &entry, 8);
     }
-    (void)space.HostWrite(base, {table.data(), table.size()});
+    (void)space_.HostWrite(base, {table.data(), table.size()});
   }
 
   // Text (read+execute).
   const uint64_t text_base = base + rt::kProgramStart;
   const uint64_t text_len = uint64_t(words.size()) * 4;
   const uint64_t text_map = (text_len + kPage - 1) / kPage * kPage;
-  (void)space.Map(text_base, text_map == 0 ? kPage : text_map,
-                  emu::kPermRead | emu::kPermExec);
-  (void)space.HostWrite(
+  map(text_base, text_map == 0 ? kPage : text_map,
+      emu::kPermRead | emu::kPermExec);
+  (void)space_.HostWrite(
       text_base, {reinterpret_cast<const uint8_t*>(words.data()), text_len});
 
   // Data region the address-reserved registers start out pointing at.
   const uint64_t data_base = base + 0x200000;
-  (void)space.Map(data_base, 4 * kPage, emu::kPermRead | emu::kPermWrite);
+  map(data_base, 4 * kPage, emu::kPermRead | emu::kPermWrite);
 
   // Stack at the top of the usable area.
-  (void)space.Map(base + rt::kProgramEnd - 8 * kPage, 8 * kPage,
-                  emu::kPermRead | emu::kPermWrite);
+  map(base + rt::kProgramEnd - 8 * kPage, 8 * kPage,
+      emu::kPermRead | emu::kPermWrite);
 
   // Tripwire pages OUTSIDE the slot+guard window. On real hardware these
   // addresses could belong to a neighbor; mapping them RW here means a
@@ -141,27 +144,25 @@ ExecResult ExecuteWords(std::span<const uint32_t> words,
   // checker convicts it from the access trace.
   {
     const uint64_t lo_end = (base - opts.guard_bytes) & ~(kPage - 1);
-    (void)space.Map(lo_end - 2 * kPage, 2 * kPage,
-                    emu::kPermRead | emu::kPermWrite);
+    map(lo_end - 2 * kPage, 2 * kPage, emu::kPermRead | emu::kPermWrite);
     const uint64_t hi_start =
         (base + rt::kSlotSize + opts.guard_bytes + kPage - 1) & ~(kPage - 1);
-    (void)space.Map(hi_start, 2 * kPage, emu::kPermRead | emu::kPermWrite);
+    map(hi_start, 2 * kPage, emu::kPermRead | emu::kPermWrite);
     // A neighbor slot's data page and two distant pages.
-    (void)space.Map(base + rt::kSlotSize + 0x200000, kPage,
-                    emu::kPermRead | emu::kPermWrite);
-    (void)space.Map(base - (uint64_t{1} << 30), kPage,
-                    emu::kPermRead | emu::kPermWrite);
-    (void)space.Map(base + 2 * rt::kSlotSize + (uint64_t{1} << 30), kPage,
-                    emu::kPermRead | emu::kPermWrite);
+    map(base + rt::kSlotSize + 0x200000, kPage,
+        emu::kPermRead | emu::kPermWrite);
+    map(base - (uint64_t{1} << 30), kPage, emu::kPermRead | emu::kPermWrite);
+    map(base + 2 * rt::kSlotSize + (uint64_t{1} << 30), kPage,
+        emu::kPermRead | emu::kPermWrite);
   }
 
-  machine.SetRuntimeRegion(rt::kRuntimeEntryBase, rt_len);
-  machine.set_dispatch(opts.dispatch);
+  machine_.SetRuntimeRegion(rt::kRuntimeEntryBase, rt_len);
+  machine_.set_dispatch(opts.dispatch);
 
   // Initial state: reserved registers satisfy their invariants; everything
   // else is attacker-controlled, so give it hostile values.
   Rng rng(opts.seed);
-  emu::CpuState& st = machine.state();
+  emu::CpuState& st = machine_.state();
   const uint64_t interesting[] = {
       0,
       ~uint64_t{0},
@@ -197,12 +198,44 @@ ExecResult ExecuteWords(std::span<const uint32_t> words,
     st.vr[v].hi = rng.Next();
   }
 
-  SlotInvariantChecker::Config cfg;
-  cfg.base = base;
-  cfg.guard_bytes = opts.guard_bytes;
-  cfg.rt_base = rt::kRuntimeEntryBase;
-  cfg.rt_len = rt_len;
-  SlotInvariantChecker checker(cfg);
+  ccfg_.base = base;
+  ccfg_.guard_bytes = opts.guard_bytes;
+  ccfg_.rt_base = rt::kRuntimeEntryBase;
+  ccfg_.rt_len = rt_len;
+}
+
+ExecEnv::Checkpoint ExecEnv::Capture() const {
+  Checkpoint ck;
+  ck.cpu = machine_.state();
+  for (const auto& [addr, len] : ranges_) {
+    for (uint64_t a = addr; a < addr + len; a += emu::kPageSize) {
+      uint8_t perms = 0;
+      auto data = space_.ExportPage(a, &perms);
+      if (data != nullptr) ck.pages.push_back({a, perms, std::move(data)});
+    }
+  }
+  return ck;
+}
+
+uint64_t ExecEnv::Restore(const Checkpoint& ck) {
+  uint64_t dirty = 0;
+  for (const auto& page : ck.pages) {
+    uint8_t perms = 0;
+    const auto* cur = space_.PagePayload(page.addr, &perms);
+    if (cur == page.data.get() && perms == page.perms) continue;
+    (void)space_.InstallPage(page.addr, page.data, page.perms);
+    ++dirty;
+  }
+  machine_.state() = ck.cpu;
+  return dirty;
+}
+
+ExecResult ExecuteWords(std::span<const uint32_t> words,
+                        const ExecOptions& opts) {
+  namespace rt = lfi::runtime;
+  ExecEnv env(words, opts);
+  SlotInvariantChecker checker(env.checker_config());
+  emu::Machine& machine = env.machine();
   machine.set_exec_hook(&checker);
 
   ExecResult res;
@@ -214,6 +247,7 @@ ExecResult ExecuteWords(std::span<const uint32_t> words,
   res.final_state = machine.state();
   res.violation = checker.violation();
 
+  const uint64_t base = env.base();
   if (res.violation.empty() && res.stop == emu::StopReason::kFault) {
     if (res.fault.kind == emu::CpuFault::Kind::kIllegal) {
       res.violation = "pc=" + Hex(res.fault.pc) +

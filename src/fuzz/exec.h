@@ -27,8 +27,11 @@
 #define LFI_FUZZ_EXEC_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "emu/machine.h"
 
@@ -99,6 +102,51 @@ struct ExecResult {
 // does not verify) inside a fresh slot under the invariant checker.
 ExecResult ExecuteWords(std::span<const uint32_t> words,
                         const ExecOptions& opts);
+
+// The slot environment ExecuteWords builds, kept alive so callers can run
+// in phases with page-level checkpoints in between (the snapshot oracle).
+// Construction maps the slot (call table, text, data, stack, tripwires)
+// and seeds the registers from opts.seed exactly as ExecuteWords does; the
+// caller attaches whatever ExecHook it wants and calls Run.
+//
+// Capture/Restore exercise the same primitives the runtime snapshot layer
+// uses — ExportPage / PagePayload / InstallPage — so divergence after a
+// restore convicts the copy-on-write payload-sharing machinery itself.
+// (Sandboxed code cannot map or unmap pages here — there is no runtime —
+// so the page *set* is fixed at construction and only contents change.)
+class ExecEnv {
+ public:
+  ExecEnv(std::span<const uint32_t> words, const ExecOptions& opts);
+
+  emu::Machine& machine() { return machine_; }
+  emu::AddressSpace& space() { return space_; }
+  uint64_t base() const { return base_; }
+  const SlotInvariantChecker::Config& checker_config() const { return ccfg_; }
+
+  // One captured page; `data` is shared with the live space until the
+  // space's next write to that page copies (COW).
+  struct CheckpointPage {
+    uint64_t addr = 0;
+    uint8_t perms = 0;
+    std::shared_ptr<emu::AddressSpace::PageData> data;
+  };
+  struct Checkpoint {
+    emu::CpuState cpu;
+    std::vector<CheckpointPage> pages;
+  };
+
+  Checkpoint Capture() const;
+  // Rolls cpu + memory back to `ck`; returns how many pages had actually
+  // diverged (payload pointer or perms) and were re-installed.
+  uint64_t Restore(const Checkpoint& ck);
+
+ private:
+  uint64_t base_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges_;  // mapped [addr, len)
+  SlotInvariantChecker::Config ccfg_;
+  emu::AddressSpace space_;
+  emu::Machine machine_;
+};
 
 }  // namespace lfi::fuzz
 

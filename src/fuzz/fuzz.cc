@@ -380,6 +380,150 @@ FuzzReport RunDifferential(const FuzzOptions& opts) {
   return report;
 }
 
+namespace {
+
+// Hashes the externally visible execution trace: pc stream, attempted
+// accesses, fault flags. Cycle counts are deliberately excluded — timing
+// state (caches, predictor warmth) is history-dependent and not part of
+// what a snapshot promises to reproduce.
+class TraceHashRecorder : public emu::ExecHook {
+ public:
+  bool OnInst(const arch::Inst&, uint64_t pc, const emu::CpuState&,
+              std::span<const emu::AccessRecord> accesses,
+              bool faulted) override {
+    Mix(pc);
+    for (const auto& a : accesses) {
+      Mix(a.addr);
+      Mix(a.size);
+      Mix(uint64_t(a.kind));
+    }
+    Mix(faulted ? 1 : 0);
+    ++insts_;
+    return true;
+  }
+  uint64_t hash() const { return h_; }
+  uint64_t insts() const { return insts_; }
+
+ private:
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (i * 8)) & 0xff;
+      h_ *= 1099511628211ull;
+    }
+  }
+  uint64_t h_ = 14695981039346656037ull;
+  uint64_t insts_ = 0;
+};
+
+}  // namespace
+
+FuzzReport RunSnapshotOracle(const FuzzOptions& opts) {
+  FuzzReport report;
+  report.mode = "snapshot";
+  const auto corpus = SeedCorpusWords();
+  for (uint64_t it = 0; it < opts.iters; ++it) {
+    const uint64_t iseed = DeriveSeed(opts.seed, it);
+    Rng rng(iseed);
+    std::vector<uint32_t> words =
+        it < corpus.size() ? corpus[it] : GenStream(rng);
+    ++report.iters;
+    const auto v = verifier::Verify(AsBytes(words), opts.verify);
+    if (!v.ok) {
+      ++report.rejected;
+      ++report.reject_kinds[size_t(v.kind)];
+      continue;
+    }
+    ++report.accepted;
+
+    ExecOptions eo;
+    eo.seed = iseed;
+    eo.max_insts = opts.max_exec_insts;
+    eo.guard_bytes = opts.verify.guard_bytes;
+    eo.table_bytes = opts.verify.table_bytes;
+
+    ExecEnv env(words, eo);
+    emu::Machine& m = env.machine();
+
+    // Phase 1: run the first half of the budget, then freeze mid-flight
+    // (whatever state the program reached — a mid-loop checkpoint is the
+    // interesting case; a program that already stopped just makes the
+    // comparison trivially exact).
+    const uint64_t n = opts.max_exec_insts / 2;
+    (void)m.Run(n);
+    const ExecEnv::Checkpoint ck = env.Capture();
+
+    // Phase 2 (reference): run the second half, hashing the trace.
+    const uint64_t budget = opts.max_exec_insts - n;
+    TraceHashRecorder ref;
+    m.set_exec_hook(&ref);
+    const emu::StopReason stop_ref = m.Run(budget);
+    m.set_exec_hook(nullptr);
+    const emu::CpuState end_ref = m.state();
+
+    // Roll back and check the restore converged exactly: registers equal
+    // the checkpoint's and every page payload is pointer-identical again.
+    (void)env.Restore(ck);
+    std::string divergence;
+    if (!(m.state() == ck.cpu)) {
+      divergence = "registers differ immediately after restore";
+    }
+    const ExecEnv::Checkpoint ck2 = env.Capture();
+    if (divergence.empty() && ck2.pages.size() != ck.pages.size()) {
+      divergence = "mapped page set changed across snapshot/restore";
+    }
+    if (divergence.empty()) {
+      for (size_t k = 0; k < ck.pages.size(); ++k) {
+        if (ck2.pages[k].data.get() != ck.pages[k].data.get() ||
+            ck2.pages[k].perms != ck.pages[k].perms) {
+          char buf[64];
+          snprintf(buf, sizeof buf,
+                   "page 0x%llx not restored to the captured payload",
+                   static_cast<unsigned long long>(ck.pages[k].addr));
+          divergence = buf;
+          break;
+        }
+      }
+    }
+
+    // Phase 3 (replay): re-run the same budget from the restored state.
+    TraceHashRecorder rep;
+    m.set_exec_hook(&rep);
+    const emu::StopReason stop_rep = m.Run(budget);
+    m.set_exec_hook(nullptr);
+    const emu::CpuState end_rep = m.state();
+    ++report.executed;
+
+    if (divergence.empty()) {
+      auto u64 = [](uint64_t x) { return std::to_string(x); };
+      if (stop_rep != stop_ref) {
+        divergence = "stop reason differs: reference " +
+                     u64(uint64_t(stop_ref)) + " vs replay " +
+                     u64(uint64_t(stop_rep));
+      } else if (ref.insts() != rep.insts()) {
+        divergence = "retired count differs: reference " + u64(ref.insts()) +
+                     " vs replay " + u64(rep.insts());
+      } else if (ref.hash() != rep.hash()) {
+        divergence = "pc/access trace hash differs across restore";
+      } else if (!(end_ref == end_rep)) {
+        divergence = "final registers differ across restore";
+      }
+    }
+    if (divergence.empty()) continue;
+
+    CrashArtifact a;
+    a.mode = "snapshot";
+    a.iter = it;
+    a.seed = iseed;
+    a.detail = "snapshot/restore divergence: " + divergence;
+    a.verdict = VerdictText(v);
+    a.words = words;
+    a.full_words = words;
+    RecordCrash(opts, &report, std::move(a));
+    if (report.crashes.size() >= opts.max_crashes) break;
+  }
+  return report;
+}
+
 FuzzReport RunCompleteness(const FuzzOptions& opts) {
   FuzzReport report;
   report.mode = "completeness";

@@ -10,8 +10,15 @@
 //   differential every accepted stream runs under both Dispatch::kBlock
 //                and Dispatch::kStep; final state, stop reason, retired
 //                count and cycle count must match exactly.
+//   snapshot     every accepted stream runs N instructions, checkpoints
+//                (page payloads + registers, the snapshot layer's COW
+//                export), runs M more hashing the pc/access trace, rolls
+//                back, and re-runs M. Stop reason, retired count, trace
+//                hash, and final registers must match exactly; cycle
+//                counts are exempt (timing state is history-dependent and
+//                deliberately not part of a snapshot).
 //
-// All three are deterministic in (seed, iters): crash artifacts record the
+// All modes are deterministic in (seed, iters): crash artifacts record the
 // per-iteration derived seed, so any finding replays in isolation.
 #ifndef LFI_FUZZ_FUZZ_H_
 #define LFI_FUZZ_FUZZ_H_
@@ -73,6 +80,7 @@ struct FuzzReport {
 FuzzReport RunSoundness(const FuzzOptions& opts);
 FuzzReport RunCompleteness(const FuzzOptions& opts);
 FuzzReport RunDifferential(const FuzzOptions& opts);
+FuzzReport RunSnapshotOracle(const FuzzOptions& opts);
 
 // Trivial minimizer: shortest failing prefix by bisection, then a nop-out
 // pass (words are replaced, not removed, so branch offsets stay put).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_set>
 
 #include "chaos/chaos.h"
 
@@ -43,6 +44,15 @@ bool ChaosInjectableCall(int call) {
       return false;
   }
 }
+
+// Snapshot fd records mirror FileDesc kinds numerically; capture and
+// restore cast between them.
+static_assert(static_cast<int>(snapshot::FdRec::Kind::kFree) ==
+              static_cast<int>(FileDesc::Kind::kFree));
+static_assert(static_cast<int>(snapshot::FdRec::Kind::kFile) ==
+              static_cast<int>(FileDesc::Kind::kFile));
+static_assert(static_cast<int>(snapshot::FdRec::Kind::kPipeWrite) ==
+              static_cast<int>(FileDesc::Kind::kPipeWrite));
 
 }  // namespace
 
@@ -177,10 +187,22 @@ Result<int> Runtime::LoadImage(const elf::ElfImage& image) {
 
   if (auto st = MapSlotCommon(p.get()); !st.ok()) return Error{st.error()};
   if (auto st = MapImage(p.get(), image); !st.ok()) return Error{st.error()};
-  // Keep a copy of the (verified) image so the restart policy can re-load
-  // it without re-reading or re-verifying.
+  // Keep a copy of the (verified) image so the legacy reload-restart path
+  // stays benchmarkable without re-reading or re-verifying.
   p->image = std::make_shared<const elf::ElfImage>(image);
   InitFds(p.get());
+
+  uint64_t pages = 0;
+  for (const auto& [off, range] : p->mappings) pages += range.first / kPage;
+  last_instantiation_ = {InstantiationStats::Method::kElfLoad,
+                         cfg_.elf_load_base_cycles +
+                             cfg_.elf_load_page_cycles * pages,
+                         pages, 0, 0};
+
+  // Post-load checkpoint: what the restart policy rolls back to, and what
+  // spawn pools clone. Capture is O(pages) shared_ptr copies, no memory.
+  auto snap = std::make_shared<snapshot::Snapshot>();
+  if (CaptureInto(p.get(), snap.get()).ok()) p->snapshot = std::move(snap);
 
   const int pid = p->pid;
   procs_[pid] = std::move(p);
@@ -250,6 +272,290 @@ Status Runtime::MapImage(Proc* p, const elf::ElfImage& image) {
   p->cpu.x[23] = p->base;
   p->cpu.x[24] = p->base;
   p->cpu.x[30] = p->base + image.entry;
+  return Status::Ok();
+}
+
+// ---- Snapshots (docs/SNAPSHOTS.md) ----
+
+emu::CpuState Runtime::RelativizeCpu(const emu::CpuState& cpu) {
+  emu::CpuState rel = cpu;
+  rel.x[21] = 0;
+  for (int reg : {18, 23, 24, 30}) rel.x[reg] = cpu.x[reg] & 0xffffffffu;
+  rel.sp = cpu.sp & 0xffffffffu;
+  rel.pc = cpu.pc & 0xffffffffu;
+  // An invalid monitor's address is architecturally dead (stxr checks
+  // excl_valid first); normalize it so restored state is bit-identical to
+  // a fresh load's.
+  rel.excl_addr = cpu.excl_valid ? cpu.excl_addr & 0xffffffffu : 0;
+  return rel;
+}
+
+emu::CpuState Runtime::RebaseCpu(const emu::CpuState& rel, uint64_t base) {
+  emu::CpuState cpu = rel;
+  cpu.x[21] = base;
+  for (int reg : {18, 23, 24, 30}) cpu.x[reg] = base | (rel.x[reg] & 0xffffffffu);
+  cpu.sp = base | (rel.sp & 0xffffffffu);
+  cpu.pc = base | (rel.pc & 0xffffffffu);
+  cpu.excl_addr = rel.excl_valid ? base | (rel.excl_addr & 0xffffffffu) : 0;
+  return cpu;
+}
+
+Status Runtime::CaptureInto(const Proc* p, snapshot::Snapshot* out) const {
+  out->cpu = RelativizeCpu(p->cpu);
+  out->brk_start = p->brk_start;
+  out->brk = p->brk;
+  out->brk_mapped = p->brk_mapped;
+  out->mmap_cursor = p->mmap_cursor;
+  out->mmap_bytes = p->mmap_bytes;
+  for (size_t s = 0; s < out->sig_handlers.size(); ++s) {
+    const uint64_t h = p->sig.handlers[s];
+    out->sig_handlers[s] = h == 0 ? 0 : h & 0xffffffffu;
+  }
+  out->sig_in_handler = p->sig.in_handler;
+  out->sig_cookie = p->sig.cookie;
+  out->sig_frame_addr = p->sig.frame_addr & 0xffffffffu;
+  out->sig_delivered = p->sig.delivered;
+  out->mappings = p->mappings;
+
+  out->pages.clear();
+  for (const auto& [off, range] : p->mappings) {
+    for (uint64_t po = off; po < off + range.first; po += kPage) {
+      uint8_t perms = 0;
+      auto data = space_.ExportPage(p->base + po, &perms);
+      if (data == nullptr) {
+        return Status::Fail("capture: mapping has an unmapped page");
+      }
+      out->pages.push_back({po, perms, std::move(data)});
+    }
+  }
+
+  out->fds.clear();
+  std::map<const Pipe*, uint64_t> pipe_ids;
+  for (const auto& d : p->fds) {
+    snapshot::FdRec rec;
+    rec.kind = static_cast<snapshot::FdRec::Kind>(d.kind);
+    rec.flags = d.flags;
+    rec.offset = d.offset;
+    if (d.kind == FileDesc::Kind::kFile) rec.path = d.path;
+    if (d.pipe != nullptr) {
+      auto [it, fresh] =
+          pipe_ids.try_emplace(d.pipe.get(), pipe_ids.size() + 1);
+      rec.pipe_id = it->second;
+      // The buffered bytes ride on the first endpoint seen for each pipe;
+      // RestoreFds seeds the rebuilt pipe from that record.
+      if (fresh) rec.pipe_buf.assign(d.pipe->buf.begin(), d.pipe->buf.end());
+    }
+    out->fds.push_back(std::move(rec));
+  }
+  return Status::Ok();
+}
+
+Result<snapshot::Snapshot> Runtime::CaptureSnapshot(int pid) const {
+  const Proc* p = proc(pid);
+  if (p == nullptr) return Error{"capture: no such pid"};
+  if (p->state == ProcState::kZombie || p->state == ProcState::kDead) {
+    return Error{"capture: process has exited"};
+  }
+  snapshot::Snapshot snap;
+  if (auto st = CaptureInto(p, &snap); !st.ok()) return Error{st.error()};
+  return snap;
+}
+
+std::vector<FileDesc> Runtime::RestoreFds(
+    const std::vector<snapshot::FdRec>& recs) {
+  std::vector<FileDesc> fds(std::max<size_t>(recs.size(), 16));
+  std::map<uint64_t, std::shared_ptr<Pipe>> pipes;
+  for (size_t k = 0; k < recs.size(); ++k) {
+    const snapshot::FdRec& rec = recs[k];
+    FileDesc& d = fds[k];
+    switch (rec.kind) {
+      case snapshot::FdRec::Kind::kFree:
+        break;
+      case snapshot::FdRec::Kind::kStdin:
+      case snapshot::FdRec::Kind::kStdout:
+      case snapshot::FdRec::Kind::kStderr:
+        d.kind = static_cast<FileDesc::Kind>(rec.kind);
+        break;
+      case snapshot::FdRec::Kind::kFile: {
+        // Reopen by VFS path, stripping create/trunc so rehydration never
+        // clobbers the file. A missing file degrades to a closed fd (the
+        // sandbox sees EBADF, same as if the fd had been closed).
+        int err = 0;
+        auto node = vfs_.Open(
+            rec.path, rec.flags & ~(kOpenCreate | kOpenTrunc), &err);
+        if (node == nullptr) break;
+        d.kind = FileDesc::Kind::kFile;
+        d.node = std::move(node);
+        d.offset = rec.offset;
+        d.flags = rec.flags;
+        d.path = rec.path;
+        break;
+      }
+      case snapshot::FdRec::Kind::kPipeRead:
+      case snapshot::FdRec::Kind::kPipeWrite: {
+        // Pipes rehydrate privately: endpoints within this snapshot are
+        // reconnected (with the bytes buffered at capture), endpoints that
+        // lived in another sandbox are not — a restored half-pipe sees
+        // EOF/EPIPE, exactly as if the peer had exited.
+        auto& pipe = pipes[rec.pipe_id];
+        if (pipe == nullptr) {
+          pipe = std::make_shared<Pipe>();
+          pipe->buf.assign(rec.pipe_buf.begin(), rec.pipe_buf.end());
+        }
+        d.kind = static_cast<FileDesc::Kind>(rec.kind);
+        d.pipe = pipe;
+        d.flags = rec.flags;
+        d.offset = rec.offset;
+        if (rec.kind == snapshot::FdRec::Kind::kPipeRead) {
+          ++pipe->readers;
+        } else {
+          ++pipe->writers;
+        }
+        break;
+      }
+    }
+  }
+  return fds;
+}
+
+Result<int> Runtime::SpawnFromSnapshot(
+    std::shared_ptr<const snapshot::Snapshot> snap, bool start) {
+  if (snap == nullptr) return Error{"spawn: null snapshot"};
+  auto slot = AllocSlot();
+  if (!slot) return Error{slot.error()};
+
+  auto p = std::make_unique<Proc>();
+  p->pid = AllocPid();
+  p->slot = *slot;
+  p->base = SlotBase(*slot);
+  p->policy = cfg_.default_policy;
+  p->parked = !start;
+
+  for (const auto& rec : snap->pages) {
+    if (auto st = space_.InstallPage(p->base + rec.offset, rec.data,
+                                     rec.perms);
+        !st.ok()) {
+      return Error{st.error()};
+    }
+  }
+  p->mappings = snap->mappings;
+  p->brk_start = snap->brk_start;
+  p->brk = snap->brk;
+  p->brk_mapped = snap->brk_mapped;
+  p->mmap_cursor = snap->mmap_cursor;
+  p->mmap_bytes = snap->mmap_bytes;
+  p->cpu = RebaseCpu(snap->cpu, p->base);
+  for (size_t s = 0; s < snap->sig_handlers.size(); ++s) {
+    const uint64_t h = snap->sig_handlers[s];
+    p->sig.handlers[s] = h == 0 ? 0 : p->base | h;
+  }
+  p->sig.in_handler = snap->sig_in_handler;
+  p->sig.cookie = snap->sig_cookie;
+  p->sig.frame_addr =
+      snap->sig_frame_addr == 0 ? 0 : p->base | snap->sig_frame_addr;
+  p->sig.delivered = snap->sig_delivered;
+  p->fds = RestoreFds(snap->fds);
+  p->snapshot = std::move(snap);
+
+  const uint64_t pages = p->snapshot->pages.size();
+  last_instantiation_ = {InstantiationStats::Method::kSnapshotSpawn,
+                         cfg_.snapshot_spawn_base_cycles +
+                             cfg_.snapshot_spawn_page_cycles * pages,
+                         pages, 0, 0};
+  const int pid = p->pid;
+  procs_[pid] = std::move(p);
+  // Counter only, no ring event: spawn must not perturb the trace stream
+  // (a spawned sandbox replays byte-identically against a loaded one).
+  if (sink_ != nullptr) {
+    sink_->metrics(pid).Add(trace::Counter::kSnapshotSpawns);
+  }
+  if (start) Enqueue(pid);
+  return pid;
+}
+
+Status Runtime::Activate(int pid) {
+  Proc* p = proc(pid);
+  if (p == nullptr) return Status::Fail("activate: no such pid");
+  if (!p->parked) return Status::Fail("activate: proc is not parked");
+  p->parked = false;
+  Enqueue(pid);
+  return Status::Ok();
+}
+
+Status Runtime::RestoreFromSnapshot(int pid, const snapshot::Snapshot& snap) {
+  Proc* p = proc(pid);
+  if (p == nullptr) return Status::Fail("restore: no such pid");
+  if (p->state == ProcState::kDead) {
+    return Status::Fail("restore: process slot was freed");
+  }
+
+  InstantiationStats stats;
+  stats.method = InstantiationStats::Method::kSnapshotRestore;
+  stats.pages = snap.pages.size();
+
+  // Descriptors first: pipe endpoint counts must drop so peers in other
+  // sandboxes observe EOF/EPIPE before the rebuilt table appears.
+  for (uint64_t fd = 0; fd < p->fds.size(); ++fd) {
+    if (p->fds[fd].kind != FileDesc::Kind::kFree) SysClose(p, fd);
+  }
+
+  // Unmap pages the snapshot does not contain (post-capture brk growth,
+  // mmaps); install only pages whose payload or perms diverged. A clean
+  // page is pointer-identical to its captured payload — nothing to do,
+  // and if nothing at all diverged the mutation generation never bumps,
+  // so the decode cache survives the restore intact.
+  std::unordered_set<uint64_t> keep;
+  keep.reserve(snap.pages.size());
+  for (const auto& rec : snap.pages) keep.insert(rec.offset);
+  for (const auto& [off, range] : p->mappings) {
+    for (uint64_t po = off; po < off + range.first; po += kPage) {
+      if (keep.count(po) == 0) {
+        (void)space_.Unmap(p->base + po, kPage);
+        ++stats.unmapped_pages;
+      }
+    }
+  }
+  for (const auto& rec : snap.pages) {
+    uint8_t cur_perms = 0;
+    const auto* cur = space_.PagePayload(p->base + rec.offset, &cur_perms);
+    if (cur == rec.data.get() && cur_perms == rec.perms) continue;
+    if (auto st = space_.InstallPage(p->base + rec.offset, rec.data,
+                                     rec.perms);
+        !st.ok()) {
+      return st;
+    }
+    ++stats.dirty_pages;
+  }
+
+  p->mappings = snap.mappings;
+  p->brk_start = snap.brk_start;
+  p->brk = snap.brk;
+  p->brk_mapped = snap.brk_mapped;
+  p->mmap_cursor = snap.mmap_cursor;
+  p->mmap_bytes = snap.mmap_bytes;
+  p->cpu = RebaseCpu(snap.cpu, p->base);
+  for (size_t s = 0; s < snap.sig_handlers.size(); ++s) {
+    const uint64_t h = snap.sig_handlers[s];
+    p->sig.handlers[s] = h == 0 ? 0 : p->base | h;
+  }
+  p->sig.in_handler = snap.sig_in_handler;
+  p->sig.cookie = snap.sig_cookie;
+  p->sig.frame_addr =
+      snap.sig_frame_addr == 0 ? 0 : p->base | snap.sig_frame_addr;
+  p->sig.delivered = snap.sig_delivered;
+  p->fds = RestoreFds(snap.fds);
+
+  stats.cycles = cfg_.snapshot_restore_base_cycles +
+                 cfg_.snapshot_restore_page_cycles *
+                     (stats.dirty_pages + stats.unmapped_pages);
+  last_instantiation_ = stats;
+  if (sink_ != nullptr) {
+    trace::Metrics& m = sink_->metrics(p->pid);
+    m.Add(trace::Counter::kSnapshotRestores);
+    m.Add(trace::Counter::kSnapshotDirtyPages, stats.dirty_pages);
+    sink_->EmitInstant(trace::EventKind::kSnapshotRestore, p->pid, Cycles(),
+                       stats.dirty_pages, stats.pages);
+  }
   return Status::Ok();
 }
 
@@ -462,8 +768,13 @@ void Runtime::AttributeSlice(Proc* p, const trace::ExecCounters& before,
   const uint64_t inval = a.block_invalidations - before.block_invalidations;
   if (inval > 0) {
     m.Add(Counter::kBlockCacheInvalidations, inval);
+    // arg0 is the sandbox's cumulative invalidation count, not the raw
+    // mutation generation: the generation depends on how the sandbox was
+    // instantiated (ELF load vs. snapshot spawn bump it differently), and
+    // equivalent runs must produce byte-identical traces
+    // (docs/SNAPSHOTS.md determinism contract).
     sink_->EmitInstant(trace::EventKind::kBlockInvalidate, p->pid, Cycles(),
-                       space_.mutation_generation());
+                       m.Get(Counter::kBlockCacheInvalidations));
   }
   sink_->Emit(trace::EventKind::kSchedSlice, p->pid, slice_start_cycles,
               Cycles(), static_cast<uint64_t>(stop));
@@ -827,6 +1138,7 @@ uint64_t Runtime::SysOpen(Proc* p, uint64_t path, uint64_t flags) {
       p->fds[fd].node = std::move(node);
       p->fds[fd].offset = 0;
       p->fds[fd].flags = static_cast<int>(flags);
+      p->fds[fd].path = s;
       return fd;
     }
   }
@@ -835,7 +1147,7 @@ uint64_t Runtime::SysOpen(Proc* p, uint64_t path, uint64_t flags) {
     return kEmfile;
   }
   p->fds.push_back({FileDesc::Kind::kFile, std::move(node), nullptr, 0,
-                    static_cast<int>(flags)});
+                    static_cast<int>(flags), s});
   return p->fds.size() - 1;
 }
 
@@ -922,6 +1234,17 @@ uint64_t Runtime::SysMunmap(Proc* p, uint64_t addr, uint64_t len) {
 }
 
 uint64_t Runtime::SysFork(Proc* p) {
+  // Fork is capture + spawn fused: freeze the parent (with the child's
+  // return value patched in) and instantiate the image in the child's
+  // slot. Installing the captured shared payloads is the same
+  // copy-on-write duplication the ShareRange path performed (the memfd
+  // trick from Section 5.3), and stashing the snapshot makes forked
+  // children restartable — the legacy image path never could (children
+  // have no ELF image).
+  auto snap = std::make_shared<snapshot::Snapshot>();
+  if (!CaptureInto(p, snap.get()).ok()) return kEnomem;
+  snap->cpu.x[0] = 0;  // fork returns 0 in the child
+
   auto slot = AllocSlot();
   if (!slot) return kEnomem;
   auto child = std::make_unique<Proc>();
@@ -931,22 +1254,24 @@ uint64_t Runtime::SysFork(Proc* p) {
   child->base = SlotBase(*slot);
   child->state = ProcState::kReady;
   child->policy = p->policy;  // fault policy and limits are inherited
-  child->brk_start = p->brk_start;
-  child->brk = p->brk;
-  child->brk_mapped = p->brk_mapped;
-  child->mmap_cursor = p->mmap_cursor;
-  child->mmap_bytes = p->mmap_bytes;
-  child->mappings = p->mappings;
+  child->brk_start = snap->brk_start;
+  child->brk = snap->brk;
+  child->brk_mapped = snap->brk_mapped;
+  child->mmap_cursor = snap->mmap_cursor;
+  child->mmap_bytes = snap->mmap_bytes;
+  child->mappings = snap->mappings;
+
+  // Descriptors duplicate LIVE from the parent, not from the fd records:
+  // the child must share the parent's pipe objects (a rehydrated pipe is
+  // a private copy and would sever parent<->child pipelines).
   child->fds = p->fds;
   for (auto& d : child->fds) {
     if (d.kind == FileDesc::Kind::kPipeRead) ++d.pipe->readers;
     if (d.kind == FileDesc::Kind::kPipeWrite) ++d.pipe->writers;
   }
 
-  // Copy-on-write duplication of every mapping into the child's slot
-  // (the memfd trick from Section 5.3).
-  for (const auto& [off, range] : p->mappings) {
-    if (!space_.ShareRange(p->base + off, child->base + off, range.first)
+  for (const auto& rec : snap->pages) {
+    if (!space_.InstallPage(child->base + rec.offset, rec.data, rec.perms)
              .ok()) {
       return kEnomem;
     }
@@ -956,14 +1281,20 @@ uint64_t Runtime::SysFork(Proc* p) {
   // register is rebased by replacing its top 32 bits - exactly what the
   // guards do on each access, which is why fork in a single address space
   // works (Section 5.3).
-  child->cpu = p->cpu;
-  child->cpu.x[21] = child->base;
-  for (int reg : {18, 23, 24, 30}) {
-    child->cpu.x[reg] = child->base | (p->cpu.x[reg] & 0xffffffffu);
+  child->cpu = RebaseCpu(snap->cpu, child->base);
+
+  // Handlers (and any live frame) are inherited rebased, consistent with
+  // the stashed checkpoint a restart rolls the child back to.
+  for (size_t s = 0; s < snap->sig_handlers.size(); ++s) {
+    const uint64_t h = snap->sig_handlers[s];
+    child->sig.handlers[s] = h == 0 ? 0 : child->base | h;
   }
-  child->cpu.sp = child->base | (p->cpu.sp & 0xffffffffu);
-  child->cpu.pc = child->base | (p->cpu.pc & 0xffffffffu);
-  child->cpu.x[0] = 0;  // fork returns 0 in the child
+  child->sig.in_handler = snap->sig_in_handler;
+  child->sig.cookie = snap->sig_cookie;
+  child->sig.frame_addr =
+      snap->sig_frame_addr == 0 ? 0 : child->base | snap->sig_frame_addr;
+  child->sig.delivered = snap->sig_delivered;
+  child->snapshot = std::move(snap);
 
   machine_.timing().ChargeFlat(400 + 30 * p->mappings.size());
 
@@ -997,8 +1328,8 @@ uint64_t Runtime::SysPipe(Proc* p, uint64_t fdsptr) {
   auto pipe = std::make_shared<Pipe>();
   pipe->readers = 1;
   pipe->writers = 1;
-  p->fds[rslot] = {FileDesc::Kind::kPipeRead, nullptr, pipe, 0, 0};
-  p->fds[wslot] = {FileDesc::Kind::kPipeWrite, nullptr, pipe, 0, 0};
+  p->fds[rslot] = {FileDesc::Kind::kPipeRead, nullptr, pipe, 0, 0, {}};
+  p->fds[wslot] = {FileDesc::Kind::kPipeWrite, nullptr, pipe, 0, 0, {}};
   uint8_t bytes[8];
   const uint32_t r32 = static_cast<uint32_t>(rslot);
   const uint32_t w32 = static_cast<uint32_t>(wslot);

@@ -23,6 +23,7 @@
 #include "runtime/layout.h"
 #include "runtime/supervisor.h"
 #include "runtime/vfs.h"
+#include "snapshot/snapshot.h"
 #include "trace/trace.h"
 #include "verifier/verifier.h"
 
@@ -49,6 +50,7 @@ struct FileDesc {
   std::shared_ptr<Pipe> pipe;
   uint64_t offset = 0;
   int flags = 0;
+  std::string path;  // VFS path for kFile, so snapshots can reopen it
 };
 
 enum class ProcState : uint8_t {
@@ -66,6 +68,8 @@ struct Proc {
   uint64_t base = 0;
   emu::CpuState cpu;
   ProcState state = ProcState::kReady;
+  bool parked = false;  // spawned warm (SpawnFromSnapshot start=false) and
+                        // not yet Activate()d; never scheduled while set
   ExitKind exit_kind = ExitKind::kRunning;
   int exit_status = 0;
   std::string fault_detail;  // populated when killed by a fault
@@ -79,9 +83,15 @@ struct Proc {
   uint64_t cpu_cycles = 0;        // cycles spent executing in the sandbox
   uint64_t insts_retired = 0;     // instructions retired by the sandbox
   uint64_t mmap_bytes = 0;        // live bytes from SysMmap (limit basis)
-  // Retained for the restart policy; null for forked children (their
-  // address space is a COW copy, not an image).
+  // Legacy restart image: retained so the ELF-reload restart path can be
+  // benchmarked against snapshot restore (set_restart_snapshot(pid,
+  // nullptr) forces it). Null for forked children.
   std::shared_ptr<const elf::ElfImage> image;
+  // Post-instantiation checkpoint: captured at Load, at fork (so forked
+  // children are restartable, unlike the image path), and at
+  // SpawnFromSnapshot. The restart policy restores from this, touching
+  // only dirtied pages.
+  std::shared_ptr<const snapshot::Snapshot> snapshot;
 
   uint64_t brk_start = 0, brk = 0;   // heap bounds
   uint64_t brk_mapped = 0;  // high-water mark of pages mapped for the heap
@@ -122,6 +132,33 @@ struct RuntimeConfig {
   SupervisorPolicy default_policy;
   uint64_t signal_deliver_cycles = 180;  // frame push + redirect
   uint64_t sigreturn_cycles = 140;       // frame validate + restore
+  // Instantiation cost model (docs/SNAPSHOTS.md). An ELF load pays
+  // parse/verify/zero/copy work per page; a snapshot spawn pays only
+  // refcount + page-table work per page (COW, nothing copied); a snapshot
+  // restore pays per page actually touched (dirtied or stray). Load and
+  // spawn costs are recorded in last_instantiation() but NOT charged to
+  // the shared simulated clock (instantiation happens before the run, and
+  // equivalent runs must trace identically); in-run restarts charge
+  // theirs via the supervisor.
+  uint64_t elf_load_base_cycles = 6000;
+  uint64_t elf_load_page_cycles = 140;
+  uint64_t snapshot_spawn_base_cycles = 400;
+  uint64_t snapshot_spawn_page_cycles = 12;
+  uint64_t snapshot_restore_base_cycles = 120;
+  uint64_t snapshot_restore_page_cycles = 25;
+};
+
+// What the most recent instantiation (Load / SpawnFromSnapshot /
+// RestoreFromSnapshot) did and what it cost under the model above.
+struct InstantiationStats {
+  enum class Method : uint8_t {
+    kNone, kElfLoad, kSnapshotSpawn, kSnapshotRestore
+  };
+  Method method = Method::kNone;
+  uint64_t cycles = 0;          // modeled cost
+  uint64_t pages = 0;           // pages in the image
+  uint64_t dirty_pages = 0;     // restore: pages re-installed
+  uint64_t unmapped_pages = 0;  // restore: stray pages removed
 };
 
 // The runtime. One instance per emulated machine.
@@ -136,6 +173,48 @@ class Runtime {
 
   // Convenience: load an already-parsed image.
   Result<int> LoadImage(const elf::ElfImage& image);
+
+  // ---- Snapshots (src/snapshot/, docs/SNAPSHOTS.md) ----
+
+  // Freezes pid's current state into a slot-relative image. Capture copies
+  // no memory: page payloads are shared copy-on-write with the live
+  // sandbox. Fails for exited procs.
+  Result<snapshot::Snapshot> CaptureSnapshot(int pid) const;
+
+  // Instantiates a fresh sandbox from a snapshot: allocates a pid and
+  // slot, installs every page COW (all spawns share payloads until one
+  // writes), rebases the register file, and rehydrates the fd table.
+  // Costs no simulated cycles (see RuntimeConfig's cost-model comment);
+  // the modeled cost lands in last_instantiation(). With start == false
+  // the proc is created parked (not enqueued) — the spawn pool's warm
+  // state — and runs once Activate() is called.
+  Result<int> SpawnFromSnapshot(std::shared_ptr<const snapshot::Snapshot> snap,
+                                bool start = true);
+
+  // Enqueues a parked proc created by SpawnFromSnapshot(..., false).
+  Status Activate(int pid);
+
+  // Rolls pid back to `snap` in place (same pid, slot, ppid, children,
+  // captured output): installs only pages whose payload or perms diverged,
+  // unmaps stray pages, restores registers/cursors/fds/signal state. The
+  // block cache stays valid when nothing was dirtied (no generation bump).
+  // Does not charge the clock or reset restart accounting — that is the
+  // caller's policy (see Supervisor::Restart).
+  Status RestoreFromSnapshot(int pid, const snapshot::Snapshot& snap);
+
+  // What the last Load/SpawnFromSnapshot/RestoreFromSnapshot cost under
+  // the deterministic instantiation model.
+  const InstantiationStats& last_instantiation() const {
+    return last_instantiation_;
+  }
+
+  // Replaces (or clears) the checkpoint the restart policy restores from.
+  // Clearing forces the legacy ELF-reload restart path, which only works
+  // for procs with a retained image.
+  void set_restart_snapshot(int pid,
+                            std::shared_ptr<const snapshot::Snapshot> snap) {
+    if (Proc* p = proc(pid)) p->snapshot = std::move(snap);
+  }
 
   // Runs the scheduler until every process has exited/blocked forever or
   // the instruction budget is exhausted. Returns the number of live
@@ -199,6 +278,17 @@ class Runtime {
   Status MapImage(Proc* p, const elf::ElfImage& image);
   void InitFds(Proc* p);
 
+  // Snapshot plumbing. CaptureInto freezes p into *out (slot-relative).
+  // RebaseCpu/RelativizeCpu convert the reserved pointer registers
+  // between slot-relative and canonical forms (base | low32 — the guard
+  // arithmetic). RestoreFds rebuilds a live fd table from fd records
+  // (files reopen by VFS path, pipes rehydrate privately with their
+  // buffered bytes).
+  Status CaptureInto(const Proc* p, snapshot::Snapshot* out) const;
+  static emu::CpuState RebaseCpu(const emu::CpuState& rel, uint64_t base);
+  static emu::CpuState RelativizeCpu(const emu::CpuState& cpu);
+  std::vector<FileDesc> RestoreFds(const std::vector<snapshot::FdRec>& recs);
+
   // Scheduler.
   Proc* PickNext();
   void SwitchTo(Proc* p, bool fast);
@@ -251,6 +341,7 @@ class Runtime {
   trace::ExecCounters exec_counters_;
   verifier::VerifyStats verify_stats_;
   verifier::VerifyResult last_verify_ = verifier::VerifyResult::Ok(0);
+  InstantiationStats last_instantiation_;
   std::map<int, std::unique_ptr<Proc>> procs_;
   std::deque<int> ready_;
   int current_pid_ = 0;  // proc whose state is loaded into machine_

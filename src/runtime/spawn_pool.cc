@@ -1,0 +1,32 @@
+#include "runtime/spawn_pool.h"
+
+namespace lfi::runtime {
+
+int SpawnPool::Prewarm(int target) {
+  int added = 0;
+  while (static_cast<int>(warm_.size()) < target) {
+    auto pid = rt_->SpawnFromSnapshot(snap_, /*start=*/false);
+    if (!pid) break;  // out of slots; the pool simply stays smaller
+    warm_.push_back(*pid);
+    ++added;
+  }
+  return added;
+}
+
+Result<int> SpawnPool::Take() {
+  while (!warm_.empty()) {
+    const int pid = warm_.front();
+    warm_.pop_front();
+    // A parked sandbox can have been killed behind the pool's back;
+    // activation failing just means this entry is stale.
+    if (rt_->Activate(pid).ok()) {
+      ++warm_hits_;
+      return pid;
+    }
+  }
+  auto pid = rt_->SpawnFromSnapshot(snap_, /*start=*/true);
+  if (pid) ++cold_spawns_;
+  return pid;
+}
+
+}  // namespace lfi::runtime

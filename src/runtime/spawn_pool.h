@@ -1,0 +1,52 @@
+// Warm spawn pool: pre-instantiated sandboxes waiting to run.
+//
+// SpawnFromSnapshot already makes instantiation cheap (COW page install,
+// no copies); the pool moves even that cost off the request path. Prewarm
+// creates parked sandboxes (SpawnFromSnapshot with start == false — they
+// hold a pid and a slot but are never scheduled); Take activates one and
+// hands it out, falling back to a cold spawn when the pool is empty. The
+// caller refills at its leisure (e.g. between requests).
+//
+// The pool owns nothing but pids: the Runtime keeps full ownership of the
+// procs, so a taken sandbox is indistinguishable from any other running
+// one, and killing a parked sandbox out from under the pool is safe (Take
+// just cold-spawns when activation fails).
+#ifndef LFI_RUNTIME_SPAWN_POOL_H_
+#define LFI_RUNTIME_SPAWN_POOL_H_
+
+#include <deque>
+#include <memory>
+
+#include "runtime/runtime.h"
+#include "snapshot/snapshot.h"
+
+namespace lfi::runtime {
+
+class SpawnPool {
+ public:
+  SpawnPool(Runtime* rt, std::shared_ptr<const snapshot::Snapshot> snap)
+      : rt_(rt), snap_(std::move(snap)) {}
+
+  // Tops the pool up to `target` parked sandboxes. Returns the number
+  // actually added (slot exhaustion stops early).
+  int Prewarm(int target);
+
+  // Activates a warm sandbox, or cold-spawns one when the pool is empty.
+  // The returned pid is enqueued and runs at the next scheduling point.
+  Result<int> Take();
+
+  size_t warm() const { return warm_.size(); }
+  uint64_t warm_hits() const { return warm_hits_; }
+  uint64_t cold_spawns() const { return cold_spawns_; }
+
+ private:
+  Runtime* rt_;
+  std::shared_ptr<const snapshot::Snapshot> snap_;
+  std::deque<int> warm_;
+  uint64_t warm_hits_ = 0;
+  uint64_t cold_spawns_ = 0;
+};
+
+}  // namespace lfi::runtime
+
+#endif  // LFI_RUNTIME_SPAWN_POOL_H_

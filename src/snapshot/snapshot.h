@@ -1,0 +1,122 @@
+// Sandbox snapshots: checkpoint/restore images for fast instantiation.
+//
+// A Snapshot freezes one sandbox at a point in time — register file,
+// page table (slot-relative offsets, perms, payloads), heap/mmap cursors,
+// fd-table metadata, and signal state — without copying any memory: page
+// payloads are held by shared_ptr, so the copy-on-write machinery in
+// AddressSpace (WritablePage's use_count test) guarantees the snapshot
+// stays immutable while the live sandbox keeps running. Restoring into a
+// slot installs only the pages whose payload pointer or perms diverged
+// from the captured ones, which is what makes snapshot-based restart and
+// the warm spawn pool cheap (docs/SNAPSHOTS.md).
+//
+// Everything in the image is slot-relative: page offsets are offsets from
+// the sandbox base, and the reserved pointer registers (pc, sp, x18, x21,
+// x23, x24, x30) are rebased `new_base | low32` at restore — the same
+// arithmetic the guards perform, which is why one image can instantiate
+// any number of sandboxes in distinct slots (the paper's Section 5.3 fork
+// argument, applied to spawning).
+//
+// The on-disk format (Serialize/Deserialize) is versioned and
+// checksummed; all-zero pages are elided. Layout (little-endian):
+//
+//   magic    "LFISNAP\0" (8 bytes)
+//   version  u32 (kFormatVersion)
+//   page_sz  u64 (must equal emu::kPageSize)
+//   cpu      x0..x30, sp, pc, nzcv word, vr[32] lo/hi, excl state
+//   scalars  brk_start, brk, brk_mapped, mmap_cursor, mmap_bytes
+//   sig      handlers[32], in_handler, cookie, frame_addr, delivered
+//   mappings u32 count, then {offset u64, len u64, perms u8}
+//   pages    u32 count, then {offset u64, perms u8, kind u8,
+//                             payload (kPageSize bytes iff kind == 1)}
+//   fds      u32 count, then {kind u8, flags i32, offset u64,
+//                             path u32+bytes, pipe_id u64,
+//                             pipe_buf u32+bytes}
+//   checksum u64 FNV-1a over everything above
+//
+// Deserialize distinguishes bad magic, unsupported version, truncation,
+// and checksum mismatch with distinct error messages so operators can
+// tell a wrong file from a damaged one.
+#ifndef LFI_SNAPSHOT_SNAPSHOT_H_
+#define LFI_SNAPSHOT_SNAPSHOT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "emu/machine.h"
+#include "support/result.h"
+
+namespace lfi::snapshot {
+
+inline constexpr uint32_t kFormatVersion = 1;
+
+// One captured page: slot-relative offset, perms, shared payload.
+struct PageRec {
+  uint64_t offset = 0;
+  uint8_t perms = 0;
+  std::shared_ptr<emu::AddressSpace::PageData> data;
+};
+
+// One captured file descriptor. kFile records the VFS path so a restore
+// can reopen it (create/trunc flags are stripped at reopen); pipe
+// endpoints are grouped by pipe_id and rehydrated as private pipes
+// preserving the bytes buffered at capture time.
+struct FdRec {
+  // Mirrors runtime::FileDesc::Kind numerically (asserted in runtime.cc).
+  enum class Kind : uint8_t {
+    kFree, kStdin, kStdout, kStderr, kFile, kPipeRead, kPipeWrite
+  };
+  Kind kind = Kind::kFree;
+  int32_t flags = 0;
+  uint64_t offset = 0;
+  std::string path;               // kFile only
+  uint64_t pipe_id = 0;           // groups endpoints of one pipe
+  std::vector<uint8_t> pipe_buf;  // recorded once per pipe_id
+};
+
+// The frozen sandbox image.
+struct Snapshot {
+  // Register file as captured; the reserved pointer registers are rebased
+  // at restore (see the file comment), the rest are copied verbatim.
+  emu::CpuState cpu;
+
+  uint64_t brk_start = 0, brk = 0, brk_mapped = 0;
+  uint64_t mmap_cursor = 0, mmap_bytes = 0;
+
+  // Signal-delivery state: handler table (slot-relative addresses) plus
+  // the live-frame fields, so a snapshot taken mid-handler restores
+  // mid-handler.
+  std::array<uint64_t, 32> sig_handlers{};
+  bool sig_in_handler = false;
+  uint64_t sig_cookie = 0;
+  uint64_t sig_frame_addr = 0;  // slot-relative
+  uint32_t sig_delivered = 0;
+
+  // Mapped ranges: slot offset -> (len, perms). Mirrors Proc::mappings.
+  std::map<uint64_t, std::pair<uint64_t, uint8_t>> mappings;
+
+  // Every mapped page, sorted by offset.
+  std::vector<PageRec> pages;
+
+  std::vector<FdRec> fds;
+
+  uint64_t page_count() const { return pages.size(); }
+};
+
+// On-disk format.
+std::vector<uint8_t> Serialize(const Snapshot& snap);
+Result<Snapshot> Deserialize(std::span<const uint8_t> bytes);
+
+// File convenience wrappers around Serialize/Deserialize.
+Status WriteFile(const Snapshot& snap, const std::string& path);
+Result<Snapshot> ReadFile(const std::string& path);
+
+}  // namespace lfi::snapshot
+
+#endif  // LFI_SNAPSHOT_SNAPSHOT_H_

@@ -28,6 +28,9 @@ constexpr const char* kCounterNames[] = {
     "restarts",
     "limit-rejections",
     "chaos-injections",
+    "snapshot-restores",
+    "snapshot-dirty-pages",
+    "snapshot-spawns",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
               static_cast<size_t>(Counter::kCount));
@@ -37,7 +40,7 @@ constexpr const char* kEventKindNames[] = {
     "yield-to",      "fork",         "pipe-read", "pipe-write",
     "block-invalidate", "fault",     "proc-exit",
     "signal-deliver", "sigreturn", "proc-restart", "limit-hit",
-    "chaos-inject",
+    "chaos-inject",  "snapshot-restore", "snapshot-spawn",
 };
 static_assert(sizeof(kEventKindNames) / sizeof(kEventKindNames[0]) ==
               static_cast<size_t>(EventKind::kCount));

@@ -54,6 +54,9 @@ enum class Counter : uint8_t {
   kRestarts,             // restart-policy image reloads
   kLimitRejections,      // syscalls rejected by a resource limit
   kChaosInjections,      // faults/errors injected by the chaos engine
+  kSnapshotRestores,     // restore-from-snapshot operations on this sandbox
+  kSnapshotDirtyPages,   // pages a restore actually had to re-install
+  kSnapshotSpawns,       // sandboxes instantiated from a snapshot
   kCount,
 };
 
@@ -105,7 +108,8 @@ enum class EventKind : uint8_t {
   kFork,            // arg0 = child pid
   kPipeRead,        // arg0 = fd, arg1 = bytes
   kPipeWrite,       // arg0 = fd, arg1 = bytes
-  kBlockInvalidate, // decode cache dropped; arg0 = new generation
+  kBlockInvalidate, // decode cache dropped; arg0 = the sandbox's running
+                    // invalidation count (instantiation-path independent)
   kFault,           // sandbox killed; arg0 = 0
   kProcExit,        // arg0 = exit status (as u64)
   kSignalDeliver,   // fault signal delivered; arg0 = signo, arg1 = frame
@@ -116,6 +120,9 @@ enum class EventKind : uint8_t {
                     // observed value
   kChaosInject,     // chaos engine injection; arg0 = fault kind or call
                     // number, arg1 = 0 for cpu faults / errno for syscalls
+  kSnapshotRestore, // restore-from-snapshot; arg0 = dirty pages installed,
+                    // arg1 = total snapshot pages
+  kSnapshotSpawn,   // sandbox instantiated from a snapshot; arg0 = pages
   kCount,
 };
 

@@ -1,0 +1,228 @@
+// Determinism tests for the snapshot layer (docs/SNAPSHOTS.md): a sandbox
+// instantiated from a snapshot image — even one that went through the
+// on-disk format — must be indistinguishable at runtime from one freshly
+// loaded from the ELF. The proof is byte equality of the Chrome trace
+// JSON: every event timestamp comes from the simulated clock, so any
+// divergence (an extra event, a cycle of drift, a different fault point)
+// shows up as a string mismatch. The same must hold under chaos
+// injection with mid-run snapshot restarts: the restore path may not
+// perturb the replay contract.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "chaos/chaos.h"
+#include "pipeline_util.h"
+#include "runtime/runtime.h"
+#include "snapshot/snapshot.h"
+#include "trace/trace.h"
+
+namespace lfi::runtime {
+namespace {
+
+RuntimeConfig TestConfig() {
+  RuntimeConfig cfg;
+  cfg.core = arch::AppleM1LikeParams();
+  return cfg;
+}
+
+// Exercises fork, pipe transfer, several runtime calls, and both exits —
+// a broad event surface for the trace comparison.
+const char* kBusyProg = R"(
+    adrp x0, fds
+    add x0, x0, :lo12:fds
+    rtcall #10          // pipe
+    rtcall #8           // fork
+    cbz x0, child
+    adrp x9, fds
+    add x9, x9, :lo12:fds
+    ldr w0, [x9, #4]
+    adrp x1, msg
+    add x1, x1, :lo12:msg
+    mov x2, #5
+    rtcall #1           // write into the pipe
+    adrp x0, status
+    add x0, x0, :lo12:status
+    rtcall #9           // wait for the child
+    adrp x1, status
+    add x1, x1, :lo12:status
+    ldr w0, [x1]
+    rtcall #0           // exit(child status)
+  child:
+    adrp x9, fds
+    add x9, x9, :lo12:fds
+    ldr w0, [x9]
+    adrp x1, buf
+    add x1, x1, :lo12:buf
+    mov x2, #5
+    rtcall #2           // read from the pipe
+    mov x0, #7
+    rtcall #0
+  .data
+  fds:
+    .word 0
+    .word 0
+  status:
+    .word 0
+  msg:
+    .asciz "ping"
+  buf:
+    .zero 8
+)";
+
+// Syscall-heavy victim for the chaos runs: plenty of injection points.
+const char* kChaosVictim = R"(
+    movz x19, #50
+  aloop:
+    mov x0, #0
+    rtcall #5
+    sub x19, x19, #1
+    cbnz x19, aloop
+    movz x20, #8000
+  spin:
+    sub x20, x20, #1
+    cbnz x20, spin
+    mov x0, #5
+    rtcall #0
+)";
+
+// Builds `src`, loads it in a scratch runtime, captures the post-load
+// image, and round-trips it through the on-disk format so the test covers
+// the whole pipeline a warm-spawn service would use.
+std::shared_ptr<const snapshot::Snapshot> ImageOf(const std::string& src) {
+  auto elf = test::BuildElf(src);
+  EXPECT_TRUE(elf.ok()) << (elf.ok() ? "" : elf.error());
+  if (!elf.ok()) return nullptr;
+  Runtime rt(TestConfig());
+  auto pid = rt.Load({elf->data(), elf->size()});
+  EXPECT_TRUE(pid.ok()) << (pid.ok() ? "" : pid.error());
+  if (!pid.ok()) return nullptr;
+  auto snap = rt.CaptureSnapshot(*pid);
+  EXPECT_TRUE(snap.ok()) << (snap.ok() ? "" : snap.error());
+  if (!snap.ok()) return nullptr;
+  const std::vector<uint8_t> bytes = snapshot::Serialize(*snap);
+  auto back = snapshot::Deserialize({bytes.data(), bytes.size()});
+  EXPECT_TRUE(back.ok()) << (back.ok() ? "" : back.error());
+  if (!back.ok()) return nullptr;
+  return std::make_shared<snapshot::Snapshot>(*std::move(back));
+}
+
+struct TraceRun {
+  std::string json;
+  ExitKind exit_kind = ExitKind::kRunning;
+  int exit_status = 0;
+  uint32_t restarts = 0;
+};
+
+// Runs one sandbox to completion with a trace sink attached and returns
+// the rendered Chrome trace. `spawn` instantiates from the snapshot image;
+// otherwise the ELF is loaded fresh. A chaos engine and a fault policy are
+// attached when given.
+TraceRun TracedRun(const std::string& src, bool spawn,
+                   chaos::ChaosEngine* chaos = nullptr,
+                   const SupervisorPolicy* policy = nullptr) {
+  TraceRun out;
+  Runtime rt(TestConfig());
+  trace::TraceSink sink;
+  rt.set_trace_sink(&sink);
+  if (chaos != nullptr) rt.set_chaos(chaos);
+
+  int pid = -1;
+  if (spawn) {
+    auto snap = ImageOf(src);
+    if (snap == nullptr) return out;
+    auto p = rt.SpawnFromSnapshot(std::move(snap));
+    EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.error());
+    if (!p.ok()) return out;
+    pid = *p;
+  } else {
+    auto elf = test::BuildElf(src);
+    EXPECT_TRUE(elf.ok()) << (elf.ok() ? "" : elf.error());
+    if (!elf.ok()) return out;
+    auto p = rt.Load({elf->data(), elf->size()});
+    EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.error());
+    if (!p.ok()) return out;
+    pid = *p;
+  }
+  if (policy != nullptr) rt.set_policy(pid, *policy);
+  rt.RunUntilIdle(50'000'000);
+
+  const Proc* p = rt.proc(pid);
+  out.exit_kind = p->exit_kind;
+  out.exit_status = p->exit_status;
+  out.restarts = p->restarts;
+  std::ostringstream ss;
+  sink.WriteChromeTrace(ss, TestConfig().core.ghz, RtcallName);
+  out.json = ss.str();
+  return out;
+}
+
+TEST(Determinism, SpawnedTraceMatchesFreshLoadByteForByte) {
+  // Fresh ELF load vs. snapshot spawn of the same program: instantiation
+  // is invisible to the trace (no events, no cycles), both assign
+  // pid 1 / slot 1, so the full runs must trace identically — fork, pipe
+  // traffic, timeslices and all.
+  const TraceRun fresh = TracedRun(kBusyProg, /*spawn=*/false);
+  const TraceRun spawned = TracedRun(kBusyProg, /*spawn=*/true);
+  ASSERT_EQ(fresh.exit_kind, ExitKind::kExited);
+  EXPECT_EQ(fresh.exit_status, 7);
+  EXPECT_EQ(spawned.exit_kind, fresh.exit_kind);
+  EXPECT_EQ(spawned.exit_status, fresh.exit_status);
+  ASSERT_FALSE(fresh.json.empty());
+  EXPECT_EQ(spawned.json, fresh.json);
+}
+
+TEST(Determinism, SpawnedChaosRunMatchesFreshLoadUnderSameSeed) {
+  // The replay contract extends through chaos injection and the restart
+  // policy's snapshot restores: same seed + same image => byte-identical
+  // traces whether the sandbox was loaded or spawned.
+  SupervisorPolicy pol;
+  pol.on_fault = FaultAction::kRestart;
+  pol.restart_budget = 5;
+  pol.restart_backoff_base_cycles = 100;
+  for (uint64_t seed : {1ull, 2ull, 0x7e57edull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    chaos::ChaosEngine ca(seed, chaos::ProfileByName("storm"));
+    chaos::ChaosEngine cb(seed, chaos::ProfileByName("storm"));
+    const TraceRun fresh = TracedRun(kChaosVictim, /*spawn=*/false, &ca, &pol);
+    const TraceRun spawned = TracedRun(kChaosVictim, /*spawn=*/true, &cb, &pol);
+    ASSERT_FALSE(fresh.json.empty());
+    EXPECT_EQ(spawned.json, fresh.json);
+    EXPECT_EQ(spawned.restarts, fresh.restarts);
+    EXPECT_EQ(spawned.exit_status, fresh.exit_status);
+  }
+}
+
+TEST(Determinism, ChaosRestartReplayIsByteIdenticalAndRestoresFromSnapshot) {
+  // Storm the victim hard enough to force mid-run restarts, twice with the
+  // same seed: the traces must match byte for byte and must contain the
+  // snapshot-restore events proving the restart path ran the new
+  // machinery (not an ELF reload).
+  SupervisorPolicy pol;
+  pol.on_fault = FaultAction::kRestart;
+  pol.restart_budget = 8;
+  pol.restart_backoff_base_cycles = 100;
+  uint32_t total_restarts = 0;
+  for (uint64_t seed : {3ull, 4ull, 5ull, 0xdeadbeefull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    chaos::ChaosEngine ca(seed, chaos::ProfileByName("storm"));
+    chaos::ChaosEngine cb(seed, chaos::ProfileByName("storm"));
+    const TraceRun first = TracedRun(kChaosVictim, /*spawn=*/true, &ca, &pol);
+    const TraceRun second = TracedRun(kChaosVictim, /*spawn=*/true, &cb, &pol);
+    ASSERT_FALSE(first.json.empty());
+    EXPECT_EQ(first.json, second.json);
+    total_restarts += first.restarts;
+    if (first.restarts > 0) {
+      EXPECT_NE(first.json.find("snapshot-restore"), std::string::npos);
+    }
+  }
+  // Across the seed set the storm must actually have triggered restarts,
+  // or this test proves nothing.
+  EXPECT_GT(total_restarts, 0u);
+}
+
+}  // namespace
+}  // namespace lfi::runtime

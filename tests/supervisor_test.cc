@@ -317,6 +317,46 @@ TEST(Supervisor, RestartBackoffGrowsAndIsCapped) {
   EXPECT_GE(t.rt.Cycles() - before, 4000u);
 }
 
+TEST(Supervisor, RestartPolicyRestartsForkedChildren) {
+  // Regression: forked children have no ELF image of their own, and the
+  // restart policy used to degrade to kill for them immediately. They now
+  // restart from the snapshot captured at fork: the child re-enters at the
+  // fork return (x0 = 0), faults again, and loops until the budget runs
+  // out; the parent's wait then observes the kill.
+  RuntimeConfig cfg = TestConfig();
+  cfg.default_policy.on_fault = FaultAction::kRestart;
+  cfg.default_policy.restart_budget = 2;
+  cfg.default_policy.restart_backoff_base_cycles = 100;
+  TestRun t(R"(
+    ldr x30, [x21, #64]     // call-table entry 8 = fork
+    blr x30
+    cbz x0, child
+    mov x0, sp              // parent: wait(&status) on the stack
+    ldr x30, [x21, #72]     // entry 9 = wait
+    blr x30
+    ldr w0, [sp]
+    ldr x30, [x21]          // entry 0 = exit(status word)
+    blr x30
+  child:
+    movz x1, #0x4000        // guard-region offset: unmapped, faults
+    add x18, x21, w1, uxtw
+    ldr x0, [x18]
+  )",
+            /*rewrite=*/false, cfg);
+  ASSERT_GE(t.pid, 0);
+  t.rt.RunUntilIdle();
+
+  const Proc* child = t.rt.proc(t.pid + 1);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->restarts, 2u);
+  EXPECT_EQ(child->exit_kind, ExitKind::kKilled);
+  EXPECT_NE(child->fault_detail.find("restart budget exhausted"),
+            std::string::npos)
+      << child->fault_detail;
+  ASSERT_EQ(t.P()->exit_kind, ExitKind::kExited);
+  EXPECT_EQ(t.P()->exit_status, 0x100 | kSigSegv);
+}
+
 // ---- Resource limits -----------------------------------------------------
 
 TEST(Supervisor, CpuQuotaWatchdogKillsRunaway) {

@@ -5,10 +5,12 @@
 // accepts executes under the slot-invariant checker, which convicts any
 // access, branch target, or reserved-register value that leaves the
 // sandbox. Also runs completeness fuzzing (rewriter output must verify)
-// and differential fuzzing (block vs. step dispatch must agree).
+// and differential fuzzing (block vs. step dispatch must agree), plus a
+// snapshot oracle (run N, checkpoint, run M, restore, re-run M; the two
+// M-phases must match in registers, retired count, and access trace).
 //
 // Usage:
-//   lfi_fuzz [--mode=soundness|completeness|differential|all]
+//   lfi_fuzz [--mode=soundness|completeness|differential|snapshot|all]
 //            [--iters=N] [--seed=N|string] [--max-insts=N]
 //            [--artifact-dir=DIR] [--replay FILE...]
 //
@@ -148,7 +150,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: lfi_fuzz [--mode=soundness|completeness|"
-                   "differential|all] [--iters=N] [--seed=N|string]\n"
+                   "differential|snapshot|all] [--iters=N] [--seed=N|string]\n"
                    "                [--max-insts=N] [--artifact-dir=DIR] "
                    "[--replay FILE...]\n");
       return 2;
@@ -185,8 +187,15 @@ int main(int argc, char** argv) {
     PrintReport(r);
     crashed = crashed || !r.ok();
   }
+  if (mode == "snapshot" || mode == "all") {
+    lfi::fuzz::FuzzOptions s = opts;
+    s.iters = opts.iters / 2 + 1;
+    const auto r = lfi::fuzz::RunSnapshotOracle(s);
+    PrintReport(r);
+    crashed = crashed || !r.ok();
+  }
   if (mode != "soundness" && mode != "completeness" && mode != "differential" &&
-      mode != "all") {
+      mode != "snapshot" && mode != "all") {
     std::fprintf(stderr, "lfi_fuzz: unknown mode '%s'\n", mode.c_str());
     return 2;
   }

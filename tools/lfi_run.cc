@@ -18,6 +18,14 @@
 //   --chaos-seed=N                 enable injection with this seed
 //   --chaos-profile=NAME           none|memfault|syscall|sched|storm
 //
+// Snapshots (docs/SNAPSHOTS.md):
+//   --snapshot-out=FILE   capture the first sandbox right after load (the
+//                         post-load checkpoint) to FILE, then run normally
+//   --snapshot-in=FILE    spawn sandbox(es) from a snapshot file instead
+//                         of (or alongside) ELF executables
+//   --snapshot-spawn=N    how many sandboxes to spawn from --snapshot-in
+//                         (default 1; they share pages copy-on-write)
+//
 // Usage: lfi-run [--no-verify] [--core=m1|t2a] [--stats] [--trace out.json]
 //                [--policy=...] [--chaos-seed=N] prog.elf [prog2.elf ...]
 //
@@ -35,6 +43,7 @@
 
 #include "chaos/chaos.h"
 #include "runtime/runtime.h"
+#include "snapshot/snapshot.h"
 #include "trace/trace.h"
 
 namespace {
@@ -58,6 +67,8 @@ int main(int argc, char** argv) {
   bool chaos_enabled = false;
   uint64_t chaos_seed = 0;
   std::string chaos_profile = "storm";
+  std::string snapshot_out, snapshot_in;
+  uint64_t snapshot_spawn = 1;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
     uint64_t v = 0;
@@ -99,6 +110,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--chaos-profile=", 0) == 0) {
       chaos_enabled = true;
       chaos_profile = arg.substr(std::strlen("--chaos-profile="));
+    } else if (arg.rfind("--snapshot-out=", 0) == 0) {
+      snapshot_out = arg.substr(std::strlen("--snapshot-out="));
+    } else if (arg.rfind("--snapshot-in=", 0) == 0) {
+      snapshot_in = arg.substr(std::strlen("--snapshot-in="));
+    } else if (U64Flag(arg, "--snapshot-spawn", &v)) {
+      snapshot_spawn = v;
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: lfi-run [--no-verify] [--core=m1|t2a] [--stats] "
@@ -109,14 +126,20 @@ int main(int argc, char** argv) {
                    "[--max-mmap=N] [--max-fds=N] [--max-pipe-buf=N]\n"
                    "               [--chaos-seed=N] "
                    "[--chaos-profile=none|memfault|syscall|sched|storm]\n"
+                   "               [--snapshot-out=FILE] [--snapshot-in=FILE "
+                   "[--snapshot-spawn=N]]\n"
                    "               prog.elf [...]\n");
       return 0;
     } else {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) {
+  if (paths.empty() && snapshot_in.empty()) {
     std::fprintf(stderr, "lfi-run: no executables given\n");
+    return 2;
+  }
+  if (!snapshot_out.empty() && paths.empty()) {
+    std::fprintf(stderr, "lfi-run: --snapshot-out needs an executable\n");
     return 2;
   }
 
@@ -135,6 +158,7 @@ int main(int argc, char** argv) {
   if (chaos_enabled) rt.set_chaos(&chaos);
 
   std::vector<int> pids;
+  std::vector<std::string> labels;  // per-pid display name for reporting
   for (const auto& path : paths) {
     std::ifstream f(path, std::ios::binary);
     if (!f) {
@@ -161,6 +185,45 @@ int main(int argc, char** argv) {
       return 2;
     }
     pids.push_back(*pid);
+    labels.push_back(path);
+  }
+
+  if (!snapshot_out.empty()) {
+    // Capture the post-load checkpoint of the first sandbox, before any
+    // instruction runs: spawning from this file replays the program from
+    // its entry point.
+    auto snap = rt.CaptureSnapshot(pids[0]);
+    if (!snap) {
+      std::fprintf(stderr, "lfi-run: snapshot capture failed: %s\n",
+                   snap.error().c_str());
+      return 2;
+    }
+    if (auto st = lfi::snapshot::WriteFile(*snap, snapshot_out); !st.ok()) {
+      std::fprintf(stderr, "lfi-run: %s: %s\n", snapshot_out.c_str(),
+                   st.error().c_str());
+      return 2;
+    }
+  }
+
+  if (!snapshot_in.empty()) {
+    auto snap = lfi::snapshot::ReadFile(snapshot_in);
+    if (!snap) {
+      std::fprintf(stderr, "lfi-run: %s: %s\n", snapshot_in.c_str(),
+                   snap.error().c_str());
+      return 2;
+    }
+    auto shared =
+        std::make_shared<const lfi::snapshot::Snapshot>(std::move(*snap));
+    for (uint64_t k = 0; k < snapshot_spawn; ++k) {
+      auto pid = rt.SpawnFromSnapshot(shared);
+      if (!pid) {
+        std::fprintf(stderr, "lfi-run: %s: %s\n", snapshot_in.c_str(),
+                     pid.error().c_str());
+        return 2;
+      }
+      pids.push_back(*pid);
+      labels.push_back(snapshot_in + "#" + std::to_string(k));
+    }
   }
 
   const int leftover = rt.RunUntilIdle();
@@ -172,7 +235,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "lfi-run: %s: killed (%s) [signal %d, disposition %s, "
                    "restarts %u, signals delivered %u]\n",
-                   paths[k].c_str(), p->fault_detail.c_str(), p->term_signal,
+                   labels[k].c_str(), p->fault_detail.c_str(), p->term_signal,
                    lfi::runtime::DispositionName(p->disposition), p->restarts,
                    p->sig.delivered);
       rc = 1;
@@ -185,7 +248,7 @@ int main(int argc, char** argv) {
           std::fprintf(stderr,
                        "lfi-run: %s: exit %d [disposition %s, restarts %u, "
                        "signals delivered %u%s%s]\n",
-                       paths[k].c_str(), p->exit_status,
+                       labels[k].c_str(), p->exit_status,
                        lfi::runtime::DispositionName(p->disposition),
                        p->restarts, p->sig.delivered,
                        p->fault_detail.empty() ? "" : ", last fault: ",
