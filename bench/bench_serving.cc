@@ -1,0 +1,357 @@
+// Request-serving benchmarks (docs/SERVING.md).
+//
+//   warm     open-loop Poisson traffic served from the warm SpawnPool:
+//            take a parked sandbox, run the request, recycle via snapshot
+//            restore — the near-zero-cost request path the paper's
+//            scalability story needs
+//   cold     identical traffic, but every request pays a full ELF load
+//            (the baseline the pool is measured against)
+//   storm    chaos storm injected mid-serving with parked sandboxes
+//            killed behind the pool's back: victims (tier 0) restart and
+//            fail, bystander tenants (tier 1) must keep a clean SLO
+//   closed   closed-loop clients with think time
+//   bursty   synchronized arrival batches against admission control
+//
+// Throughput and p50/p99/p999 latency are simulated-clock quantities, so
+// every number here is exact and machine-independent; the same seed
+// replays byte-identically (self-gated below, and soaked in CI).
+//
+// Gates: warm throughput >= 5x cold at equal offered load; byte-identical
+// same-seed replay (warm and storm); storm exercises the dead-parked
+// purge without any bystander-tenant SLO violation.
+
+#include <memory>
+#include <string>
+
+#include "chaos/chaos.h"
+#include "harness.h"
+#include "runtime/spawn_pool.h"
+#include "serve/serve.h"
+
+namespace lfi::bench {
+namespace {
+
+using lfi::serve::Request;
+using lfi::serve::ServeConfig;
+using lfi::serve::ServeReport;
+using lfi::serve::Server;
+using lfi::serve::TrafficKind;
+
+// The request handler: service-sized image (~1MiB data, 64+ pages — the
+// shape where cold loads hurt), a little compute, one write, clean exit.
+const char* kHandlerProg = R"(
+    movz x19, #1500
+  spin:
+    sub x19, x19, #1
+    cbnz x19, spin
+    adrp x1, msg
+    add x1, x1, :lo12:msg
+    mov x0, #1
+    mov x2, #2
+    rtcall #1
+    mov x0, #0
+    rtcall #0
+  .data
+  msg:
+    .asciz "ok"
+  payload:
+    .zero 1048576
+)";
+
+// A warm serving stack: runtime, pool snapshot captured from a template
+// load (the template itself never serves), and the pool.
+struct Stack {
+  lfi::runtime::Runtime rt;
+  std::shared_ptr<const lfi::snapshot::Snapshot> snap;
+  std::unique_ptr<lfi::runtime::SpawnPool> pool;
+  std::string error;
+
+  explicit Stack(const Built& b)
+      : rt([] {
+          lfi::runtime::RuntimeConfig cfg;
+          cfg.core = lfi::arch::AppleM1LikeParams();
+          return cfg;
+        }()) {
+    auto pid = rt.Load({b.elf.data(), b.elf.size()});
+    if (!pid.ok()) {
+      error = pid.error();
+      return;
+    }
+    auto cap = rt.CaptureSnapshot(*pid);
+    if (!cap.ok()) {
+      error = cap.error();
+      return;
+    }
+    snap = std::make_shared<const lfi::snapshot::Snapshot>(*std::move(cap));
+    if (auto st = rt.Kill(*pid, "template"); !st.ok()) {
+      error = st.error();
+      return;
+    }
+    pool = std::make_unique<lfi::runtime::SpawnPool>(&rt, snap);
+  }
+};
+
+ServeConfig BaseConfig(TrafficKind kind, uint64_t seed, uint64_t requests) {
+  ServeConfig cfg;
+  cfg.traffic.kind = kind;
+  cfg.traffic.seed = seed;
+  cfg.traffic.requests = requests;
+  cfg.traffic.rate_per_mcycle = 2000;  // saturating offered load
+  cfg.traffic.tenants = 4;
+  cfg.tiers.resize(1);
+  cfg.tiers[0].slo_cycles = 20000000;
+  cfg.admission.max_queue_depth = 256;
+  cfg.admission.shed_on_deadline = false;
+  cfg.max_concurrency = 8;
+  cfg.pool_min = 4;
+  cfg.pool_max = 32;
+  return cfg;
+}
+
+void AddLatencies(JsonReport* report, const std::string& prefix,
+                  const ServeReport& rep) {
+  report->Add(prefix + ".p50.cycles",
+              static_cast<double>(rep.LatencyPercentile(50)));
+  report->Add(prefix + ".p99.cycles",
+              static_cast<double>(rep.LatencyPercentile(99)));
+  report->Add(prefix + ".p999.cycles",
+              static_cast<double>(rep.LatencyPercentile(99.9)));
+  report->Add(prefix + ".makespan.cycles",
+              static_cast<double>(rep.makespan()));
+  report->Add(prefix + ".throughput_per_mcycle", rep.ThroughputPerMcycle());
+  report->Add(prefix + ".completed", static_cast<double>(rep.completed));
+}
+
+// Storm-while-serving with parked sandboxes killed behind the pool's
+// back every few steps. Driven by Step() so the kills interleave with
+// dispatch deterministically.
+ServeReport RunStorm(const Built& b, uint64_t traffic_seed,
+                     uint64_t chaos_seed, std::string* error) {
+  Stack s(b);
+  if (s.pool == nullptr) {
+    *error = s.error;
+    return {};
+  }
+  lfi::chaos::ChaosEngine storm(chaos_seed,
+                                lfi::chaos::ProfileByName("storm"));
+  s.rt.set_chaos(&storm);
+  storm.MarkVictim(0);  // pin the victim set before anything runs
+
+  ServeConfig cfg = BaseConfig(TrafficKind::kPoisson, traffic_seed, 400);
+  cfg.traffic.rate_per_mcycle = 300;
+  cfg.tiers.resize(2);
+  cfg.tiers[0].name = "victim";
+  cfg.tiers[0].policy.on_fault = lfi::runtime::FaultAction::kRestart;
+  cfg.tiers[0].policy.restart_budget = 3;
+  cfg.tiers[0].policy.restart_backoff_base_cycles = 100;
+  cfg.tiers[0].slo_cycles = 20000000;
+  cfg.tiers[1].name = "bystander";
+  cfg.tiers[1].slo_cycles = 20000000;
+  // One request per sandbox: a pid marked as a chaos victim must never
+  // be recycled into a bystander tenant.
+  cfg.recycle_sandboxes = false;
+  cfg.on_dispatch = [&storm](int pid, const Request& r) {
+    if (r.tier == 0) storm.MarkVictim(pid);
+  };
+
+  Server srv(&s.rt, cfg, s.pool.get());
+  uint64_t steps = 0;
+  while (srv.Step()) {
+    if (++steps >= cfg.max_steps) break;
+    // Every 13th step, kill every parked sandbox behind the pool's back:
+    // Take() must purge the corpses (dead_parked) and fall back to a
+    // request-path cold spawn when the pool is left dry — both bugfix
+    // paths, under storm chaos.
+    if (steps % 13 == 0) {
+      for (int pid : s.pool->warm_pids()) {
+        (void)s.rt.Kill(pid, "storm bench kill");
+      }
+    }
+  }
+  s.rt.set_chaos(nullptr);
+  return srv.report();
+}
+
+}  // namespace
+}  // namespace lfi::bench
+
+int main(int argc, char** argv) {
+  using namespace lfi::bench;
+  JsonReport report = JsonReport::FromArgs(argc, argv);
+
+  const Built b = BuildLfi(kHandlerProg, Config::kO2);
+  if (!b.ok) {
+    std::fprintf(stderr, "error: build: %s\n", b.error.c_str());
+    return 1;
+  }
+  auto image = lfi::elf::Read({b.elf.data(), b.elf.size()});
+  if (!image.ok()) {
+    std::fprintf(stderr, "error: elf read: %s\n", image.error().c_str());
+    return 1;
+  }
+
+  const uint64_t kSeed = 20240607;
+  const uint64_t kRequests = 1500;
+
+  // ---- Warm pool vs cold load, equal offered load ------------------------
+  auto run_warm = [&](std::string* transcript) -> ServeReport {
+    Stack s(b);
+    if (s.pool == nullptr) {
+      std::fprintf(stderr, "error: stack: %s\n", s.error.c_str());
+      std::exit(1);
+    }
+    Server srv(&s.rt, BaseConfig(TrafficKind::kPoisson, kSeed, kRequests),
+               s.pool.get());
+    ServeReport rep = srv.Run();
+    if (transcript != nullptr) *transcript = rep.Format();
+    return rep;
+  };
+
+  std::string warm_transcript;
+  const ServeReport warm = run_warm(&warm_transcript);
+
+  lfi::runtime::RuntimeConfig cold_cfg;
+  cold_cfg.core = lfi::arch::AppleM1LikeParams();
+  lfi::runtime::Runtime cold_rt(cold_cfg);
+  Server cold_srv(&cold_rt,
+                  BaseConfig(TrafficKind::kPoisson, kSeed, kRequests),
+                  &*image);
+  const ServeReport cold = cold_srv.Run();
+
+  const double speedup =
+      cold.ThroughputPerMcycle() > 0
+          ? warm.ThroughputPerMcycle() / cold.ThroughputPerMcycle()
+          : 0.0;
+
+  // ---- Determinism: same seed, fresh stack, byte-identical transcript ----
+  std::string replay_transcript;
+  (void)run_warm(&replay_transcript);
+  const bool warm_deterministic = replay_transcript == warm_transcript;
+
+  // ---- Storm chaos while serving -----------------------------------------
+  std::string storm_err;
+  const ServeReport storm = RunStorm(b, kSeed + 1, 4242, &storm_err);
+  if (!storm_err.empty()) {
+    std::fprintf(stderr, "error: storm: %s\n", storm_err.c_str());
+    return 1;
+  }
+  const ServeReport storm_replay = RunStorm(b, kSeed + 1, 4242, &storm_err);
+  const bool storm_deterministic =
+      storm.Format() == storm_replay.Format();
+  uint64_t bystander_failed = 0, bystander_slo = 0, bystander_done = 0;
+  uint64_t victim_disrupted = 0;
+  for (const auto& [tenant, s] : storm.tenants) {
+    if (tenant % 2 == 1) {  // tenants 1,3 -> tier 1 (bystander)
+      bystander_failed += s.failed;
+      bystander_slo += s.slo_violations;
+      bystander_done += s.completed;
+    } else {
+      victim_disrupted += s.failed + s.slo_violations;
+    }
+  }
+
+  // ---- Closed-loop and bursty shapes -------------------------------------
+  ServeConfig closed_cfg = BaseConfig(TrafficKind::kClosed, kSeed + 2, 800);
+  closed_cfg.traffic.closed_clients = 8;
+  closed_cfg.traffic.think_cycles = 10000;
+  Stack closed_stack(b);
+  Server closed_srv(&closed_stack.rt, closed_cfg, closed_stack.pool.get());
+  const ServeReport closed = closed_srv.Run();
+
+  ServeConfig burst_cfg = BaseConfig(TrafficKind::kBursty, kSeed + 3, 600);
+  burst_cfg.traffic.burst_size = 48;
+  burst_cfg.traffic.burst_period_cycles = 300000;
+  burst_cfg.admission.max_queue_depth = 32;
+  burst_cfg.admission.shed_on_deadline = true;
+  burst_cfg.tiers[0].slo_cycles = 400000;
+  Stack burst_stack(b);
+  Server burst_srv(&burst_stack.rt, burst_cfg, burst_stack.pool.get());
+  const ServeReport burst = burst_srv.Run();
+
+  // ---- Report ------------------------------------------------------------
+  std::printf("Request serving (simulated cycles, %llu Poisson requests)\n",
+              (unsigned long long)kRequests);
+  std::printf("%-8s %14s %10s %10s %10s %10s\n", "mode", "req/Mcycle",
+              "p50", "p99", "p999", "completed");
+  std::printf("%-8s %14.2f %10llu %10llu %10llu %10llu\n", "warm",
+              warm.ThroughputPerMcycle(),
+              (unsigned long long)warm.LatencyPercentile(50),
+              (unsigned long long)warm.LatencyPercentile(99),
+              (unsigned long long)warm.LatencyPercentile(99.9),
+              (unsigned long long)warm.completed);
+  std::printf("%-8s %14.2f %10llu %10llu %10llu %10llu\n", "cold",
+              cold.ThroughputPerMcycle(),
+              (unsigned long long)cold.LatencyPercentile(50),
+              (unsigned long long)cold.LatencyPercentile(99),
+              (unsigned long long)cold.LatencyPercentile(99.9),
+              (unsigned long long)cold.completed);
+  std::printf("warm/cold throughput: %.1fx (gate >= 5x)\n", speedup);
+  std::printf("storm: dead_parked=%llu cold_spawns=%llu victims "
+              "disrupted=%llu bystander failed=%llu slo_viol=%llu\n",
+              (unsigned long long)storm.dead_parked,
+              (unsigned long long)storm.cold_spawns,
+              (unsigned long long)victim_disrupted,
+              (unsigned long long)bystander_failed,
+              (unsigned long long)bystander_slo);
+  std::printf("closed: %llu completed, p99 %llu; bursty: %llu shed_queue, "
+              "%llu shed_deadline\n",
+              (unsigned long long)closed.completed,
+              (unsigned long long)closed.LatencyPercentile(99),
+              (unsigned long long)burst.shed_queue,
+              (unsigned long long)burst.shed_deadline);
+
+  AddLatencies(&report, "serving.warm", warm);
+  AddLatencies(&report, "serving.cold", cold);
+  report.Add("serving.warm_vs_cold.speedup", speedup);
+  report.Add("serving.warm.recycles", static_cast<double>(warm.recycles));
+  report.Add("serving.storm.dead_parked",
+             static_cast<double>(storm.dead_parked));
+  report.Add("serving.storm.bystander_failed",
+             static_cast<double>(bystander_failed));
+  report.Add("serving.storm.bystander_slo_violations",
+             static_cast<double>(bystander_slo));
+  AddLatencies(&report, "serving.closed", closed);
+  report.Add("serving.bursty.shed_queue",
+             static_cast<double>(burst.shed_queue));
+  report.Add("serving.bursty.shed_deadline",
+             static_cast<double>(burst.shed_deadline));
+  if (!report.Write()) return 1;
+
+  // ---- Gates -------------------------------------------------------------
+  int rc = 0;
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: warm serving only %.1fx cold throughput "
+                 "(need >= 5x)\n", speedup);
+    rc = 1;
+  }
+  if (!warm_deterministic || !storm_deterministic) {
+    std::fprintf(stderr, "FAIL: same-seed replay diverged (warm=%d "
+                 "storm=%d)\n", warm_deterministic, storm_deterministic);
+    rc = 1;
+  }
+  if (storm.dead_parked == 0 || storm.cold_spawns == 0) {
+    std::fprintf(stderr, "FAIL: storm run missed a SpawnPool fallback path "
+                 "(dead_parked=%llu cold_spawns=%llu)\n",
+                 (unsigned long long)storm.dead_parked,
+                 (unsigned long long)storm.cold_spawns);
+    rc = 1;
+  }
+  if (bystander_failed != 0 || bystander_slo != 0 || bystander_done == 0) {
+    std::fprintf(stderr, "FAIL: bystander tenants disrupted under storm "
+                 "(failed=%llu slo=%llu completed=%llu)\n",
+                 (unsigned long long)bystander_failed,
+                 (unsigned long long)bystander_slo,
+                 (unsigned long long)bystander_done);
+    rc = 1;
+  }
+  if (warm.completed == 0 || cold.completed == 0 ||
+      closed.completed != closed_cfg.traffic.requests) {
+    std::fprintf(stderr, "FAIL: serving phases incomplete (warm=%llu "
+                 "cold=%llu closed=%llu)\n",
+                 (unsigned long long)warm.completed,
+                 (unsigned long long)cold.completed,
+                 (unsigned long long)closed.completed);
+    rc = 1;
+  }
+  return rc;
+}

@@ -477,8 +477,69 @@ Status Runtime::Activate(int pid) {
   Proc* p = proc(pid);
   if (p == nullptr) return Status::Fail("activate: no such pid");
   if (!p->parked) return Status::Fail("activate: proc is not parked");
+  // A parked proc can be killed while waiting (Kill, chaos): it keeps
+  // parked == true but leaves kReady, and must not be handed out as if it
+  // were a live warm sandbox.
+  if (p->state != ProcState::kReady) {
+    return Status::Fail("activate: parked proc was killed");
+  }
   p->parked = false;
   Enqueue(pid);
+  return Status::Ok();
+}
+
+Status Runtime::Kill(int pid, const std::string& why) {
+  Proc* p = proc(pid);
+  if (p == nullptr) return Status::Fail("kill: no such pid");
+  if (p->state == ProcState::kDead) return Status::Fail("kill: already dead");
+  if (p->state == ProcState::kZombie) {
+    // Already exited. A parentless zombie only exists because
+    // retain_on_exit kept its slot; release it now. One with a live
+    // parent stays reapable through wait().
+    if (proc(p->ppid) != nullptr) {
+      return Status::Fail("kill: zombie awaiting reap");
+    }
+    FreeSlot(p);
+    p->state = ProcState::kDead;
+    return Status::Ok();
+  }
+  p->retain_on_exit = false;  // forced kills always tear down the slot
+  KillProc(p, why);
+  return Status::Ok();
+}
+
+Status Runtime::Recycle(int pid) {
+  Proc* p = proc(pid);
+  if (p == nullptr) return Status::Fail("recycle: no such pid");
+  if (p->snapshot == nullptr) return Status::Fail("recycle: no snapshot");
+  // Only quiescent procs can be recycled: parked (never ran) or
+  // exited-but-retained zombies. A proc still in the run queue cannot be
+  // reset out from under the scheduler.
+  const bool quiescent =
+      p->parked || (p->state == ProcState::kZombie && p->retain_on_exit);
+  if (!quiescent) return Status::Fail("recycle: proc is not quiescent");
+  // Zombie slots survive DoExit only via retain_on_exit, so the mappings
+  // RestoreFromSnapshot diffs against are still live. Temporarily leave
+  // kDead out of the picture: restore refuses dead procs already.
+  p->state = ProcState::kReady;
+  if (auto st = RestoreFromSnapshot(pid, *p->snapshot); !st.ok()) {
+    p->state = ProcState::kZombie;
+    return st;
+  }
+  p->parked = true;
+  p->exit_kind = ExitKind::kRunning;
+  p->exit_status = 0;
+  p->fault_detail.clear();
+  p->term_signal = 0;
+  p->disposition = Disposition::kNone;
+  p->restarts = 0;
+  p->cpu_cycles = 0;
+  p->insts_retired = 0;
+  p->children.clear();
+  p->out.clear();
+  if (sink_ != nullptr) {
+    sink_->metrics(pid).Add(trace::Counter::kRecycles);
+  }
   return Status::Ok();
 }
 
@@ -973,10 +1034,12 @@ void Runtime::DoExit(Proc* p, int status) {
     if (c != nullptr && c->state != ProcState::kDead) c->ppid = 0;
   }
   Proc* parent = proc(p->ppid);
-  if (parent == nullptr) {
+  if (parent == nullptr && !p->retain_on_exit) {
     FreeSlot(p);
     p->state = ProcState::kDead;
   } else {
+    // Zombie: reapable by the parent, or (retain_on_exit) held with its
+    // slot mapped so the serving layer can Recycle() it.
     p->state = ProcState::kZombie;
   }
   if (current_pid_ == p->pid) current_pid_ = 0;

@@ -70,6 +70,9 @@ struct Proc {
   ProcState state = ProcState::kReady;
   bool parked = false;  // spawned warm (SpawnFromSnapshot start=false) and
                         // not yet Activate()d; never scheduled while set
+  bool retain_on_exit = false;  // keep the slot mapped after exit (zombie
+                                // even without a parent) so the sandbox can
+                                // be Recycle()d instead of torn down
   ExitKind exit_kind = ExitKind::kRunning;
   int exit_status = 0;
   std::string fault_detail;  // populated when killed by a fault
@@ -79,7 +82,10 @@ struct Proc {
   // Fault policy, limits, and signal-delivery state (supervisor.h).
   SupervisorPolicy policy;
   SignalState sig;
-  uint32_t restarts = 0;          // restart-policy reloads so far
+  uint32_t restarts = 0;          // restarts in the current crash window
+                                  // (decays after a healthy run; see
+                                  // SupervisorPolicy::restart_reset_after_cycles)
+  uint32_t total_restarts = 0;    // lifetime restarts, never reset
   uint64_t cpu_cycles = 0;        // cycles spent executing in the sandbox
   uint64_t insts_retired = 0;     // instructions retired by the sandbox
   uint64_t mmap_bytes = 0;        // live bytes from SysMmap (limit basis)
@@ -192,7 +198,30 @@ class Runtime {
                                 bool start = true);
 
   // Enqueues a parked proc created by SpawnFromSnapshot(..., false).
+  // Fails if the proc was killed while parked (the spawn pool purges such
+  // entries rather than handing out a dead sandbox).
   Status Activate(int pid);
+
+  // Marks (or unmarks) pid so that on exit its slot stays mapped and the
+  // proc becomes a zombie even without a waiting parent, making it
+  // eligible for Recycle(). The serving dispatcher sets this on every
+  // sandbox it hands a request to.
+  void set_retain_on_exit(int pid, bool retain) {
+    if (Proc* p = proc(pid)) p->retain_on_exit = retain;
+  }
+
+  // Rolls an exited-but-retained (or still-live) proc back to its stashed
+  // checkpoint and re-parks it: same pid and slot, only diverged pages
+  // touched, exit/fault/accounting state cleared, captured output reset.
+  // The proc behaves exactly like a fresh SpawnFromSnapshot(..., false)
+  // afterwards (Activate() to run it again). Fails for dead/unknown pids
+  // or procs without a snapshot.
+  Status Recycle(int pid);
+
+  // Forcibly terminates pid from outside the sandbox (parked, zombie, or
+  // live). Frees the slot of parentless procs; zombies with a parent stay
+  // reapable. No-op error for unknown or already-dead pids.
+  Status Kill(int pid, const std::string& why);
 
   // Rolls pid back to `snap` in place (same pid, slot, ppid, children,
   // captured output): installs only pages whose payload or perms diverged,

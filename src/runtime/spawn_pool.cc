@@ -1,8 +1,24 @@
 #include "runtime/spawn_pool.h"
 
+#include <algorithm>
+
 namespace lfi::runtime {
 
+bool SpawnPool::ParkedAlive(int pid) const {
+  const Proc* p = rt_->proc(pid);
+  return p != nullptr && p->parked && p->state == ProcState::kReady;
+}
+
+void SpawnPool::PurgeDead() {
+  const size_t before = warm_.size();
+  warm_.erase(std::remove_if(warm_.begin(), warm_.end(),
+                             [this](int pid) { return !ParkedAlive(pid); }),
+              warm_.end());
+  dead_parked_ += before - warm_.size();
+}
+
 int SpawnPool::Prewarm(int target) {
+  PurgeDead();
   int added = 0;
   while (static_cast<int>(warm_.size()) < target) {
     auto pid = rt_->SpawnFromSnapshot(snap_, /*start=*/false);
@@ -18,15 +34,39 @@ Result<int> SpawnPool::Take() {
     const int pid = warm_.front();
     warm_.pop_front();
     // A parked sandbox can have been killed behind the pool's back;
-    // activation failing just means this entry is stale.
+    // purge the stale entry and keep looking.
     if (rt_->Activate(pid).ok()) {
       ++warm_hits_;
       return pid;
     }
+    ++dead_parked_;
   }
   auto pid = rt_->SpawnFromSnapshot(snap_, /*start=*/true);
   if (pid) ++cold_spawns_;
   return pid;
+}
+
+bool SpawnPool::Recycle(int pid) {
+  if (!rt_->Recycle(pid).ok()) return false;
+  warm_.push_back(pid);
+  ++recycles_;
+  return true;
+}
+
+int SpawnPool::Evict(int n) {
+  int evicted = 0;
+  while (evicted < n && !warm_.empty()) {
+    const int pid = warm_.back();
+    warm_.pop_back();
+    if (!ParkedAlive(pid)) {
+      ++dead_parked_;
+      continue;
+    }
+    rt_->Kill(pid, "pool eviction");
+    ++evicted;
+  }
+  evictions_ += evicted;
+  return evicted;
 }
 
 }  // namespace lfi::runtime

@@ -9,8 +9,16 @@
 //
 // The pool owns nothing but pids: the Runtime keeps full ownership of the
 // procs, so a taken sandbox is indistinguishable from any other running
-// one, and killing a parked sandbox out from under the pool is safe (Take
-// just cold-spawns when activation fails).
+// one, and killing a parked sandbox out from under the pool is safe: Take
+// and Prewarm purge dead entries (counted in dead_parked()) so warm()
+// never over-reports live capacity, and Take cold-spawns only when no
+// live parked sandbox remains.
+//
+// The serving control plane (src/serve/, docs/SERVING.md) adds two more
+// lifecycle moves: Recycle re-parks a finished sandbox after rolling it
+// back to the pool image's checkpoint (same pid, same slot, only dirtied
+// pages touched), and Evict kills parked sandboxes when the sizing policy
+// wants the pool smaller.
 #ifndef LFI_RUNTIME_SPAWN_POOL_H_
 #define LFI_RUNTIME_SPAWN_POOL_H_
 
@@ -27,7 +35,8 @@ class SpawnPool {
   SpawnPool(Runtime* rt, std::shared_ptr<const snapshot::Snapshot> snap)
       : rt_(rt), snap_(std::move(snap)) {}
 
-  // Tops the pool up to `target` parked sandboxes. Returns the number
+  // Tops the pool up to `target` live parked sandboxes (dead entries are
+  // purged first, so the target counts real capacity). Returns the number
   // actually added (slot exhaustion stops early).
   int Prewarm(int target);
 
@@ -35,16 +44,42 @@ class SpawnPool {
   // The returned pid is enqueued and runs at the next scheduling point.
   Result<int> Take();
 
+  // Returns a finished (exited-but-retained, see
+  // Runtime::set_retain_on_exit) sandbox to the pool: rolls it back to
+  // its stashed checkpoint and re-parks it under the same pid and slot.
+  // Returns false when the sandbox cannot be recycled — the caller should
+  // retire it (Runtime::Kill) and Prewarm a replacement instead.
+  bool Recycle(int pid);
+
+  // Kills up to `n` parked sandboxes (pool shrink). Returns the number
+  // actually evicted.
+  int Evict(int n);
+
+  // Drops entries whose parked sandbox was killed behind the pool's back
+  // (counted in dead_parked()). Called by Prewarm and Take; public so
+  // sizing policies can reconcile warm() on demand.
+  void PurgeDead();
+
   size_t warm() const { return warm_.size(); }
+  const std::deque<int>& warm_pids() const { return warm_; }
   uint64_t warm_hits() const { return warm_hits_; }
   uint64_t cold_spawns() const { return cold_spawns_; }
+  uint64_t dead_parked() const { return dead_parked_; }
+  uint64_t recycles() const { return recycles_; }
+  uint64_t evictions() const { return evictions_; }
 
  private:
+  // True if pid is a live parked sandbox the pool may hand out.
+  bool ParkedAlive(int pid) const;
+
   Runtime* rt_;
   std::shared_ptr<const snapshot::Snapshot> snap_;
   std::deque<int> warm_;
   uint64_t warm_hits_ = 0;
   uint64_t cold_spawns_ = 0;
+  uint64_t dead_parked_ = 0;
+  uint64_t recycles_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace lfi::runtime

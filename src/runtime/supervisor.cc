@@ -153,11 +153,20 @@ bool Supervisor::DeliverSignal(Proc* p, const emu::CpuFault& f, int signo,
 }
 
 bool Supervisor::Restart(Proc* p) {
-  if ((p->snapshot == nullptr && p->image == nullptr) ||
-      p->restarts >= p->policy.restart_budget) {
-    return false;
+  if (p->snapshot == nullptr && p->image == nullptr) return false;
+  // A healthy run past the reset window clears the crash-loop record:
+  // the budget and the exponential backoff both start over, so a
+  // long-lived tenant that faults rarely is not treated like a sandbox
+  // that crashes on arrival. cpu_cycles counts only the current
+  // incarnation (restarts zero it below), so it measures exactly how
+  // long the sandbox ran since the last restart.
+  const uint64_t window = p->policy.restart_reset_after_cycles;
+  if (p->restarts > 0 && window != 0 && p->cpu_cycles >= window) {
+    p->restarts = 0;
   }
+  if (p->restarts >= p->policy.restart_budget) return false;
   ++p->restarts;
+  ++p->total_restarts;
 
   // Capped exponential backoff, charged to the shared clock: a crash-
   // looping sandbox pays, siblings merely observe later timestamps.

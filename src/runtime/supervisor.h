@@ -94,6 +94,14 @@ struct SupervisorPolicy {
   uint32_t restart_budget = 3;  // restarts before the policy degrades to kill
   uint64_t restart_backoff_base_cycles = 20000;     // doubles per restart
   uint64_t restart_backoff_cap_cycles = 10000000;   // backoff ceiling
+  // Crash-loop decay: if the sandbox ran at least this many cycles since
+  // its last restart, the restart count (and with it the backoff
+  // exponent and the budget) resets before the next fault is judged. A
+  // tenant that faults once a day is then indistinguishable from one
+  // that never faulted, while a crash loop (short incarnations) still
+  // burns through the budget. 0 disables the decay (legacy behavior:
+  // budget and backoff only ever grow).
+  uint64_t restart_reset_after_cycles = 1000000;
   ResourceLimits limits;
 };
 

@@ -1,0 +1,448 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lfi::serve {
+
+namespace {
+
+constexpr uint64_t kNever = ~uint64_t{0};
+// Clock advance used when nothing is runnable but work is pending, so
+// deadlines (and with them deadline shedding) always make progress.
+constexpr uint64_t kIdleStepCycles = 1000;
+
+}  // namespace
+
+const char* TrafficKindName(TrafficKind k) {
+  switch (k) {
+    case TrafficKind::kPoisson: return "poisson";
+    case TrafficKind::kBursty: return "bursty";
+    case TrafficKind::kClosed: return "closed";
+  }
+  return "?";
+}
+
+bool TrafficKindByName(const std::string& name, TrafficKind* out) {
+  if (name == "poisson") { *out = TrafficKind::kPoisson; return true; }
+  if (name == "bursty") { *out = TrafficKind::kBursty; return true; }
+  if (name == "closed") { *out = TrafficKind::kClosed; return true; }
+  return false;
+}
+
+// ---- TrafficGen ----
+
+TrafficGen::TrafficGen(const TrafficConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  switch (cfg_.kind) {
+    case TrafficKind::kPoisson:
+      next_arrival_ = ExpGap(1000000 / std::max<uint64_t>(
+                                           1, cfg_.rate_per_mcycle));
+      break;
+    case TrafficKind::kBursty:
+      next_arrival_ = cfg_.burst_period_cycles;
+      burst_left_ = cfg_.burst_size;
+      break;
+    case TrafficKind::kClosed:
+      client_next_.resize(std::max<uint32_t>(1, cfg_.closed_clients));
+      // Staggered starts: all clients issuing at cycle 0 would be a
+      // burst, not a steady closed loop.
+      for (auto& t : client_next_) t = rng_.Below(cfg_.think_cycles + 1);
+      break;
+  }
+}
+
+uint64_t TrafficGen::ExpGap(uint64_t mean_cycles) {
+  // Inverse-CDF exponential sampling. The 53-bit mantissa draw is biased
+  // away from zero so log() never sees it.
+  const double u =
+      static_cast<double>((rng_.Next() >> 11) + 1) / 9007199254740992.0;
+  const double gap = -static_cast<double>(mean_cycles) * std::log(u);
+  if (gap < 1.0) return 1;
+  return static_cast<uint64_t>(gap);
+}
+
+void TrafficGen::ScheduleNextOpenLoop() {
+  switch (cfg_.kind) {
+    case TrafficKind::kPoisson:
+      next_arrival_ += ExpGap(1000000 / std::max<uint64_t>(
+                                            1, cfg_.rate_per_mcycle));
+      break;
+    case TrafficKind::kBursty:
+      if (burst_left_ == 0) {
+        next_arrival_ += cfg_.burst_period_cycles;
+        burst_left_ = cfg_.burst_size;
+      }
+      break;
+    case TrafficKind::kClosed:
+      break;
+  }
+}
+
+uint64_t TrafficGen::NextArrival() const {
+  if (Drained()) return kNever;
+  if (cfg_.kind == TrafficKind::kClosed) {
+    uint64_t soonest = kNever;
+    for (uint64_t t : client_next_) soonest = std::min(soonest, t);
+    return soonest;
+  }
+  return next_arrival_;
+}
+
+bool TrafficGen::Pop(uint64_t now, Request* out) {
+  if (Drained()) return false;
+  if (cfg_.kind == TrafficKind::kClosed) {
+    uint32_t best = 0;
+    uint64_t best_t = kNever;
+    for (uint32_t c = 0; c < client_next_.size(); ++c) {
+      if (client_next_[c] < best_t) { best_t = client_next_[c]; best = c; }
+    }
+    if (best_t == kNever || best_t > now) return false;
+    client_next_[best] = kNever;  // in flight until OnComplete
+    out->id = issued_++;
+    out->client = best;
+    out->tenant = best % std::max<uint32_t>(1, cfg_.tenants);
+    out->arrive_cycles = best_t;
+    return true;
+  }
+  if (next_arrival_ > now) return false;
+  out->id = issued_++;
+  out->client = 0;
+  out->tenant = static_cast<uint32_t>(
+      rng_.Below(std::max<uint32_t>(1, cfg_.tenants)));
+  out->arrive_cycles = next_arrival_;
+  if (cfg_.kind == TrafficKind::kBursty && burst_left_ > 0) --burst_left_;
+  ScheduleNextOpenLoop();
+  return true;
+}
+
+void TrafficGen::OnComplete(const Request& r, uint64_t now) {
+  if (cfg_.kind != TrafficKind::kClosed || Drained()) return;
+  if (r.client < client_next_.size() && client_next_[r.client] == kNever) {
+    client_next_[r.client] = now + cfg_.think_cycles;
+  }
+}
+
+// ---- ServeReport ----
+
+double ServeReport::ThroughputPerMcycle() const {
+  const uint64_t span = makespan();
+  if (span == 0) return 0.0;
+  return static_cast<double>(completed) * 1e6 / static_cast<double>(span);
+}
+
+uint64_t ServeReport::LatencyPercentile(double p) const {
+  if (latencies.empty()) return 0;
+  std::vector<uint64_t> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(std::ceil(rank)) - 1;
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+std::string ServeReport::Format() const {
+  char line[256];
+  std::string out;
+  snprintf(line, sizeof(line),
+           "serve: offered=%llu completed=%llu failed=%llu shed_queue=%llu "
+           "shed_deadline=%llu dispatch_failures=%llu slo_violations=%llu\n",
+           (unsigned long long)offered, (unsigned long long)completed,
+           (unsigned long long)failed, (unsigned long long)shed_queue,
+           (unsigned long long)shed_deadline,
+           (unsigned long long)dispatch_failures,
+           (unsigned long long)slo_violations);
+  out += line;
+  snprintf(line, sizeof(line),
+           "cycles: start=%llu end=%llu makespan=%llu steps=%llu aborted=%d\n",
+           (unsigned long long)start_cycles, (unsigned long long)end_cycles,
+           (unsigned long long)makespan(), (unsigned long long)steps,
+           aborted ? 1 : 0);
+  out += line;
+  uint64_t mean = 0;
+  for (uint64_t l : latencies) mean += l;
+  if (!latencies.empty()) mean /= latencies.size();
+  snprintf(line, sizeof(line),
+           "latency: p50=%llu p99=%llu p999=%llu mean=%llu n=%llu\n",
+           (unsigned long long)LatencyPercentile(50),
+           (unsigned long long)LatencyPercentile(99),
+           (unsigned long long)LatencyPercentile(99.9),
+           (unsigned long long)mean, (unsigned long long)latencies.size());
+  out += line;
+  snprintf(line, sizeof(line),
+           "pool: warm_hits=%llu cold_spawns=%llu dead_parked=%llu "
+           "recycles=%llu evictions=%llu\n",
+           (unsigned long long)warm_hits, (unsigned long long)cold_spawns,
+           (unsigned long long)dead_parked, (unsigned long long)recycles,
+           (unsigned long long)evictions);
+  out += line;
+  for (const auto& [tenant, s] : tenants) {
+    snprintf(line, sizeof(line),
+             "tenant %u: offered=%llu completed=%llu failed=%llu shed=%llu "
+             "slo_violations=%llu\n",
+             tenant, (unsigned long long)s.offered,
+             (unsigned long long)s.completed, (unsigned long long)s.failed,
+             (unsigned long long)s.shed,
+             (unsigned long long)s.slo_violations);
+    out += line;
+  }
+  snprintf(line, sizeof(line), "outcome_hash=%016llx\n",
+           (unsigned long long)outcome_hash);
+  out += line;
+  return out;
+}
+
+// ---- Server ----
+
+Server::Server(runtime::Runtime* rt, ServeConfig cfg,
+               runtime::SpawnPool* pool)
+    : rt_(rt), cfg_(std::move(cfg)), pool_(pool), tiers_(cfg_.tiers),
+      traffic_(cfg_.traffic) {
+  if (tiers_.empty()) tiers_.push_back(QosTier{});
+}
+
+Server::Server(runtime::Runtime* rt, ServeConfig cfg,
+               const elf::ElfImage* cold_image)
+    : rt_(rt), cfg_(std::move(cfg)), cold_image_(cold_image),
+      tiers_(cfg_.tiers), traffic_(cfg_.traffic) {
+  if (tiers_.empty()) tiers_.push_back(QosTier{});
+}
+
+bool Server::Done() const {
+  return traffic_.Drained() && queue_.empty() && inflight_.empty();
+}
+
+void Server::HashOutcome(uint64_t id, uint64_t tenant, uint64_t pid,
+                         uint64_t latency, uint64_t result) {
+  const uint64_t vals[] = {id, tenant, pid, latency, result};
+  for (uint64_t v : vals) {
+    for (int b = 0; b < 8; ++b) {
+      report_.outcome_hash ^= (v >> (b * 8)) & 0xff;
+      report_.outcome_hash *= 1099511628211ull;
+    }
+  }
+}
+
+void Server::Shed(const Request& r, bool deadline, uint64_t now) {
+  if (deadline) {
+    ++report_.shed_deadline;
+  } else {
+    ++report_.shed_queue;
+  }
+  ++report_.tenants[r.tenant].shed;
+  HashOutcome(r.id, r.tenant, 0, 0, deadline ? 3 : 2);
+  if (auto* sink = rt_->trace_sink()) {
+    sink->EmitInstant(trace::EventKind::kServeShed, 0, now, r.id,
+                      deadline ? 1 : 0);
+  }
+  traffic_.OnComplete(r, now);
+}
+
+void Server::AdmitArrivals(uint64_t now) {
+  Request r;
+  while (traffic_.Pop(now, &r)) {
+    r.tier = TierOf(r.tenant);
+    ++report_.offered;
+    ++report_.tenants[r.tenant].offered;
+    if (queue_.size() >= cfg_.admission.max_queue_depth) {
+      Shed(r, /*deadline=*/false, now);
+    } else {
+      queue_.push_back(r);
+    }
+  }
+}
+
+void Server::ShedExpired(uint64_t now) {
+  if (!cfg_.admission.shed_on_deadline) return;
+  std::deque<Request> keep;
+  for (const Request& r : queue_) {
+    const uint64_t deadline = r.arrive_cycles + tiers_[r.tier].slo_cycles;
+    if (now > deadline) {
+      Shed(r, /*deadline=*/true, now);
+    } else {
+      keep.push_back(r);
+    }
+  }
+  queue_.swap(keep);
+}
+
+void Server::Dispatch(uint64_t now) {
+  while (inflight_.size() < cfg_.max_concurrency && !queue_.empty()) {
+    Request r = queue_.front();
+    queue_.pop_front();
+    int pid = 0;
+    bool warm = false;
+    if (pool_ != nullptr) {
+      const uint64_t cold_before = pool_->cold_spawns();
+      auto res = pool_->Take();
+      if (!res) {
+        ++report_.dispatch_failures;
+        ++report_.tenants[r.tenant].shed;
+        HashOutcome(r.id, r.tenant, 0, 0, 4);
+        traffic_.OnComplete(r, now);
+        continue;
+      }
+      pid = *res;
+      warm = pool_->cold_spawns() == cold_before;
+      // The pool ran dry: this instantiation happened on the request
+      // path, so its modeled cost is real latency.
+      if (!warm) {
+        rt_->machine().timing().ChargeFlat(rt_->last_instantiation().cycles);
+      }
+    } else {
+      auto res = rt_->LoadImage(*cold_image_);
+      if (!res) {
+        ++report_.dispatch_failures;
+        ++report_.tenants[r.tenant].shed;
+        HashOutcome(r.id, r.tenant, 0, 0, 4);
+        traffic_.OnComplete(r, now);
+        continue;
+      }
+      pid = *res;
+      // Cold serving pays the full ELF-load cost per request.
+      rt_->machine().timing().ChargeFlat(rt_->last_instantiation().cycles);
+    }
+    rt_->set_policy(pid, tiers_[r.tier].policy);
+    // Warm sandboxes are retained at exit so they can be recycled; cold
+    // or retire-after-one-request sandboxes tear down (their slot frees
+    // as soon as they exit).
+    rt_->set_retain_on_exit(pid, pool_ != nullptr && cfg_.recycle_sandboxes);
+    if (cfg_.on_dispatch) cfg_.on_dispatch(pid, r);
+    if (auto* sink = rt_->trace_sink()) {
+      sink->EmitInstant(trace::EventKind::kServeDispatch, pid, now, r.id,
+                        warm ? 1 : 0);
+    }
+    inflight_[pid] = Inflight{r, now};
+  }
+}
+
+void Server::Advance() {
+  const uint64_t before = rt_->Cycles();
+  if (!inflight_.empty()) {
+    rt_->RunUntilIdle(cfg_.slice_insts);
+    if (rt_->Cycles() == before) {
+      // In-flight work exists but nothing ran (e.g. every in-flight
+      // sandbox is blocked forever). Let time pass so deadline shedding
+      // and the Run() backstop can resolve it.
+      rt_->machine().timing().ChargeFlat(kIdleStepCycles);
+    }
+    return;
+  }
+  // Idle: fast-forward to the next arrival instead of spinning.
+  const uint64_t next = traffic_.NextArrival();
+  if (next != kNever && next > before) {
+    rt_->machine().timing().ChargeFlat(next - before);
+  } else if (next == kNever && !queue_.empty()) {
+    rt_->machine().timing().ChargeFlat(kIdleStepCycles);
+  }
+}
+
+void Server::FinishRequest(const Inflight& inf, int pid) {
+  const uint64_t now = rt_->Cycles();
+  const runtime::Proc* p = rt_->proc(pid);
+  const Request& r = inf.req;
+  const bool ok = p != nullptr &&
+                  p->exit_kind == runtime::ExitKind::kExited &&
+                  p->exit_status == 0;
+  const uint64_t latency = now - r.arrive_cycles;
+  TenantStats& ts = report_.tenants[r.tenant];
+  if (ok) {
+    ++report_.completed;
+    ++ts.completed;
+    report_.latencies.push_back(latency);
+    if (latency > tiers_[r.tier].slo_cycles) {
+      ++report_.slo_violations;
+      ++ts.slo_violations;
+    }
+  } else {
+    ++report_.failed;
+    ++ts.failed;
+  }
+  HashOutcome(r.id, r.tenant, static_cast<uint64_t>(pid), latency,
+              ok ? 0 : 1);
+  if (auto* sink = rt_->trace_sink()) {
+    sink->EmitInstant(trace::EventKind::kServeComplete, pid, now, r.id,
+                      latency);
+  }
+  traffic_.OnComplete(r, now);
+  // Healthy exits recycle (same pid and slot, dirtied pages only); kills,
+  // restore failures, and retire-after-one-request mode tear the sandbox
+  // down — the sizer prewarms a replacement. Cold-mode sandboxes already
+  // tore themselves down at exit (no retain, no parent).
+  const bool recycled = pool_ != nullptr && cfg_.recycle_sandboxes && ok &&
+                        pool_->Recycle(pid);
+  if (!recycled && p != nullptr &&
+      p->state == runtime::ProcState::kZombie) {
+    (void)rt_->Kill(pid, "serve: retire");
+  }
+}
+
+void Server::Reap() {
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    const runtime::Proc* p = rt_->proc(it->first);
+    const bool finished =
+        p == nullptr || p->state == runtime::ProcState::kZombie ||
+        p->state == runtime::ProcState::kDead;
+    if (finished) {
+      FinishRequest(it->second, it->first);
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::ResizePool() {
+  if (pool_ == nullptr) return;
+  pool_->PurgeDead();
+  const uint64_t target = std::min<uint64_t>(
+      cfg_.pool_max,
+      std::max<uint64_t>(cfg_.pool_min, cfg_.pool_min + queue_.size()));
+  if (pool_->warm() < target) {
+    pool_->Prewarm(static_cast<int>(target));
+  } else if (pool_->warm() > target) {
+    // Shrink gradually: one eviction per step avoids thrashing when
+    // demand oscillates (bursty arrivals).
+    pool_->Evict(1);
+  }
+}
+
+bool Server::Step() {
+  if (!started_) {
+    started_ = true;
+    report_.start_cycles = rt_->Cycles();
+  }
+  const uint64_t now = rt_->Cycles();
+  AdmitArrivals(now);
+  ShedExpired(now);
+  Dispatch(now);
+  Advance();
+  Reap();
+  ResizePool();
+  ++report_.steps;
+  if (Done()) {
+    report_.end_cycles = rt_->Cycles();
+    if (pool_ != nullptr) {
+      report_.warm_hits = pool_->warm_hits();
+      report_.cold_spawns = pool_->cold_spawns();
+      report_.dead_parked = pool_->dead_parked();
+      report_.recycles = pool_->recycles();
+      report_.evictions = pool_->evictions();
+    }
+    return false;
+  }
+  return true;
+}
+
+const ServeReport& Server::Run() {
+  while (Step()) {
+    if (report_.steps >= cfg_.max_steps) {
+      report_.aborted = true;
+      report_.end_cycles = rt_->Cycles();
+      break;
+    }
+  }
+  return report_;
+}
+
+}  // namespace lfi::serve

@@ -1,0 +1,246 @@
+// FaaS-style request serving over the warm SpawnPool (docs/SERVING.md).
+//
+// The paper's scalability argument (Section 6.4: thousands of sandboxes
+// in one process) is only interesting if something serves traffic through
+// them. This layer closes that loop on the simulated clock:
+//
+//   traffic    seeded synthetic arrival processes — open-loop Poisson,
+//              open-loop bursty (synchronized arrival batches, the
+//              adversarial case for a warm pool), and closed-loop clients
+//              with think time — all deterministic per seed, like chaos
+//   admission  bounded queue with queue-depth shedding at arrival and
+//              deadline shedding at dispatch: a request that already
+//              missed its tier's SLO is dropped, not executed
+//   dispatch   takes a warm sandbox from the SpawnPool (or cold-loads an
+//              ELF per request, the baseline bench_serving compares
+//              against), applies the tenant tier's SupervisorPolicy, and
+//              runs it; one request = one sandbox incarnation
+//   recycle    finished sandboxes are rolled back to the pool checkpoint
+//              (Runtime::Recycle — same pid and slot, only dirtied pages
+//              touched) and re-parked; kills retire the slot instead
+//   sizing     the pool is topped up ahead of the backlog each step and
+//              drained one sandbox per step when demand falls
+//
+// Clock charging: request-path instantiation (a cold ELF load, or the
+// pool's cold-spawn fallback when it runs dry) charges the modeled
+// instantiation cost to the shared clock — that latency is exactly what
+// a warm pool exists to hide. Prewarm and Recycle are background work
+// between requests and charge nothing, matching the snapshot subsystem's
+// rule that pre-run instantiation never perturbs traces.
+//
+// Everything is driven by Step(): admit, shed, dispatch, execute a
+// bounded slice, reap, resize. Identical seeds and configs replay
+// byte-identically (ServeReport::Format is the canonical transcript).
+#ifndef LFI_SERVE_SERVE_H_
+#define LFI_SERVE_SERVE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "elf/elf.h"
+#include "fuzz/rng.h"
+#include "runtime/runtime.h"
+#include "runtime/spawn_pool.h"
+
+namespace lfi::serve {
+
+// Arrival process shapes.
+enum class TrafficKind : uint8_t {
+  kPoisson,  // open-loop: exponential gaps at `rate_per_mcycle`
+  kBursty,   // open-loop: `burst_size` simultaneous arrivals every
+             // `burst_period_cycles` (synchronized batches)
+  kClosed,   // closed-loop: `closed_clients` clients, one outstanding
+             // request each, re-issuing `think_cycles` after completion
+};
+
+const char* TrafficKindName(TrafficKind k);
+// Parses "poisson" / "bursty" / "closed"; false on unknown.
+bool TrafficKindByName(const std::string& name, TrafficKind* out);
+
+struct TrafficConfig {
+  TrafficKind kind = TrafficKind::kPoisson;
+  uint64_t seed = 1;
+  uint64_t requests = 1000;       // total requests to generate
+  uint32_t tenants = 4;           // tenant ids assigned uniformly at random
+  // Open-loop knobs.
+  uint64_t rate_per_mcycle = 50;  // mean arrivals per 1M cycles (Poisson)
+  uint64_t burst_period_cycles = 200000;
+  uint32_t burst_size = 32;
+  // Closed-loop knobs.
+  uint32_t closed_clients = 8;
+  uint64_t think_cycles = 20000;
+};
+
+// One request flowing through the control plane.
+struct Request {
+  uint64_t id = 0;
+  uint32_t tenant = 0;
+  uint32_t tier = 0;             // index into ServeConfig::tiers
+  uint64_t arrive_cycles = 0;
+  uint32_t client = 0;           // closed-loop issuer (0 for open-loop)
+};
+
+// Deterministic synthetic traffic. Arrival times are fixed by (kind,
+// seed, config) alone for open-loop shapes; closed-loop arrivals react
+// to completions (OnComplete schedules the client's next issue).
+class TrafficGen {
+ public:
+  explicit TrafficGen(const TrafficConfig& cfg);
+
+  // Cycle of the soonest pending arrival, or ~0ull when none is
+  // currently scheduled (drained, or closed-loop with every client
+  // waiting on an in-flight request).
+  uint64_t NextArrival() const;
+  // True once every request has been generated.
+  bool Drained() const { return issued_ >= cfg_.requests; }
+  // Pops the next arrival if it is due at `now`.
+  bool Pop(uint64_t now, Request* out);
+  // Completion/shed feedback (closed-loop re-arms the client; open-loop
+  // ignores it).
+  void OnComplete(const Request& r, uint64_t now);
+
+ private:
+  uint64_t ExpGap(uint64_t mean_cycles);
+  void ScheduleNextOpenLoop();
+
+  TrafficConfig cfg_;
+  fuzz::Rng rng_;
+  uint64_t issued_ = 0;
+  // Open-loop state.
+  uint64_t next_arrival_ = 0;
+  uint32_t burst_left_ = 0;       // arrivals remaining in the current batch
+  // Closed-loop state: per-client next issue time (~0 = in flight).
+  std::vector<uint64_t> client_next_;
+};
+
+// A QoS tier: the fault/limit policy applied to sandboxes serving the
+// tier's tenants, plus the latency SLO requests are judged against.
+struct QosTier {
+  std::string name = "default";
+  runtime::SupervisorPolicy policy;
+  uint64_t slo_cycles = 500000;  // arrival-to-completion target
+};
+
+struct AdmissionConfig {
+  uint32_t max_queue_depth = 64;  // arrivals beyond this are shed
+  bool shed_on_deadline = true;   // drop queued requests already past SLO
+};
+
+struct ServeConfig {
+  TrafficConfig traffic;
+  AdmissionConfig admission;
+  std::vector<QosTier> tiers;     // tenant t maps to tiers[t % size]
+  uint32_t max_concurrency = 8;   // in-flight request cap
+  uint32_t pool_min = 4;          // warm floor the sizer maintains
+  uint32_t pool_max = 64;         // warm ceiling (Evict above this)
+  uint64_t slice_insts = 20000;   // execution budget per Step
+  uint64_t max_steps = 10000000;  // livelock backstop for Run()
+  // Recycle healthy sandboxes back into the pool (default). When false,
+  // every sandbox serves exactly one request and is then retired, so a
+  // pid never carries state — chaos victimhood, tier history — across
+  // tenants (per-request isolation; the storm benches use this).
+  bool recycle_sandboxes = true;
+  // Called right after a sandbox is bound to a request (bench/test hook:
+  // e.g. chaos MarkVictim by tenant). Must be deterministic.
+  std::function<void(int pid, const Request&)> on_dispatch;
+};
+
+// Per-tenant outcome counts (bystander-SLO assertions key off these).
+struct TenantStats {
+  uint64_t offered = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;            // killed / nonzero exit
+  uint64_t slo_violations = 0;    // completed but later than the tier SLO
+};
+
+struct ServeReport {
+  uint64_t offered = 0;
+  uint64_t shed_queue = 0;        // dropped at arrival (queue full)
+  uint64_t shed_deadline = 0;     // dropped at dispatch (SLO already blown)
+  uint64_t dispatch_failures = 0; // no sandbox available (slot exhaustion)
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t slo_violations = 0;
+  uint64_t start_cycles = 0;
+  uint64_t end_cycles = 0;
+  uint64_t steps = 0;
+  bool aborted = false;           // Run() hit max_steps
+  std::vector<uint64_t> latencies;   // completed requests, arrival order
+  std::map<uint32_t, TenantStats> tenants;
+  // Pool counters at the end of the run (all zero for cold serving).
+  uint64_t warm_hits = 0, cold_spawns = 0, dead_parked = 0;
+  uint64_t recycles = 0, evictions = 0;
+  // FNV-1a over every per-request outcome (id, tenant, pid, latency,
+  // result); two runs with identical behavior have identical hashes.
+  uint64_t outcome_hash = 14695981039346656037ull;
+
+  uint64_t makespan() const { return end_cycles - start_cycles; }
+  // Completed requests per 1M simulated cycles.
+  double ThroughputPerMcycle() const;
+  // p in [0,100]; nearest-rank percentile of completed latencies.
+  uint64_t LatencyPercentile(double p) const;
+  // Canonical deterministic transcript (byte-comparable across runs).
+  std::string Format() const;
+};
+
+// The control plane. Warm mode serves from a SpawnPool; cold mode
+// instantiates `cold_image` per request (the baseline the pool is
+// benchmarked against). Exactly one of pool/cold_image is used.
+class Server {
+ public:
+  Server(runtime::Runtime* rt, ServeConfig cfg, runtime::SpawnPool* pool);
+  Server(runtime::Runtime* rt, ServeConfig cfg,
+         const elf::ElfImage* cold_image);
+
+  // One control-plane iteration: admit due arrivals, shed, dispatch up
+  // to the concurrency cap, execute a bounded slice, reap completions,
+  // resize the pool. Returns false once the run is complete.
+  bool Step();
+  // Steps until done (or max_steps). Returns the final report.
+  const ServeReport& Run();
+
+  bool Done() const;
+  const ServeReport& report() const { return report_; }
+  uint64_t queue_depth() const { return queue_.size(); }
+  uint64_t inflight() const { return inflight_.size(); }
+
+ private:
+  struct Inflight {
+    Request req;
+    uint64_t dispatch_cycles = 0;
+  };
+
+  void AdmitArrivals(uint64_t now);
+  void ShedExpired(uint64_t now);
+  void Dispatch(uint64_t now);
+  void Advance();
+  void Reap();
+  void ResizePool();
+  void Shed(const Request& r, bool deadline, uint64_t now);
+  void FinishRequest(const Inflight& inf, int pid);
+  void HashOutcome(uint64_t id, uint64_t tenant, uint64_t pid,
+                   uint64_t latency, uint64_t result);
+  uint32_t TierOf(uint32_t tenant) const {
+    return tiers_.empty() ? 0 : tenant % tiers_.size();
+  }
+
+  runtime::Runtime* rt_;
+  ServeConfig cfg_;
+  runtime::SpawnPool* pool_ = nullptr;          // warm mode
+  const elf::ElfImage* cold_image_ = nullptr;   // cold mode
+  std::vector<QosTier> tiers_;
+  TrafficGen traffic_;
+  std::deque<Request> queue_;
+  std::map<int, Inflight> inflight_;            // pid -> request
+  ServeReport report_;
+  bool started_ = false;
+};
+
+}  // namespace lfi::serve
+
+#endif  // LFI_SERVE_SERVE_H_

@@ -31,6 +31,7 @@ constexpr const char* kCounterNames[] = {
     "snapshot-restores",
     "snapshot-dirty-pages",
     "snapshot-spawns",
+    "recycles",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
               static_cast<size_t>(Counter::kCount));
@@ -41,6 +42,7 @@ constexpr const char* kEventKindNames[] = {
     "block-invalidate", "fault",     "proc-exit",
     "signal-deliver", "sigreturn", "proc-restart", "limit-hit",
     "chaos-inject",  "snapshot-restore", "snapshot-spawn",
+    "serve-dispatch", "serve-complete", "serve-shed",
 };
 static_assert(sizeof(kEventKindNames) / sizeof(kEventKindNames[0]) ==
               static_cast<size_t>(EventKind::kCount));

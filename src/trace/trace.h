@@ -57,6 +57,7 @@ enum class Counter : uint8_t {
   kSnapshotRestores,     // restore-from-snapshot operations on this sandbox
   kSnapshotDirtyPages,   // pages a restore actually had to re-install
   kSnapshotSpawns,       // sandboxes instantiated from a snapshot
+  kRecycles,             // exited sandboxes rolled back and re-parked
   kCount,
 };
 
@@ -123,6 +124,13 @@ enum class EventKind : uint8_t {
   kSnapshotRestore, // restore-from-snapshot; arg0 = dirty pages installed,
                     // arg1 = total snapshot pages
   kSnapshotSpawn,   // sandbox instantiated from a snapshot; arg0 = pages
+  kServeDispatch,   // serving layer handed a request to this sandbox;
+                    // arg0 = request id, arg1 = 1 if the sandbox came
+                    // from the warm pool, 0 if cold-instantiated
+  kServeComplete,   // request finished; arg0 = request id, arg1 = latency
+                    // in cycles
+  kServeShed,       // request shed by admission control (pid 0); arg0 =
+                    // request id, arg1 = 0 queue-full / 1 deadline
   kCount,
 };
 

@@ -1,0 +1,390 @@
+// Serving control-plane tests (src/serve/, docs/SERVING.md): SpawnPool
+// edge paths (empty-pool cold spawn, slot-exhausted prewarm, parked pids
+// killed behind the pool's back), recycle-and-repark, deterministic
+// traffic replay, queue-depth and deadline shedding, the warm-vs-cold
+// throughput gap, and storm chaos mid-serving leaving bystander tenants'
+// SLOs intact.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "pipeline_util.h"
+#include "runtime/layout.h"
+#include "runtime/runtime.h"
+#include "runtime/spawn_pool.h"
+#include "serve/serve.h"
+#include "trace/trace.h"
+
+namespace lfi::serve {
+namespace {
+
+using runtime::ExitKind;
+using runtime::Proc;
+using runtime::ProcState;
+using runtime::Runtime;
+using runtime::RuntimeConfig;
+using runtime::SpawnPool;
+
+RuntimeConfig TestConfig() {
+  RuntimeConfig cfg;
+  cfg.core = arch::AppleM1LikeParams();
+  return cfg;
+}
+
+// Request handler: spins a little (so chaos has retirements to inject
+// into), writes a byte, exits 0.
+const char* kServiceProg = R"(
+    movz x19, #2000
+  spin:
+    sub x19, x19, #1
+    cbnz x19, spin
+    adrp x1, msg
+    add x1, x1, :lo12:msg
+    mov x0, #1
+    mov x2, #2
+    rtcall #1
+    mov x0, #0
+    rtcall #0
+  .data
+  msg:
+    .asciz "ok"
+)";
+
+struct Pooled {
+  Runtime rt;
+  int seed_pid = -1;
+  std::shared_ptr<const snapshot::Snapshot> snap;
+  std::unique_ptr<SpawnPool> pool;
+
+  explicit Pooled(const std::string& src = kServiceProg,
+                  RuntimeConfig cfg = TestConfig())
+      : rt(cfg) {
+    auto elf = test::BuildElf(src);
+    EXPECT_TRUE(elf.ok()) << (elf.ok() ? "" : elf.error());
+    if (!elf.ok()) return;
+    auto p = rt.Load({elf->data(), elf->size()});
+    EXPECT_TRUE(p.ok()) << (p.ok() ? "" : p.error());
+    if (!p.ok()) return;
+    seed_pid = *p;
+    auto s = rt.CaptureSnapshot(seed_pid);
+    EXPECT_TRUE(s.ok()) << (s.ok() ? "" : s.error());
+    if (!s.ok()) return;
+    snap = std::make_shared<const snapshot::Snapshot>(*std::move(s));
+    // The template sandbox never serves; the pool owns instantiation.
+    EXPECT_TRUE(rt.Kill(seed_pid, "template").ok());
+    pool = std::make_unique<SpawnPool>(&rt, snap);
+  }
+};
+
+// ---- SpawnPool edge paths ------------------------------------------------
+
+TEST(SpawnPool, TakeOnEmptyPoolColdSpawns) {
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  auto pid = t.pool->Take();
+  ASSERT_TRUE(pid.ok()) << pid.error();
+  EXPECT_EQ(t.pool->warm_hits(), 0u);
+  EXPECT_EQ(t.pool->cold_spawns(), 1u);
+  EXPECT_EQ(t.pool->dead_parked(), 0u);
+  t.rt.RunUntilIdle();
+  EXPECT_EQ(t.rt.proc(*pid)->exit_kind, ExitKind::kExited);
+  EXPECT_EQ(t.rt.proc(*pid)->out, "ok");
+}
+
+TEST(SpawnPool, PrewarmStopsAtSlotExhaustion) {
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  // Eat every slot but two, then ask for five warm sandboxes: the pool
+  // must stop early and report only the two it actually created.
+  while (t.rt.slots_in_use() < runtime::kMaxSlots - 2) {
+    ASSERT_TRUE(t.rt.ReserveSlot().ok());
+  }
+  EXPECT_EQ(t.pool->Prewarm(5), 2);
+  EXPECT_EQ(t.pool->warm(), 2u);
+  // Fully exhausted: prewarm adds nothing, and Take's cold fallback
+  // cannot spawn either.
+  EXPECT_EQ(t.pool->Prewarm(5), 0);
+  auto a = t.pool->Take();
+  ASSERT_TRUE(a.ok());
+  auto b = t.pool->Take();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(t.pool->warm_hits(), 2u);
+  auto c = t.pool->Take();
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(SpawnPool, TakeAfterParkedKillPurgesAndServesLive) {
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  ASSERT_EQ(t.pool->Prewarm(2), 2);
+  const int doomed = t.pool->warm_pids().front();
+  ASSERT_TRUE(t.rt.Kill(doomed, "killed behind the pool's back").ok());
+  // warm() still over-reports until the pool notices.
+  EXPECT_EQ(t.pool->warm(), 2u);
+  auto pid = t.pool->Take();
+  ASSERT_TRUE(pid.ok()) << pid.error();
+  EXPECT_NE(*pid, doomed);
+  EXPECT_EQ(t.pool->warm_hits(), 1u);
+  EXPECT_EQ(t.pool->cold_spawns(), 0u);
+  EXPECT_EQ(t.pool->dead_parked(), 1u);
+  t.rt.RunUntilIdle();
+  EXPECT_EQ(t.rt.proc(*pid)->exit_kind, ExitKind::kExited);
+  EXPECT_EQ(t.rt.proc(*pid)->exit_status, 0);
+}
+
+TEST(SpawnPool, PrewarmPurgesDeadParkedAndRefills) {
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  ASSERT_EQ(t.pool->Prewarm(3), 3);
+  ASSERT_TRUE(t.rt.Kill(t.pool->warm_pids()[1], "mid-pool kill").ok());
+  // Prewarm purges the corpse first, so topping up to 3 adds exactly one
+  // and warm() counts only live parked sandboxes afterwards.
+  EXPECT_EQ(t.pool->Prewarm(3), 1);
+  EXPECT_EQ(t.pool->warm(), 3u);
+  EXPECT_EQ(t.pool->dead_parked(), 1u);
+  for (int k = 0; k < 3; ++k) {
+    auto pid = t.pool->Take();
+    ASSERT_TRUE(pid.ok());
+  }
+  EXPECT_EQ(t.pool->warm_hits(), 3u);
+  EXPECT_EQ(t.pool->cold_spawns(), 0u);
+}
+
+TEST(SpawnPool, RecycleReparksSamePidAndServesAgain) {
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  ASSERT_EQ(t.pool->Prewarm(1), 1);
+  auto pid = t.pool->Take();
+  ASSERT_TRUE(pid.ok());
+  t.rt.set_retain_on_exit(*pid, true);
+  t.rt.RunUntilIdle();
+  ASSERT_EQ(t.rt.proc(*pid)->state, ProcState::kZombie);
+  EXPECT_EQ(t.rt.proc(*pid)->out, "ok");
+
+  ASSERT_TRUE(t.pool->Recycle(*pid));
+  EXPECT_EQ(t.pool->warm(), 1u);
+  EXPECT_EQ(t.pool->recycles(), 1u);
+  EXPECT_TRUE(t.rt.proc(*pid)->out.empty());  // rolled back
+
+  auto again = t.pool->Take();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *pid);  // same pid, same slot
+  EXPECT_EQ(t.pool->warm_hits(), 2u);
+  t.rt.set_retain_on_exit(*pid, true);
+  t.rt.RunUntilIdle();
+  EXPECT_EQ(t.rt.proc(*pid)->state, ProcState::kZombie);
+  EXPECT_EQ(t.rt.proc(*pid)->out, "ok");
+}
+
+TEST(SpawnPool, EvictKillsParkedSandboxes) {
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  ASSERT_EQ(t.pool->Prewarm(4), 4);
+  const uint64_t slots_before = t.rt.slots_in_use();
+  EXPECT_EQ(t.pool->Evict(2), 2);
+  EXPECT_EQ(t.pool->warm(), 2u);
+  EXPECT_EQ(t.pool->evictions(), 2u);
+  EXPECT_EQ(t.rt.slots_in_use(), slots_before - 2);
+}
+
+// ---- Server behavior -----------------------------------------------------
+
+ServeConfig SmallServeConfig(TrafficKind kind, uint64_t seed,
+                             uint64_t requests) {
+  ServeConfig cfg;
+  cfg.traffic.kind = kind;
+  cfg.traffic.seed = seed;
+  cfg.traffic.requests = requests;
+  cfg.traffic.rate_per_mcycle = 200;
+  cfg.traffic.tenants = 4;
+  cfg.tiers.resize(1);
+  cfg.tiers[0].slo_cycles = 10000000;
+  cfg.admission.max_queue_depth = 128;
+  cfg.max_concurrency = 4;
+  cfg.pool_min = 2;
+  cfg.pool_max = 16;
+  return cfg;
+}
+
+TEST(Server, PoissonRunIsDeterministicPerSeed) {
+  std::string transcripts[2];
+  for (int run = 0; run < 2; ++run) {
+    Pooled t;
+    ASSERT_NE(t.pool, nullptr);
+    Server srv(&t.rt, SmallServeConfig(TrafficKind::kPoisson, 42, 60),
+               t.pool.get());
+    const ServeReport& rep = srv.Run();
+    EXPECT_FALSE(rep.aborted);
+    EXPECT_EQ(rep.completed, 60u);
+    EXPECT_EQ(rep.failed, 0u);
+    transcripts[run] = rep.Format();
+  }
+  EXPECT_EQ(transcripts[0], transcripts[1]);
+
+  // A different seed is a genuinely different run.
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  Server srv(&t.rt, SmallServeConfig(TrafficKind::kPoisson, 43, 60),
+             t.pool.get());
+  EXPECT_NE(srv.Run().Format(), transcripts[0]);
+}
+
+TEST(Server, BurstShedsOnQueueDepth) {
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  ServeConfig cfg = SmallServeConfig(TrafficKind::kBursty, 7, 64);
+  cfg.traffic.burst_size = 32;
+  cfg.traffic.burst_period_cycles = 500000;
+  cfg.admission.max_queue_depth = 4;
+  cfg.max_concurrency = 1;
+  Server srv(&t.rt, cfg, t.pool.get());
+  const ServeReport& rep = srv.Run();
+  EXPECT_FALSE(rep.aborted);
+  EXPECT_EQ(rep.offered, 64u);
+  EXPECT_GT(rep.shed_queue, 0u);
+  EXPECT_GT(rep.completed, 0u);
+  EXPECT_EQ(rep.offered,
+            rep.completed + rep.failed + rep.shed_queue + rep.shed_deadline +
+                rep.dispatch_failures);
+}
+
+TEST(Server, ShedsQueuedRequestsPastDeadline) {
+  RuntimeConfig rcfg = TestConfig();
+  rcfg.timeslice_insts = 1000;  // force multi-step in-flight handlers
+  Pooled t(kServiceProg, rcfg);
+  ASSERT_NE(t.pool, nullptr);
+  ServeConfig cfg = SmallServeConfig(TrafficKind::kBursty, 11, 64);
+  cfg.traffic.burst_size = 16;
+  cfg.traffic.burst_period_cycles = 400000;
+  cfg.admission.max_queue_depth = 64;
+  cfg.max_concurrency = 1;
+  cfg.slice_insts = 1000;
+  cfg.tiers[0].slo_cycles = 3000;  // far less than a burst's service time
+  Server srv(&t.rt, cfg, t.pool.get());
+  const ServeReport& rep = srv.Run();
+  EXPECT_FALSE(rep.aborted);
+  EXPECT_GT(rep.shed_deadline, 0u);
+  EXPECT_EQ(rep.offered,
+            rep.completed + rep.failed + rep.shed_queue + rep.shed_deadline +
+                rep.dispatch_failures);
+}
+
+TEST(Server, ClosedLoopServesEveryRequest) {
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  ServeConfig cfg = SmallServeConfig(TrafficKind::kClosed, 5, 40);
+  cfg.traffic.closed_clients = 4;
+  cfg.traffic.think_cycles = 5000;
+  Server srv(&t.rt, cfg, t.pool.get());
+  const ServeReport& rep = srv.Run();
+  EXPECT_FALSE(rep.aborted);
+  EXPECT_EQ(rep.offered, 40u);
+  // Closed-loop never overruns the server: nothing is shed.
+  EXPECT_EQ(rep.completed, 40u);
+  EXPECT_EQ(rep.shed_queue, 0u);
+  // Per-tenant accounting covers every request (clients map to tenants).
+  uint64_t tenant_total = 0;
+  for (const auto& [tenant, s] : rep.tenants) tenant_total += s.offered;
+  EXPECT_EQ(tenant_total, 40u);
+}
+
+TEST(Server, WarmPoolBeatsColdLoadPerRequest) {
+  const uint64_t kSeed = 99, kRequests = 80;
+  auto config = [&] {
+    ServeConfig cfg = SmallServeConfig(TrafficKind::kPoisson, kSeed,
+                                       kRequests);
+    cfg.traffic.rate_per_mcycle = 2000;  // saturating offered load
+    cfg.admission.shed_on_deadline = false;
+    return cfg;
+  };
+
+  Pooled warm;
+  ASSERT_NE(warm.pool, nullptr);
+  Server warm_srv(&warm.rt, config(), warm.pool.get());
+  const ServeReport warm_rep = warm_srv.Run();
+  ASSERT_FALSE(warm_rep.aborted);
+  EXPECT_EQ(warm_rep.completed, kRequests);
+  EXPECT_GT(warm_rep.warm_hits + warm_rep.cold_spawns, 0u);
+
+  Runtime cold_rt{TestConfig()};
+  auto elf = test::BuildElf(kServiceProg);
+  ASSERT_TRUE(elf.ok());
+  auto image = elf::Read({elf->data(), elf->size()});
+  ASSERT_TRUE(image.ok());
+  Server cold_srv(&cold_rt, config(), &*image);
+  const ServeReport cold_rep = cold_srv.Run();
+  ASSERT_FALSE(cold_rep.aborted);
+  EXPECT_EQ(cold_rep.completed, kRequests);
+
+  // Same offered load, same handler: serving from the warm pool must be
+  // decisively faster than paying an ELF load per request.
+  EXPECT_GT(warm_rep.ThroughputPerMcycle(),
+            2.0 * cold_rep.ThroughputPerMcycle())
+      << "warm=" << warm_rep.ThroughputPerMcycle()
+      << " cold=" << cold_rep.ThroughputPerMcycle();
+}
+
+TEST(Server, StormChaosLeavesBystanderTenantsClean) {
+  std::string transcripts[2];
+  for (int run = 0; run < 2; ++run) {
+    Pooled t;
+    ASSERT_NE(t.pool, nullptr);
+    trace::TraceSink sink;
+    t.rt.set_trace_sink(&sink);
+    chaos::ChaosEngine storm(1234, chaos::ProfileByName("storm"));
+    t.rt.set_chaos(&storm);
+    // Pin the victim set immediately (pid 0 never runs) so no early pid
+    // is auto-selected before the first tier-0 dispatch marks one.
+    storm.MarkVictim(0);
+
+    ServeConfig cfg = SmallServeConfig(TrafficKind::kPoisson, 77, 80);
+    // One request per sandbox: a pid marked as a victim for a tier-0
+    // request must never be reused for a bystander tenant.
+    cfg.recycle_sandboxes = false;
+    cfg.tiers.resize(2);
+    // Tier 0 (victim tenants): restart on fault, tiny backoff so the
+    // shared clock is not stalled on their behalf.
+    cfg.tiers[0].name = "victim";
+    cfg.tiers[0].policy.on_fault = runtime::FaultAction::kRestart;
+    cfg.tiers[0].policy.restart_budget = 3;
+    cfg.tiers[0].policy.restart_backoff_base_cycles = 100;
+    cfg.tiers[0].slo_cycles = 10000000;
+    cfg.tiers[1].name = "bystander";
+    cfg.tiers[1].slo_cycles = 10000000;
+    // Tenants 0 and 2 land in tier 0; only their sandboxes are victims.
+    cfg.on_dispatch = [&](int pid, const Request& r) {
+      if (r.tier == 0) storm.MarkVictim(pid);
+    };
+    Server srv(&t.rt, cfg, t.pool.get());
+    const ServeReport& rep = srv.Run();
+    EXPECT_FALSE(rep.aborted);
+
+    // The storm actually hit somebody.
+    uint64_t injections = 0;
+    for (const auto& [pid, m] : sink.all_metrics()) {
+      injections += m.Get(trace::Counter::kChaosInjections);
+    }
+    EXPECT_GT(injections, 0u);
+
+    // Bystander tenants (odd tenants -> tier 1) never fail and never
+    // miss their SLO, storm or not.
+    for (const auto& [tenant, s] : rep.tenants) {
+      if (tenant % 2 == 1) {
+        EXPECT_EQ(s.failed, 0u) << "tenant " << tenant;
+        EXPECT_EQ(s.slo_violations, 0u) << "tenant " << tenant;
+        EXPECT_GT(s.completed, 0u) << "tenant " << tenant;
+      }
+    }
+    transcripts[run] = rep.Format();
+    t.rt.set_trace_sink(nullptr);
+  }
+  // Storm-while-serving replays byte-identically for the same seeds.
+  EXPECT_EQ(transcripts[0], transcripts[1]);
+}
+
+}  // namespace
+}  // namespace lfi::serve

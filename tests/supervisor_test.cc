@@ -317,6 +317,77 @@ TEST(Supervisor, RestartBackoffGrowsAndIsCapped) {
   EXPECT_GE(t.rt.Cycles() - before, 4000u);
 }
 
+// A sandbox that spins well past the reset window before each fault:
+// long-lived tenant with a rare fault, not a crash loop.
+const char* kHealthyThenFaultProg = R"(
+    movz x19, #20000
+  spin:
+    sub x19, x19, #1
+    cbnz x19, spin
+    movz x1, #0x4000
+    add x18, x21, w1, uxtw
+    ldr x0, [x18]
+)";
+
+TEST(Supervisor, RestartBudgetDecaysAfterHealthyRun) {
+  // Regression: backoff/budget never reset, so a tenant faulting once a
+  // day burned restart budget like a crash loop. With the reset window
+  // below each incarnation's healthy runtime, the crash-window count
+  // must stay at one while lifetime restarts sail past the budget.
+  TestRun t(kHealthyThenFaultProg, /*rewrite=*/false);
+  ASSERT_GE(t.pid, 0);
+  SupervisorPolicy pol;
+  pol.on_fault = FaultAction::kRestart;
+  pol.restart_budget = 2;
+  pol.restart_backoff_base_cycles = 100;
+  pol.restart_reset_after_cycles = 1000;  // << one incarnation's cycles
+  t.rt.set_policy(t.pid, pol);
+  // Bounded run: the proc restarts forever now, which is the point.
+  t.rt.RunUntilIdle(/*max_total_insts=*/600000);
+  EXPECT_LE(t.P()->restarts, 1u);
+  EXPECT_GT(t.P()->total_restarts, pol.restart_budget);
+  EXPECT_NE(t.P()->exit_kind, ExitKind::kKilled);
+}
+
+TEST(Supervisor, RestartBudgetStillExhaustsWithDecayDisabled) {
+  // restart_reset_after_cycles = 0 keeps the legacy semantics: healthy
+  // incarnations don't matter, the budget only ever shrinks.
+  TestRun t(kHealthyThenFaultProg, /*rewrite=*/false);
+  ASSERT_GE(t.pid, 0);
+  SupervisorPolicy pol;
+  pol.on_fault = FaultAction::kRestart;
+  pol.restart_budget = 2;
+  pol.restart_backoff_base_cycles = 100;
+  pol.restart_reset_after_cycles = 0;
+  t.rt.set_policy(t.pid, pol);
+  t.rt.RunUntilIdle();
+  EXPECT_EQ(t.P()->restarts, 2u);
+  EXPECT_EQ(t.P()->total_restarts, 2u);
+  EXPECT_EQ(t.P()->exit_kind, ExitKind::kKilled);
+}
+
+TEST(Supervisor, RestartBackoffResetsWithBudget) {
+  // After a healthy run, the next fault pays base backoff again instead
+  // of continuing up the exponential curve.
+  TestRun t(kHealthyThenFaultProg, /*rewrite=*/false);
+  ASSERT_GE(t.pid, 0);
+  SupervisorPolicy pol;
+  pol.on_fault = FaultAction::kRestart;
+  pol.restart_budget = 8;
+  pol.restart_backoff_base_cycles = 50000;  // would double per restart
+  pol.restart_backoff_cap_cycles = 10000000;
+  pol.restart_reset_after_cycles = 1000;
+  t.rt.set_policy(t.pid, pol);
+  const uint64_t before = t.rt.Cycles();
+  t.rt.RunUntilIdle(/*max_total_insts=*/200000);
+  const uint32_t n = t.P()->total_restarts;
+  ASSERT_GE(n, 3u);
+  // Every restart charged base (shift 0). Without the reset the first
+  // four alone would charge 50k+100k+200k+400k = 750k cycles.
+  const uint64_t elapsed = t.rt.Cycles() - before;
+  EXPECT_LT(elapsed, 50000ull * n + 300000);
+}
+
 TEST(Supervisor, RestartPolicyRestartsForkedChildren) {
   // Regression: forked children have no ELF image of their own, and the
   // restart policy used to degrade to kill for them immediately. They now

@@ -26,23 +26,43 @@
 //   --snapshot-spawn=N    how many sandboxes to spawn from --snapshot-in
 //                         (default 1; they share pages copy-on-write)
 //
+// Serving (docs/SERVING.md): drive synthetic traffic through the handler
+// instead of running it once. The handler comes from --snapshot-in, or
+// from the first ELF's post-load checkpoint. The deterministic serving
+// transcript (ServeReport::Format) goes to stdout — identical flags
+// replay byte-identically, chaos included.
+//   --serve=N                 serve N requests, then report
+//   --serve-arrival=KIND      poisson|bursty|closed (default poisson)
+//   --serve-seed=N            traffic seed (default 1)
+//   --serve-rate=N            open-loop arrivals per 1M cycles
+//   --serve-tenants=N         tenant count (default 4)
+//   --serve-concurrency=N     in-flight request cap
+//   --serve-queue=N           admission queue depth (shed beyond it)
+//   --serve-pool=MIN:MAX      warm-pool sizing bounds
+//   --serve-slo=N             per-request latency SLO in cycles
+//   --serve-cold              cold-load the ELF per request (no pool)
+//
 // Usage: lfi-run [--no-verify] [--core=m1|t2a] [--stats] [--trace out.json]
 //                [--policy=...] [--chaos-seed=N] prog.elf [prog2.elf ...]
 //
 // Exit status: program's own status; 1 if a sandbox was killed, deadlocked,
 // or the verifier rejected an input (REJECT line mirrors lfi-verify);
-// 2 on usage/IO errors.
+// 2 on usage/IO errors. Serving mode: 0, or 1 if the run aborted.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "chaos/chaos.h"
 #include "runtime/runtime.h"
+#include "runtime/spawn_pool.h"
+#include "serve/serve.h"
 #include "snapshot/snapshot.h"
 #include "trace/trace.h"
 
@@ -54,6 +74,51 @@ bool U64Flag(const std::string& arg, const char* name, uint64_t* out) {
   if (arg.rfind(prefix, 0) != 0) return false;
   *out = std::strtoull(arg.c_str() + prefix.size(), nullptr, 0);
   return true;
+}
+
+// End-of-run footer shared by the run-once and serving paths: simulated
+// time, then the optional counter/verifier table and Chrome trace
+// (docs/OBSERVABILITY.md). Returns `rc` unchanged unless trace IO fails.
+int EmitFooter(lfi::runtime::Runtime& rt, lfi::trace::TraceSink& sink,
+               const lfi::runtime::RuntimeConfig& cfg, bool want_stats,
+               const char* trace_path, int rc) {
+  std::fprintf(stderr, "lfi-run: %.1f simulated us on %s\n",
+               rt.machine().timing().Nanoseconds() / 1000.0,
+               cfg.core.name.c_str());
+  if (want_stats) {
+    // Counter table + verifier stats go to stderr so program stdout stays
+    // clean for pipelines.
+    std::ostringstream ss;
+    sink.WriteStats(ss, lfi::runtime::RtcallName);
+    const auto& vs = rt.verify_stats();
+    char line[160];
+    snprintf(line, sizeof(line),
+             "verifier: %llu call(s), %llu insts checked, decode %.3f ms, "
+             "checks %.3f ms\n",
+             static_cast<unsigned long long>(vs.calls),
+             static_cast<unsigned long long>(vs.insts_checked),
+             vs.decode_seconds * 1e3, vs.check_seconds * 1e3);
+    ss << line;
+    for (size_t k = 0; k < vs.fail_counts.size(); ++k) {
+      if (k == 0 || vs.fail_counts[k] == 0) continue;
+      snprintf(line, sizeof(line), "  reject %-24s %llu\n",
+               lfi::verifier::FailKindName(
+                   static_cast<lfi::verifier::FailKind>(k)),
+               static_cast<unsigned long long>(vs.fail_counts[k]));
+      ss << line;
+    }
+    const std::string s = ss.str();
+    std::fwrite(s.data(), 1, s.size(), stderr);
+  }
+  if (trace_path != nullptr) {
+    std::ofstream tf(trace_path, std::ios::binary | std::ios::trunc);
+    if (!tf) {
+      std::fprintf(stderr, "lfi-run: cannot write %s\n", trace_path);
+      return 2;
+    }
+    sink.WriteChromeTrace(tf, cfg.core.ghz, lfi::runtime::RtcallName);
+  }
+  return rc;
 }
 
 }  // namespace
@@ -69,6 +134,11 @@ int main(int argc, char** argv) {
   std::string chaos_profile = "storm";
   std::string snapshot_out, snapshot_in;
   uint64_t snapshot_spawn = 1;
+  uint64_t serve_requests = 0;
+  std::string serve_arrival = "poisson", serve_pool_bounds;
+  uint64_t serve_seed = 1, serve_rate = 0, serve_tenants = 4;
+  uint64_t serve_concurrency = 0, serve_queue = 0, serve_slo = 0;
+  bool serve_cold = false;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
     uint64_t v = 0;
@@ -116,6 +186,19 @@ int main(int argc, char** argv) {
       snapshot_in = arg.substr(std::strlen("--snapshot-in="));
     } else if (U64Flag(arg, "--snapshot-spawn", &v)) {
       snapshot_spawn = v;
+    } else if (U64Flag(arg, "--serve", &serve_requests)) {
+    } else if (arg.rfind("--serve-arrival=", 0) == 0) {
+      serve_arrival = arg.substr(std::strlen("--serve-arrival="));
+    } else if (U64Flag(arg, "--serve-seed", &serve_seed)) {
+    } else if (U64Flag(arg, "--serve-rate", &serve_rate)) {
+    } else if (U64Flag(arg, "--serve-tenants", &serve_tenants)) {
+    } else if (U64Flag(arg, "--serve-concurrency", &serve_concurrency)) {
+    } else if (U64Flag(arg, "--serve-queue", &serve_queue)) {
+    } else if (arg.rfind("--serve-pool=", 0) == 0) {
+      serve_pool_bounds = arg.substr(std::strlen("--serve-pool="));
+    } else if (U64Flag(arg, "--serve-slo", &serve_slo)) {
+    } else if (arg == "--serve-cold") {
+      serve_cold = true;
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: lfi-run [--no-verify] [--core=m1|t2a] [--stats] "
@@ -128,6 +211,12 @@ int main(int argc, char** argv) {
                    "[--chaos-profile=none|memfault|syscall|sched|storm]\n"
                    "               [--snapshot-out=FILE] [--snapshot-in=FILE "
                    "[--snapshot-spawn=N]]\n"
+                   "               [--serve=N [--serve-arrival=poisson|bursty|"
+                   "closed] [--serve-seed=N]\n"
+                   "                [--serve-rate=N] [--serve-tenants=N] "
+                   "[--serve-concurrency=N]\n"
+                   "                [--serve-queue=N] [--serve-pool=MIN:MAX] "
+                   "[--serve-slo=N] [--serve-cold]]\n"
                    "               prog.elf [...]\n");
       return 0;
     } else {
@@ -156,6 +245,135 @@ int main(int argc, char** argv) {
   if (want_stats || trace_path != nullptr) rt.set_trace_sink(&sink);
   lfi::chaos::ChaosEngine chaos(chaos_seed, profile);
   if (chaos_enabled) rt.set_chaos(&chaos);
+
+  if (serve_requests > 0) {
+    lfi::serve::ServeConfig scfg;
+    scfg.traffic.requests = serve_requests;
+    scfg.traffic.seed = serve_seed;
+    scfg.traffic.tenants = static_cast<uint32_t>(serve_tenants);
+    if (!lfi::serve::TrafficKindByName(serve_arrival, &scfg.traffic.kind)) {
+      std::fprintf(stderr, "lfi-run: unknown arrival process '%s'\n",
+                   serve_arrival.c_str());
+      return 2;
+    }
+    if (serve_rate != 0) scfg.traffic.rate_per_mcycle = serve_rate;
+    if (serve_queue != 0) {
+      scfg.admission.max_queue_depth = static_cast<uint32_t>(serve_queue);
+    }
+    if (serve_concurrency != 0) {
+      scfg.max_concurrency = static_cast<uint32_t>(serve_concurrency);
+    }
+    if (!serve_pool_bounds.empty()) {
+      unsigned lo = 0, hi = 0;
+      if (std::sscanf(serve_pool_bounds.c_str(), "%u:%u", &lo, &hi) != 2 ||
+          lo > hi) {
+        std::fprintf(stderr, "lfi-run: --serve-pool wants MIN:MAX\n");
+        return 2;
+      }
+      scfg.pool_min = lo;
+      scfg.pool_max = hi;
+    }
+    // Every tenant serves under the CLI-configured fault policy and
+    // limits; --serve-slo overrides the default latency target.
+    lfi::serve::QosTier tier;
+    tier.policy = cfg.default_policy;
+    if (serve_slo != 0) tier.slo_cycles = serve_slo;
+    scfg.tiers.push_back(tier);
+
+    std::vector<uint8_t> bytes;
+    if (!paths.empty()) {
+      std::ifstream f(paths[0], std::ios::binary);
+      if (!f) {
+        std::fprintf(stderr, "lfi-run: cannot open %s\n", paths[0].c_str());
+        return 2;
+      }
+      bytes.assign((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+    }
+
+    lfi::elf::ElfImage cold_image;   // must outlive the Server in cold mode
+    std::unique_ptr<lfi::runtime::SpawnPool> pool;
+    std::optional<lfi::serve::Server> srv;
+    if (serve_cold) {
+      if (bytes.empty()) {
+        std::fprintf(stderr, "lfi-run: --serve-cold needs an executable\n");
+        return 2;
+      }
+      auto image = lfi::elf::Read({bytes.data(), bytes.size()});
+      if (!image) {
+        std::fprintf(stderr, "lfi-run: %s: %s\n", paths[0].c_str(),
+                     image.error().c_str());
+        return 2;
+      }
+      cold_image = std::move(*image);
+      srv.emplace(&rt, scfg, &cold_image);
+    } else {
+      std::shared_ptr<const lfi::snapshot::Snapshot> snap;
+      if (!snapshot_in.empty()) {
+        auto s = lfi::snapshot::ReadFile(snapshot_in);
+        if (!s) {
+          std::fprintf(stderr, "lfi-run: %s: %s\n", snapshot_in.c_str(),
+                       s.error().c_str());
+          return 2;
+        }
+        snap = std::make_shared<const lfi::snapshot::Snapshot>(std::move(*s));
+      } else if (!bytes.empty()) {
+        // Load the handler once, capture its post-load checkpoint as the
+        // pool image, and retire the template: every served sandbox is a
+        // fresh COW instantiation of that checkpoint.
+        auto pid = rt.Load({bytes.data(), bytes.size()});
+        if (!pid) {
+          const auto& vr = rt.last_verify_result();
+          if (!vr.ok) {
+            std::fprintf(stderr,
+                         "lfi-run: %s: REJECT (%s) at text offset 0x%llx: "
+                         "%s\n",
+                         paths[0].c_str(),
+                         lfi::verifier::FailKindName(vr.kind),
+                         static_cast<unsigned long long>(vr.fail_offset),
+                         vr.reason.c_str());
+            return 1;
+          }
+          std::fprintf(stderr, "lfi-run: %s: %s\n", paths[0].c_str(),
+                       pid.error().c_str());
+          return 2;
+        }
+        auto s = rt.CaptureSnapshot(*pid);
+        if (!s) {
+          std::fprintf(stderr, "lfi-run: snapshot capture failed: %s\n",
+                       s.error().c_str());
+          return 2;
+        }
+        if (!snapshot_out.empty()) {
+          if (auto st = lfi::snapshot::WriteFile(*s, snapshot_out);
+              !st.ok()) {
+            std::fprintf(stderr, "lfi-run: %s: %s\n", snapshot_out.c_str(),
+                         st.error().c_str());
+            return 2;
+          }
+        }
+        snap = std::make_shared<const lfi::snapshot::Snapshot>(std::move(*s));
+        rt.Kill(*pid, "serve: template retired");
+      } else {
+        std::fprintf(stderr,
+                     "lfi-run: --serve needs an executable or "
+                     "--snapshot-in\n");
+        return 2;
+      }
+      pool = std::make_unique<lfi::runtime::SpawnPool>(&rt, std::move(snap));
+      srv.emplace(&rt, scfg, pool.get());
+    }
+
+    const lfi::serve::ServeReport& rep = srv->Run();
+    const std::string transcript = rep.Format();
+    std::fwrite(transcript.data(), 1, transcript.size(), stdout);
+    if (rep.aborted) {
+      std::fprintf(stderr, "lfi-run: serving aborted after %llu steps\n",
+                   static_cast<unsigned long long>(rep.steps));
+    }
+    return EmitFooter(rt, sink, cfg, want_stats, trace_path,
+                      rep.aborted ? 1 : 0);
+  }
 
   std::vector<int> pids;
   std::vector<std::string> labels;  // per-pid display name for reporting
@@ -262,44 +480,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "lfi-run: %d process(es) deadlocked\n", leftover);
     rc = 1;
   }
-  std::fprintf(stderr, "lfi-run: %.1f simulated us on %s\n",
-               rt.machine().timing().Nanoseconds() / 1000.0,
-               cfg.core.name.c_str());
-
-  if (want_stats) {
-    // Counter table + verifier stats go to stderr so program stdout stays
-    // clean for pipelines.
-    {
-      std::ostringstream ss;
-      sink.WriteStats(ss, lfi::runtime::RtcallName);
-      const auto& vs = rt.verify_stats();
-      char line[160];
-      snprintf(line, sizeof(line),
-               "verifier: %llu call(s), %llu insts checked, decode %.3f ms, "
-               "checks %.3f ms\n",
-               static_cast<unsigned long long>(vs.calls),
-               static_cast<unsigned long long>(vs.insts_checked),
-               vs.decode_seconds * 1e3, vs.check_seconds * 1e3);
-      ss << line;
-      for (size_t k = 0; k < vs.fail_counts.size(); ++k) {
-        if (k == 0 || vs.fail_counts[k] == 0) continue;
-        snprintf(line, sizeof(line), "  reject %-24s %llu\n",
-                 lfi::verifier::FailKindName(
-                     static_cast<lfi::verifier::FailKind>(k)),
-                 static_cast<unsigned long long>(vs.fail_counts[k]));
-        ss << line;
-      }
-      const std::string s = ss.str();
-      std::fwrite(s.data(), 1, s.size(), stderr);
-    }
-  }
-  if (trace_path != nullptr) {
-    std::ofstream tf(trace_path, std::ios::binary | std::ios::trunc);
-    if (!tf) {
-      std::fprintf(stderr, "lfi-run: cannot write %s\n", trace_path);
-      return 2;
-    }
-    sink.WriteChromeTrace(tf, cfg.core.ghz, lfi::runtime::RtcallName);
-  }
-  return rc;
+  return EmitFooter(rt, sink, cfg, want_stats, trace_path, rc);
 }
