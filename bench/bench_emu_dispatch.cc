@@ -1,24 +1,72 @@
-// Emulator dispatch microbenchmark: block-cache dispatch vs the legacy
-// per-instruction decode path, plus the cost of attaching the tracing
-// counters.
+// Emulator dispatch microbenchmark: the chained backend (block chaining +
+// direct-threaded dispatch + memoized translation) vs the reference block
+// backend vs the legacy per-instruction decode path, plus the cost of
+// attaching the tracing counters.
 //
 // This is a *host-side* benchmark: it measures how fast the interpreter
 // itself retires simulated instructions (Minsts/s of wall-clock time), not
-// simulated cycles. Both dispatch modes execute the identical instruction
+// simulated cycles. All dispatch modes execute the identical instruction
 // stream and charge the identical Timing costs, so the simulated results
 // (exit status, cycles, retired instructions) must match bit-for-bit --
-// the benchmark asserts that before reporting the speedup. The tracing
-// section asserts the same bit-for-bit identity between counters-attached
-// and counters-detached runs (tracing must never perturb the simulation)
-// and reports the wall-clock cost of counting.
+// the benchmark asserts that before reporting any speedup, and separately
+// asserts that the full per-sandbox counter decomposition (guards, loads,
+// block-cache traffic, ...) is byte-identical between the chained and
+// reference backends. The tracing section asserts the same bit-for-bit
+// identity between counters-attached and counters-detached runs (tracing
+// must never perturb the simulation) and reports the wall-clock cost of
+// counting.
+//
+// The chained backend carries hard in-bench performance gates, measured
+// in the same process, on the same host, in the same run (gating on
+// in-run ratios rather than absolute Minsts/s from BENCH_BASELINE.json
+// keeps the gates meaningful across hosts of different speeds):
+//
+//   * >= kMinChainedVsStep over the per-instruction reference path. This
+//     is the ROADMAP's "raw interpreter speed" axis: PR 1's block cache
+//     bought 1.7-1.9x on it, and chaining + direct threading + memoized
+//     translation must push the cumulative speedup past 2x.
+//   * >= kMinChainedVsBlock over the reference block backend (the
+//     previous default dispatch), so the optimized backend can never
+//     silently regress below what it replaces.
+//
+// Why the second gate is not also 2x: the deterministic timing model
+// (Timing::Issue + the cache/TLB/predictor models) is, by the identity
+// contract, the same work in every backend, and it dominates runtime.
+// Ablating the model entirely caps the chained-vs-block ratio at ~1.5x
+// on this interpreter -- dispatch optimization alone cannot reach 2x
+// over a backend that already amortizes decode per block.
+//
+// Noise handling: each rep runs all modes back-to-back (order rotated per
+// rep), speedups are the *median of per-rep paired ratios* -- pairing
+// cancels common-mode host frequency drift, the median sheds outliers --
+// while the reported Minsts/s figures are best-of-N.
 
 #include "harness.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
 
 namespace lfi::bench {
 namespace {
 
-constexpr uint64_t kScale = 1500000;
-constexpr int kReps = 5;  // best-of-N to shed host scheduling noise
+constexpr uint64_t kScale = 4000000;
+constexpr int kReps = 9;
+
+// Hard gates (see header comment).
+constexpr double kMinChainedVsStep = 2.0;
+constexpr double kMinChainedVsBlock = 1.1;
+// Host throttle phases (frequency scaling, steal) compress the measured
+// chained/step ratio for minutes at a time — every rep of a section sits
+// in the same phase, so no per-rep statistic recovers. A gate miss
+// therefore re-measures the whole section; a semantic divergence never
+// retries.
+constexpr int kGateAttempts = 3;
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
 
 struct Sample {
   Outcome out;
@@ -42,73 +90,188 @@ void Accumulate(Sample& best, const Built& built, const arch::CoreParams& core,
   }
 }
 
-// Returns false if the two modes diverged semantically.
+bool SameSim(const Outcome& a, const Outcome& b) {
+  return a.status == b.status && a.cycles == b.cycles && a.insts == b.insts;
+}
+
+void PrintSim(const char* tag, const Outcome& o) {
+  std::printf("    %-8s status=%d cycles=%llu insts=%llu\n", tag, o.status,
+              static_cast<unsigned long long>(o.cycles),
+              static_cast<unsigned long long>(o.insts));
+}
+
+// Returns false if any two modes diverged semantically, or if the chained
+// backend missed a speedup gate (when gate_chained is set).
 bool Compare(const char* label, const char* slug, const Built& built,
-             const arch::CoreParams& core, bool verify, JsonReport* json) {
-  Sample block, step;
-  // Interleave reps so host frequency drift hits both modes equally.
-  for (int r = 0; r < kReps; ++r) {
-    Accumulate(block, built, core, verify, emu::Dispatch::kBlock);
-    Accumulate(step, built, core, verify, emu::Dispatch::kStep);
+             const arch::CoreParams& core, bool verify, bool gate_chained,
+             JsonReport* json) {
+  const emu::Dispatch kModes[3] = {emu::Dispatch::kBlock,
+                                   emu::Dispatch::kChained,
+                                   emu::Dispatch::kStep};
+  const int attempts = gate_chained ? kGateAttempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Sample step, block, chained;
+    std::vector<double> step_r, block_r, chained_r;
+    // Every rep runs all three modes back-to-back, order rotated per rep,
+    // so host frequency drift lands on all modes equally and the per-rep
+    // paired ratios cancel the common mode.
+    for (int r = 0; r < kReps; ++r) {
+      for (int m = 0; m < 3; ++m) {
+        const emu::Dispatch d = kModes[(r + m) % 3];
+        Sample* best = d == emu::Dispatch::kStep      ? &step
+                       : d == emu::Dispatch::kBlock   ? &block
+                                                      : &chained;
+        std::vector<double>* rates = d == emu::Dispatch::kStep    ? &step_r
+                                     : d == emu::Dispatch::kBlock ? &block_r
+                                                                  : &chained_r;
+        Outcome o = Run(built, core, verify, true, false, d);
+        if (!o.ok) {
+          std::printf("  %-16s ERROR %s\n", label, o.error.c_str());
+          return false;
+        }
+        const double rate =
+            static_cast<double>(o.insts) / o.host_seconds / 1e6;
+        rates->push_back(rate);
+        if (rate > best->minsts_per_sec) {
+          best->out = o;
+          best->minsts_per_sec = rate;
+        }
+      }
+    }
+    const bool same =
+        SameSim(block.out, step.out) && SameSim(block.out, chained.out);
+    std::vector<double> vs_step, vs_block;
+    for (int r = 0; r < kReps; ++r) {
+      vs_step.push_back(chained_r[r] / step_r[r]);
+      vs_block.push_back(chained_r[r] / block_r[r]);
+    }
+    const double chained_vs_step = Median(vs_step);
+    const double chained_vs_block = Median(vs_block);
+    std::printf(
+        "  %-16s step: %6.1f   block: %6.1f   chained: %6.1f Minsts/s   "
+        "chained/step: %.2fx   chained/block: %.2fx   semantics: %s\n",
+        label, step.minsts_per_sec, block.minsts_per_sec,
+        chained.minsts_per_sec, chained_vs_step, chained_vs_block,
+        same ? "identical" : "DIVERGED");
+    if (!same) {
+      PrintSim("step", step.out);
+      PrintSim("block", block.out);
+      PrintSim("chained", chained.out);
+      return false;
+    }
+    const bool gates_pass =
+        !gate_chained || (chained_vs_step >= kMinChainedVsStep &&
+                          chained_vs_block >= kMinChainedVsBlock);
+    if (!gates_pass && attempt < attempts - 1) {
+      std::printf("  %-16s gate miss (attempt %d/%d), re-measuring --"
+                  " host throttle suspected\n",
+                  label, attempt + 1, attempts);
+      continue;
+    }
+    const std::string prefix = std::string("emu_dispatch.") + slug + ".";
+    json->Add(prefix + "cycles", static_cast<double>(block.out.cycles));
+    json->Add(prefix + "step_minsts_per_s", step.minsts_per_sec);
+    json->Add(prefix + "block_minsts_per_s", block.minsts_per_sec);
+    json->Add(prefix + "chained_minsts_per_s", chained.minsts_per_sec);
+    json->Add(prefix + "block_speedup", Median([&] {
+                std::vector<double> v;
+                for (int r = 0; r < kReps; ++r)
+                  v.push_back(block_r[r] / step_r[r]);
+                return v;
+              }()));
+    json->Add(prefix + "chained_speedup_vs_step", chained_vs_step);
+    json->Add(prefix + "chained_speedup_vs_block", chained_vs_block);
+    if (gate_chained && chained_vs_step < kMinChainedVsStep) {
+      std::printf("  %-16s GATE FAILED: chained/step %.2fx < required %.2fx\n",
+                  label, chained_vs_step, kMinChainedVsStep);
+      return false;
+    }
+    if (gate_chained && chained_vs_block < kMinChainedVsBlock) {
+      std::printf("  %-16s GATE FAILED: chained/block %.2fx < required %.2fx\n",
+                  label, chained_vs_block, kMinChainedVsBlock);
+      return false;
+    }
+    return true;
   }
-  if (!block.out.ok || !step.out.ok) {
-    std::printf("  %-16s ERROR %s%s\n", label, block.out.error.c_str(),
-                step.out.error.c_str());
+  return false;  // unreachable
+}
+
+// Per-sandbox counter decomposition must be byte-identical between the
+// chained and reference block backends: same guards, loads, stores,
+// block-cache hits/misses/invalidations, everything. One attached run
+// each (fresh sinks -- TraceSink accumulates across runs).
+bool CounterIdentity(const Built& built, const arch::CoreParams& core) {
+  trace::TraceSink block_sink, chained_sink;
+  Outcome a = Run(built, core, true, true, false, emu::Dispatch::kBlock,
+                  &block_sink);
+  Outcome b = Run(built, core, true, true, false, emu::Dispatch::kChained,
+                  &chained_sink);
+  if (!a.ok || !b.ok) {
+    std::printf("  counter identity ERROR %s%s\n", a.error.c_str(),
+                b.error.c_str());
     return false;
   }
-  const bool same = block.out.status == step.out.status &&
-                    block.out.cycles == step.out.cycles &&
-                    block.out.insts == step.out.insts;
-  const double speedup = block.minsts_per_sec / step.minsts_per_sec;
-  std::printf(
-      "  %-16s step: %7.1f Minsts/s   block: %7.1f Minsts/s   "
-      "speedup: %.2fx   semantics: %s\n",
-      label, step.minsts_per_sec, block.minsts_per_sec, speedup,
-      same ? "identical" : "DIVERGED");
-  if (!same) {
-    std::printf(
-        "    step  status=%d cycles=%llu insts=%llu\n"
-        "    block status=%d cycles=%llu insts=%llu\n",
-        step.out.status, static_cast<unsigned long long>(step.out.cycles),
-        static_cast<unsigned long long>(step.out.insts), block.out.status,
-        static_cast<unsigned long long>(block.out.cycles),
-        static_cast<unsigned long long>(block.out.insts));
+  const auto& ma = block_sink.all_metrics();
+  const auto& mb = chained_sink.all_metrics();
+  bool same = SameSim(a, b) && ma.size() == mb.size();
+  if (same) {
+    for (const auto& [pid, m] : ma) {
+      auto it = mb.find(pid);
+      if (it == mb.end() ||
+          std::memcmp(m.c.data(), it->second.c.data(), sizeof(m.c)) != 0 ||
+          std::memcmp(m.syscalls.data(), it->second.syscalls.data(),
+                      sizeof(m.syscalls)) != 0) {
+        same = false;
+        break;
+      }
+    }
   }
-  const std::string prefix = std::string("emu_dispatch.") + slug + ".";
-  json->Add(prefix + "cycles", static_cast<double>(block.out.cycles));
-  json->Add(prefix + "step_minsts_per_s", step.minsts_per_sec);
-  json->Add(prefix + "block_minsts_per_s", block.minsts_per_sec);
-  json->Add(prefix + "block_speedup", speedup);
+  std::printf("  %-16s chained vs block counters: %s\n", "counter identity",
+              same ? "byte-identical" : "DIVERGED");
+  if (!same) {
+    for (const auto& [pid, m] : ma) {
+      auto it = mb.find(pid);
+      if (it == mb.end()) continue;
+      for (size_t ci = 0; ci < m.c.size(); ++ci) {
+        if (m.c[ci] != it->second.c[ci]) {
+          std::printf("    pid %d %s: block=%llu chained=%llu\n", pid,
+                      trace::CounterName(static_cast<trace::Counter>(ci)),
+                      static_cast<unsigned long long>(m.c[ci]),
+                      static_cast<unsigned long long>(it->second.c[ci]));
+        }
+      }
+    }
+  }
   return same;
 }
 
-// Tracing overhead: the same build, block dispatch, with and without a
+// Tracing overhead: the same build and dispatch mode, with and without a
 // TraceSink attached. Simulated cycles/insts must be identical (tracing
-// charges nothing); only wall clock may move, and not by much.
-bool TraceOverhead(const Built& built, const arch::CoreParams& core,
+// charges nothing); only wall clock may move.
+bool TraceOverhead(const char* label, const char* slug, const Built& built,
+                   const arch::CoreParams& core, emu::Dispatch dispatch,
                    JsonReport* json) {
   Sample off, on;
   trace::TraceSink sink;
   for (int r = 0; r < kReps; ++r) {
-    Accumulate(off, built, core, true, emu::Dispatch::kBlock);
-    Accumulate(on, built, core, true, emu::Dispatch::kBlock, &sink);
+    Accumulate(off, built, core, true, dispatch);
+    Accumulate(on, built, core, true, dispatch, &sink);
   }
   if (!off.out.ok || !on.out.ok) {
     std::printf("  tracing          ERROR %s%s\n", off.out.error.c_str(),
                 on.out.error.c_str());
     return false;
   }
-  const bool same = off.out.status == on.out.status &&
-                    off.out.cycles == on.out.cycles &&
-                    off.out.insts == on.out.insts;
+  const bool same = SameSim(off.out, on.out);
   const double overhead_pct =
       100.0 * (off.minsts_per_sec / on.minsts_per_sec - 1.0);
   std::printf(
-      "  %-16s off: %8.1f Minsts/s   on: %8.1f Minsts/s   "
+      "  %-16s off: %6.1f Minsts/s   on: %6.1f Minsts/s   "
       "wall overhead: %+.1f%%   simulated cycles: %s\n",
-      "tracing (LFI O2)", off.minsts_per_sec, on.minsts_per_sec,
-      overhead_pct, same ? "identical" : "DIVERGED");
-  json->Add("emu_dispatch.trace.wall_overhead_pct", overhead_pct);
+      label, off.minsts_per_sec, on.minsts_per_sec, overhead_pct,
+      same ? "identical" : "DIVERGED");
+  const std::string prefix = std::string("emu_dispatch.trace.") + slug + ".";
+  json->Add(prefix + "wall_overhead_pct", overhead_pct);
   // One attached run's counter decomposition, for the JSON record.
   uint64_t guards = 0, retired = 0;
   for (const auto& [pid, m] : sink.all_metrics()) {
@@ -116,26 +279,29 @@ bool TraceOverhead(const Built& built, const arch::CoreParams& core,
     retired += m.Get(trace::Counter::kInstRetired);
   }
   // The sink accumulated across kReps identical runs.
-  json->Add("emu_dispatch.trace.retired_per_run",
-            static_cast<double>(retired / kReps));
-  json->Add("emu_dispatch.trace.guards_per_run",
-            static_cast<double>(guards / kReps));
+  json->Add(prefix + "retired_per_run", static_cast<double>(retired / kReps));
+  json->Add(prefix + "guards_per_run", static_cast<double>(guards / kReps));
   return same;
 }
 
 int RunAll(JsonReport* json) {
   const arch::CoreParams core = arch::AppleM1LikeParams();
-  std::printf("=== Emulator dispatch: block cache vs per-inst decode ===\n");
+  std::printf("=== Emulator dispatch: chained vs block vs per-inst ===\n");
   std::printf("coremark (scale %llu), %s core, best of %d runs\n",
               static_cast<unsigned long long>(kScale), core.name.c_str(),
               kReps);
   const std::string src = workloads::Generate("coremark", kScale);
   bool ok = true;
   ok &= Compare("native", "native", BuildLfi(src, Config::kNative), core,
-                false, json);
+                false, /*gate_chained=*/false, json);
   const Built o2 = BuildLfi(src, Config::kO2);
-  ok &= Compare("LFI O2", "lfi-o2", o2, core, true, json);
-  ok &= TraceOverhead(o2, core, json);
+  ok &= Compare("LFI O2", "lfi-o2", o2, core, true, /*gate_chained=*/true,
+                json);
+  ok &= CounterIdentity(o2, core);
+  ok &= TraceOverhead("tracing (block)", "block", o2, core,
+                      emu::Dispatch::kBlock, json);
+  ok &= TraceOverhead("tracing (chain)", "chained", o2, core,
+                      emu::Dispatch::kChained, json);
   ok &= json->Write();
   return ok ? 0 : 1;
 }

@@ -42,6 +42,7 @@ Status AddressSpace::Map(uint64_t addr, uint64_t len, uint8_t perms,
     NoteExec(p, perms);
   }
   ++generation_;
+  ++payload_epoch_;
   return Status::Ok();
 }
 
@@ -56,7 +57,10 @@ Status AddressSpace::Unmap(uint64_t addr, uint64_t len) {
     erased += pages_.erase(p);
     exec_pages_.erase(p);
   }
-  if (erased != 0) ++generation_;
+  if (erased != 0) {
+    ++generation_;
+    ++payload_epoch_;
+  }
   return Status::Ok();
 }
 
@@ -75,6 +79,7 @@ Status AddressSpace::Protect(uint64_t addr, uint64_t len, uint8_t perms) {
     NoteExec(p, perms);
   }
   ++generation_;
+  ++payload_epoch_;
   return Status::Ok();
 }
 
@@ -99,6 +104,9 @@ const AddressSpace::Page* AddressSpace::FindPage(uint64_t addr) const {
 uint8_t* AddressSpace::WritablePage(Page* page) {
   if (page->data.use_count() > 1) {
     page->data = std::make_shared<PageData>(*page->data);
+    // The payload pointer just changed; cached pointers to the old
+    // (shared) payload must not satisfy further accesses.
+    ++payload_epoch_;
   }
   return page->data->data();
 }
@@ -226,6 +234,9 @@ std::shared_ptr<AddressSpace::PageData> AddressSpace::ExportPage(
   const Page* page = FindPage(addr);
   if (page == nullptr) return nullptr;
   if (perms != nullptr) *perms = page->perms;
+  // The caller now shares the payload: the next write to this page must
+  // copy first, so any cached writable pointer to it goes stale here.
+  ++payload_epoch_;
   return page->data;
 }
 
@@ -238,6 +249,7 @@ Status AddressSpace::InstallPage(uint64_t addr,
   pages_[pageno] = Page{std::move(data), perms};
   NoteExec(pageno, perms);
   ++generation_;
+  ++payload_epoch_;
   return Status::Ok();
 }
 
@@ -253,6 +265,10 @@ void AddressSpace::CloneInto(AddressSpace* child) const {
   child->pages_ = pages_;  // shared_ptr copy: COW
   child->exec_pages_ = exec_pages_;
   ++child->generation_;
+  ++child->payload_epoch_;
+  // The parent's payloads are now shared too: its next write must copy,
+  // so its cached writable pointers are stale as well.
+  ++payload_epoch_;
 }
 
 Status AddressSpace::ShareRange(uint64_t src, uint64_t dst, uint64_t len) {
@@ -273,7 +289,24 @@ Status AddressSpace::ShareRange(uint64_t src, uint64_t dst, uint64_t len) {
     pages_[dpage] = std::move(src_page);
   }
   ++generation_;
+  ++payload_epoch_;
   return Status::Ok();
+}
+
+AddressSpace::PageProbe AddressSpace::ProbeDataPage(uint64_t pageno,
+                                                    bool want_write) {
+  auto it = pages_.find(pageno);
+  if (it == pages_.end()) return {};
+  Page& page = it->second;
+  PageProbe pr;
+  if (want_write && (page.perms & kPermWrite) != 0 &&
+      (page.perms & kPermExec) == 0) {
+    // Resolve rw first: a COW here replaces the payload, and ro must
+    // point at the fresh copy.
+    pr.rw = WritablePage(&page);
+  }
+  if ((page.perms & kPermRead) != 0) pr.ro = page.data->data();
+  return pr;
 }
 
 }  // namespace lfi::emu

@@ -159,10 +159,34 @@ class AddressSpace {
   // and treat any change as "flush everything".
   uint64_t mutation_generation() const { return generation_; }
 
+  // Monotonic counter of events that can invalidate a cached raw page
+  // payload pointer: mapping/permission changes, payload replacement
+  // (COW), and sharing-state changes (ExportPage/CloneInto make a cached
+  // *writable* pointer unsafe, because the next write must copy first).
+  // The Machine's data TLB revalidates against this on every access.
+  // (In-place byte writes don't bump it: a cached pointer then still
+  // observes the current bytes, which is exactly the slow path's view.)
+  uint64_t payload_epoch() const { return payload_epoch_; }
+
   // Forces consumers to revalidate even though no mapping changed. Rarely
   // needed; exists so Machine::FlushDecodeCache keeps working for callers
   // that mutate page contents through a route this class cannot see.
-  void BumpGeneration() { ++generation_; }
+  void BumpGeneration() {
+    ++generation_;
+    ++payload_epoch_;
+  }
+
+  // Raw payload pointers for `pageno`, for the Machine's data TLB. ro is
+  // non-null iff the page is mapped readable; rw is resolved (copying if
+  // shared) only when want_write is set and the page is writable and
+  // non-executable — exec-page stores must keep taking the slow path so
+  // the mutation generation bumps. Pointers are valid until
+  // payload_epoch() next changes.
+  struct PageProbe {
+    const uint8_t* ro = nullptr;
+    uint8_t* rw = nullptr;
+  };
+  PageProbe ProbeDataPage(uint64_t pageno, bool want_write);
 
   // Attaches (or detaches, with nullptr) an access trace: every guest
   // Read/Write attempt is recorded into it before permission checking.
@@ -177,7 +201,8 @@ class AddressSpace {
   };
 
   const Page* FindPage(uint64_t addr) const;
-  // Returns a writable pointer to the page's data, copying if shared.
+  // Returns a writable pointer to the page's data, copying if shared (a
+  // copy replaces the payload pointer, so it bumps payload_epoch_).
   uint8_t* WritablePage(Page* page);
   // Records pageno's executability and returns true if `perms` is exec.
   void NoteExec(uint64_t pageno, uint8_t perms);
@@ -196,6 +221,10 @@ class AddressSpace {
   // Protect detect exec transitions.
   std::unordered_set<uint64_t> exec_pages_;
   uint64_t generation_ = 0;
+  // See payload_epoch(). Mutable because const operations can change
+  // sharing state (ExportPage, CloneInto's parent side): they don't alter
+  // this space's contents, but they do invalidate cached rw pointers.
+  mutable uint64_t payload_epoch_ = 0;
 };
 
 }  // namespace lfi::emu

@@ -1,0 +1,48 @@
+#include "emu/backend.h"
+
+namespace lfi::emu {
+
+// The backend classes only forward to private Machine methods (they are
+// befriended in machine.h); all real logic lives in machine.cc and
+// backend_chained.cc next to the state it touches.
+
+class StepBackend final : public EmuBackend {
+ public:
+  const char* name() const override { return "step"; }
+  StopReason Run(Machine* m, uint64_t max_instructions) const override {
+    return m->RunSteps(max_instructions);
+  }
+};
+
+class BlockBackend final : public EmuBackend {
+ public:
+  const char* name() const override { return "block"; }
+  StopReason Run(Machine* m, uint64_t max_instructions) const override {
+    return m->RunBlocks(max_instructions);
+  }
+};
+
+class ChainedBackend final : public EmuBackend {
+ public:
+  const char* name() const override { return "chained"; }
+  StopReason Run(Machine* m, uint64_t max_instructions) const override {
+    return m->RunChained(max_instructions);
+  }
+};
+
+const EmuBackend& BackendFor(Dispatch d) {
+  static const StepBackend step;
+  static const BlockBackend block;
+  static const ChainedBackend chained;
+  switch (d) {
+    case Dispatch::kStep:
+      return step;
+    case Dispatch::kBlock:
+      return block;
+    case Dispatch::kChained:
+      return chained;
+  }
+  return chained;
+}
+
+}  // namespace lfi::emu

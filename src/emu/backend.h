@@ -1,0 +1,40 @@
+// Pluggable execution backends for the emulated CPU.
+//
+// Machine::Run() routes through this small strategy interface so an
+// optimized interpreter can sit beside the reference one and be compared
+// against it instruction-for-instruction (bench_emu_dispatch asserts
+// byte-identical counters and traces; lfi-fuzz's chained differential
+// mode diffs full architectural state). Backends are stateless
+// process-wide singletons: all mutable state (decode caches, chain
+// links, the data TLB) lives in the Machine, so one backend instance
+// serves every Machine and switching dispatch modes between runs is
+// always safe.
+//
+// Adding a backend: add a Dispatch enumerator (machine.h), implement
+// EmuBackend in a new src/emu/backend_*.cc (typically via a private
+// Machine method, befriended in machine.h), register it in BackendFor
+// (backend.cc), and extend the identity gates listed in docs/DISPATCH.md.
+#ifndef LFI_EMU_BACKEND_H_
+#define LFI_EMU_BACKEND_H_
+
+#include <cstdint>
+
+#include "emu/machine.h"
+
+namespace lfi::emu {
+
+class EmuBackend {
+ public:
+  virtual ~EmuBackend() = default;
+  virtual const char* name() const = 0;
+  // Executes up to max_instructions on m; same contract as Machine::Run
+  // (which handles the retired-counter delta before delegating here).
+  virtual StopReason Run(Machine* m, uint64_t max_instructions) const = 0;
+};
+
+// The process-wide backend implementing dispatch mode d.
+const EmuBackend& BackendFor(Dispatch d);
+
+}  // namespace lfi::emu
+
+#endif  // LFI_EMU_BACKEND_H_

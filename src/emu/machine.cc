@@ -1,127 +1,24 @@
 #include "emu/machine.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
-#include <cstring>
 #include <limits>
 
 #include "arch/decode.h"
+#include "emu/backend.h"
+#include "emu/machine_internal.h"
 
 namespace lfi::emu {
 
-namespace {
-
-using arch::AddrMode;
-using arch::Cond;
-using arch::Extend;
 using arch::FpSize;
 using arch::Inst;
 using arch::InstCost;
 using arch::Mn;
 using arch::Reg;
-using arch::Shift;
 using arch::Width;
+using namespace internal;
 
-// Scoreboard index for a register operand (-1 = no dependency).
-int SIdx(Reg r) {
-  if (r.IsNone() || r.IsZr()) return -1;
-  if (r.IsSp()) return Timing::kSpIdx;
-  return r.id();
-}
-
-uint64_t MaskW(uint64_t v, Width w) {
-  return w == Width::kW ? (v & 0xffffffffu) : v;
-}
-
-uint64_t ShiftVal(uint64_t v, Shift s, unsigned amt, Width w) {
-  const unsigned bits = w == Width::kX ? 64 : 32;
-  v = MaskW(v, w);
-  if (amt == 0 && s != Shift::kRor) return v;
-  switch (s) {
-    case Shift::kLsl:
-      return MaskW(amt >= bits ? 0 : v << amt, w);
-    case Shift::kLsr:
-      return amt >= bits ? 0 : v >> amt;
-    case Shift::kAsr: {
-      const int64_t sv = w == Width::kX
-                             ? static_cast<int64_t>(v)
-                             : static_cast<int64_t>(static_cast<int32_t>(v));
-      return MaskW(static_cast<uint64_t>(sv >> (amt >= bits ? bits - 1 : amt)),
-                   w);
-    }
-    case Shift::kRor:
-      amt %= bits;
-      if (amt == 0) return v;
-      return MaskW((v >> amt) | (v << (bits - amt)), w);
-  }
-  return v;
-}
-
-uint64_t ExtendVal(uint64_t v, Extend e, unsigned amt) {
-  switch (e) {
-    case Extend::kUxtb: v &= 0xff; break;
-    case Extend::kUxth: v &= 0xffff; break;
-    case Extend::kUxtw: v &= 0xffffffff; break;
-    case Extend::kUxtx: break;
-    case Extend::kSxtb:
-      v = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(v)));
-      break;
-    case Extend::kSxth:
-      v = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int16_t>(v)));
-      break;
-    case Extend::kSxtw:
-      v = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(v)));
-      break;
-    case Extend::kSxtx:
-      break;
-  }
-  return v << amt;
-}
-
-bool EvalCond(const CpuState& s, Cond c) {
-  switch (c) {
-    case Cond::kEq: return s.z;
-    case Cond::kNe: return !s.z;
-    case Cond::kHs: return s.c;
-    case Cond::kLo: return !s.c;
-    case Cond::kMi: return s.n;
-    case Cond::kPl: return !s.n;
-    case Cond::kVs: return s.v;
-    case Cond::kVc: return !s.v;
-    case Cond::kHi: return s.c && !s.z;
-    case Cond::kLs: return !s.c || s.z;
-    case Cond::kGe: return s.n == s.v;
-    case Cond::kLt: return s.n != s.v;
-    case Cond::kGt: return !s.z && s.n == s.v;
-    case Cond::kLe: return s.z || s.n != s.v;
-    case Cond::kAl: return true;
-  }
-  return true;
-}
-
-// a + b + carry with NZCV, in the given width.
-uint64_t AddWithFlags(uint64_t a, uint64_t b, bool carry, Width w,
-                      CpuState* s) {
-  if (w == Width::kW) {
-    const uint32_t a32 = static_cast<uint32_t>(a);
-    const uint32_t b32 = static_cast<uint32_t>(b);
-    const uint64_t wide = uint64_t{a32} + b32 + (carry ? 1 : 0);
-    const uint32_t r = static_cast<uint32_t>(wide);
-    s->n = (r >> 31) & 1;
-    s->z = r == 0;
-    s->c = (wide >> 32) != 0;
-    s->v = (~(a32 ^ b32) & (a32 ^ r)) >> 31;
-    return r;
-  }
-  const uint64_t r = a + b + (carry ? 1 : 0);
-  s->n = (r >> 63) & 1;
-  s->z = r == 0;
-  // Carry-out of a 64-bit add.
-  s->c = (r < a) || (carry && r == a);
-  s->v = ((~(a ^ b) & (a ^ r)) >> 63) & 1;
-  return r;
-}
+namespace {
 
 // True for instructions that end a decoded basic block: anything that can
 // redirect PC or stop execution. Everything else falls through to pc+4.
@@ -143,13 +40,6 @@ constexpr size_t kMaxBlockInsts = 256;
 // Backstop against unbounded cache growth across many sandboxes.
 constexpr size_t kMaxCachedBlocks = size_t{1} << 15;
 
-double BitsToF64(uint64_t b) { return std::bit_cast<double>(b); }
-uint64_t F64ToBits(double d) { return std::bit_cast<uint64_t>(d); }
-float BitsToF32(uint64_t b) {
-  return std::bit_cast<float>(static_cast<uint32_t>(b));
-}
-uint64_t F32ToBits(float f) { return std::bit_cast<uint32_t>(f); }
-
 }  // namespace
 
 Machine::Machine(AddressSpace* mem, const arch::CoreParams& params)
@@ -167,21 +57,10 @@ void Machine::ClearCaches() {
   block_cache_.clear();
   decode_cache_.clear();
   std::fill(block_lut_.begin(), block_lut_.end(), BlockLutEntry{});
-}
-
-uint64_t Machine::ReadReg(Reg r) const {
-  if (r.IsZr() || r.IsNone()) return 0;
-  if (r.IsSp()) return state_.sp;
-  return state_.x[r.id()];
-}
-
-void Machine::WriteReg(Reg r, uint64_t v) {
-  if (r.IsZr() || r.IsNone()) return;
-  if (r.IsSp()) {
-    state_.sp = v;
-    return;
-  }
-  state_.x[r.id()] = v;
+  // Every chain link pointed into block_cache_ nodes that no longer
+  // exist; the bump tells an in-flight link resolution not to write into
+  // a destroyed predecessor.
+  ++cache_clears_;
 }
 
 // Legacy per-instruction fetch path (Dispatch::kStep). Executability is
@@ -268,28 +147,44 @@ const Machine::Block* Machine::FetchBlock(uint64_t pc) {
         {*inst, arch::CostOf(*inst, timing_.params()), ClassifyInst(*inst)});
     if (EndsBlock(inst->mn) || b.insts.size() >= kMaxBlockInsts) break;
   }
-  if (counters_ != nullptr) ++counters_->block_misses;
-  if (block_cache_.size() >= kMaxCachedBlocks) {
-    block_cache_.clear();
-    std::fill(block_lut_.begin(), block_lut_.end(), BlockLutEntry{});
+  // Record the static successor PCs the chained backend links through.
+  // Only direct control flow is chainable; br/blr/ret targets are data-
+  // dependent and stopping instructions have no successor.
+  const Inst& last = b.insts.back().inst;
+  const uint64_t last_pc = pc + 4 * (b.insts.size() - 1);
+  switch (last.mn) {
+    case Mn::kB: case Mn::kBl:
+      b.branch_pc = last_pc + static_cast<uint64_t>(last.imm);
+      break;
+    case Mn::kBCond: case Mn::kCbz: case Mn::kCbnz:
+    case Mn::kTbz: case Mn::kTbnz:
+      b.branch_pc = last_pc + static_cast<uint64_t>(last.imm);
+      b.fall_pc = last_pc + 4;
+      break;
+    case Mn::kBr: case Mn::kBlr: case Mn::kRet:
+    case Mn::kBrk: case Mn::kSvc: case Mn::kMrs: case Mn::kMsr:
+      break;
+    default:
+      // Split block (size cap, page end, or undecodable next word):
+      // control falls through to the next address.
+      b.fall_pc = last_pc + 4;
+      break;
   }
+  if (counters_ != nullptr) ++counters_->block_misses;
+  if (block_cache_.size() >= kMaxCachedBlocks) ClearCaches();
   const Block* nb = &block_cache_.emplace(pc, std::move(b)).first->second;
   block_lut_[LutIndex(pc)] = {pc, nb};
   return nb;
 }
 
 StopReason Machine::Run(uint64_t max_instructions) {
-  if (counters_ == nullptr) {
-    return dispatch_ == Dispatch::kBlock ? RunBlocks(max_instructions)
-                                         : RunSteps(max_instructions);
-  }
+  const EmuBackend& be = BackendFor(dispatch_);
+  if (counters_ == nullptr) return be.Run(this, max_instructions);
   // Retired instructions are counted as a Timing delta around the whole
   // run rather than per instruction: Timing::Issue already increments its
   // own retire counter on the hot path, so this is exact and free.
   const uint64_t retired_before = timing_.Retired();
-  const StopReason r = dispatch_ == Dispatch::kBlock
-                           ? RunBlocks(max_instructions)
-                           : RunSteps(max_instructions);
+  const StopReason r = be.Run(this, max_instructions);
   counters_->retired += timing_.Retired() - retired_before;
   return r;
 }
@@ -394,746 +289,40 @@ bool Machine::ExecHooked(const Inst& i, const InstCost& cost) {
   return ok;
 }
 
+// Reference interpreter: one switch dispatch per instruction. The op
+// bodies live in exec_ops.inc, shared verbatim with the direct-threaded
+// chained backend (backend_chained.cc) so the two cannot diverge.
 bool Machine::ExecInst(const Inst& i, const InstCost& cost) {
   CpuState& s = state_;
   const Width w = i.width;
   uint64_t next_pc = s.pc + 4;
 
-  auto memfault = [&]() {
-    fault_ = {CpuFault::Kind::kMemory, s.pc, mem_->last_fault(), "data"};
-    stop_ = StopReason::kFault;
-    return false;
-  };
-
-  // Computes the effective address and (for writeback modes) the new base
-  // value of a load/store.
-  auto effaddr = [&](uint64_t* writeback) -> uint64_t {
-    const auto& m = i.mem;
-    const uint64_t base = ReadReg(m.base);
-    switch (m.mode) {
-      case AddrMode::kImm:
-        return base + static_cast<uint64_t>(m.imm);
-      case AddrMode::kPreIndex:
-        *writeback = base + static_cast<uint64_t>(m.imm);
-        return *writeback;
-      case AddrMode::kPostIndex:
-        *writeback = base + static_cast<uint64_t>(m.imm);
-        return base;
-      case AddrMode::kRegLsl:
-        return base + (ReadReg(m.index) << m.shift);
-      case AddrMode::kRegUxtw:
-        return base + ((ReadReg(m.index) & 0xffffffffu) << m.shift);
-      case AddrMode::kRegSxtw:
-        return base +
-               (static_cast<uint64_t>(static_cast<int64_t>(
-                    static_cast<int32_t>(ReadReg(m.index)))) << m.shift);
-    }
-    return base;
-  };
-
   switch (i.mn) {
-    // ---- ALU immediate ----
-    case Mn::kAddImm: case Mn::kSubImm: {
-      const uint64_t a = ReadReg(i.rn);
-      const uint64_t b = static_cast<uint64_t>(i.imm);
-      const uint64_t r =
-          MaskW(i.mn == Mn::kAddImm ? a + b : a - b, w);
-      WriteReg(i.rd, r);
-      const int srcs[] = {SIdx(i.rn)};
-      timing_.Issue(cost, srcs, 1, SIdx(i.rd));
-      break;
-    }
-    case Mn::kAddsImm: case Mn::kSubsImm: {
-      const uint64_t a = ReadReg(i.rn);
-      const uint64_t b = static_cast<uint64_t>(i.imm);
-      const uint64_t r = i.mn == Mn::kAddsImm
-                             ? AddWithFlags(a, b, false, w, &s)
-                             : AddWithFlags(a, ~b, true, w, &s);
-      WriteReg(i.rd, MaskW(r, w));
-      const int srcs[] = {SIdx(i.rn)};
-      const uint64_t done = timing_.Issue(cost, srcs, 1, SIdx(i.rd));
-      timing_.SetReady(Timing::kFlagsIdx, done);
-      break;
-    }
-    // ---- ALU register ----
-    case Mn::kAddReg: case Mn::kSubReg:
-    case Mn::kAddsReg: case Mn::kSubsReg: {
-      const uint64_t a = ReadReg(i.rn);
-      const uint64_t b = ShiftVal(ReadReg(i.rm), i.shift, i.shift_amount, w);
-      const bool sub = i.mn == Mn::kSubReg || i.mn == Mn::kSubsReg;
-      const bool flags = i.mn == Mn::kAddsReg || i.mn == Mn::kSubsReg;
-      uint64_t r;
-      if (flags) {
-        r = sub ? AddWithFlags(a, MaskW(~b, w), true, w, &s)
-                : AddWithFlags(a, b, false, w, &s);
-      } else {
-        r = sub ? a - b : a + b;
-      }
-      WriteReg(i.rd, MaskW(r, w));
-      const int srcs[] = {SIdx(i.rn), SIdx(i.rm)};
-      const uint64_t done = timing_.Issue(cost, srcs, 2, SIdx(i.rd));
-      if (flags) timing_.SetReady(Timing::kFlagsIdx, done);
-      break;
-    }
-    case Mn::kAndImm: case Mn::kAndsImm: case Mn::kOrrImm: case Mn::kEorImm:
-    case Mn::kAndReg: case Mn::kAndsReg: case Mn::kOrrReg:
-    case Mn::kEorReg: case Mn::kBicReg: {
-      const uint64_t a = MaskW(ReadReg(i.rn), w);
-      const bool immform = i.mn == Mn::kAndImm || i.mn == Mn::kAndsImm ||
-                           i.mn == Mn::kOrrImm || i.mn == Mn::kEorImm;
-      const uint64_t b =
-          immform ? static_cast<uint64_t>(i.imm)
-                  : ShiftVal(ReadReg(i.rm), i.shift, i.shift_amount, w);
-      uint64_t r = 0;
-      switch (i.mn) {
-        case Mn::kAndReg: case Mn::kAndsReg:
-        case Mn::kAndImm: case Mn::kAndsImm: r = a & b; break;
-        case Mn::kOrrReg: case Mn::kOrrImm: r = a | b; break;
-        case Mn::kEorReg: case Mn::kEorImm: r = a ^ b; break;
-        case Mn::kBicReg: r = a & ~b; break;
-        default: break;
-      }
-      r = MaskW(r, w);
-      WriteReg(i.rd, r);
-      const int srcs[] = {SIdx(i.rn), SIdx(i.rm)};
-      const uint64_t done = timing_.Issue(cost, srcs, 2, SIdx(i.rd));
-      if (i.mn == Mn::kAndsReg || i.mn == Mn::kAndsImm) {
-        s.n = w == Width::kX ? (r >> 63) & 1 : (r >> 31) & 1;
-        s.z = r == 0;
-        s.c = false;
-        s.v = false;
-        timing_.SetReady(Timing::kFlagsIdx, done);
-      }
-      break;
-    }
-    case Mn::kAddExt: case Mn::kSubExt: {
-      const uint64_t a = ReadReg(i.rn);
-      const uint64_t b = ExtendVal(ReadReg(i.rm), i.ext, i.shift_amount);
-      const uint64_t r = MaskW(i.mn == Mn::kAddExt ? a + b : a - b, w);
-      WriteReg(i.rd, r);
-      const int srcs[] = {SIdx(i.rn), SIdx(i.rm)};
-      timing_.Issue(cost, srcs, 2, SIdx(i.rd));
-      break;
-    }
-    // ---- Move wide ----
-    case Mn::kMovz:
-      WriteReg(i.rd, static_cast<uint64_t>(i.imm) << i.shift_amount);
-      timing_.Issue(cost, nullptr, 0, SIdx(i.rd));
-      break;
-    case Mn::kMovn:
-      WriteReg(i.rd,
-               MaskW(~(static_cast<uint64_t>(i.imm) << i.shift_amount), w));
-      timing_.Issue(cost, nullptr, 0, SIdx(i.rd));
-      break;
-    case Mn::kMovk: {
-      const uint64_t keep =
-          ~(uint64_t{0xffff} << i.shift_amount);
-      const uint64_t r = (ReadReg(i.rd) & keep) |
-                         (static_cast<uint64_t>(i.imm) << i.shift_amount);
-      WriteReg(i.rd, MaskW(r, w));
-      const int srcs[] = {SIdx(i.rd)};
-      timing_.Issue(cost, srcs, 1, SIdx(i.rd));
-      break;
-    }
-    // ---- Bitfield ----
-    case Mn::kUbfm: case Mn::kSbfm: {
-      const unsigned bits = w == Width::kX ? 64 : 32;
-      const uint64_t src = MaskW(ReadReg(i.rn), w);
-      uint64_t r;
-      unsigned field_top;  // position of the field's sign bit in the result
-      if (i.imms >= i.immr) {
-        const unsigned len = i.imms - i.immr + 1;
-        const uint64_t field =
-            (src >> i.immr) &
-            (len >= 64 ? ~uint64_t{0} : (uint64_t{1} << len) - 1);
-        r = field;
-        field_top = len - 1;
-      } else {
-        const unsigned len = i.imms + 1;
-        const uint64_t field =
-            src & (len >= 64 ? ~uint64_t{0} : (uint64_t{1} << len) - 1);
-        const unsigned pos = bits - i.immr;
-        r = field << pos;
-        field_top = pos + len - 1;
-      }
-      if (i.mn == Mn::kSbfm && ((r >> field_top) & 1)) {
-        // Sign-extend from the top of the copied field.
-        if (field_top < 63) r |= ~((uint64_t{1} << (field_top + 1)) - 1);
-      }
-      WriteReg(i.rd, MaskW(r, w));
-      const int srcs[] = {SIdx(i.rn)};
-      timing_.Issue(cost, srcs, 1, SIdx(i.rd));
-      break;
-    }
-    // ---- Multiply / divide ----
-    case Mn::kMadd: case Mn::kMsub: {
-      const uint64_t p = MaskW(ReadReg(i.rn), w) * MaskW(ReadReg(i.rm), w);
-      const uint64_t a = ReadReg(i.ra);
-      WriteReg(i.rd, MaskW(i.mn == Mn::kMadd ? a + p : a - p, w));
-      const int srcs[] = {SIdx(i.rn), SIdx(i.rm), SIdx(i.ra)};
-      timing_.Issue(cost, srcs, 3, SIdx(i.rd));
-      break;
-    }
-    case Mn::kSdiv: {
-      int64_t a, b;
-      if (w == Width::kX) {
-        a = static_cast<int64_t>(ReadReg(i.rn));
-        b = static_cast<int64_t>(ReadReg(i.rm));
-      } else {
-        a = static_cast<int32_t>(ReadReg(i.rn));
-        b = static_cast<int32_t>(ReadReg(i.rm));
-      }
-      int64_t r = 0;
-      if (b != 0) {
-        // INT_MIN / -1 overflows to INT_MIN per the architecture.
-        if (a == std::numeric_limits<int64_t>::min() && b == -1) {
-          r = a;
-        } else {
-          r = a / b;
-        }
-      }
-      WriteReg(i.rd, MaskW(static_cast<uint64_t>(r), w));
-      const int srcs[] = {SIdx(i.rn), SIdx(i.rm)};
-      timing_.Issue(cost, srcs, 2, SIdx(i.rd));
-      break;
-    }
-    case Mn::kUdiv: {
-      const uint64_t a = MaskW(ReadReg(i.rn), w);
-      const uint64_t b = MaskW(ReadReg(i.rm), w);
-      WriteReg(i.rd, b == 0 ? 0 : MaskW(a / b, w));
-      const int srcs[] = {SIdx(i.rn), SIdx(i.rm)};
-      timing_.Issue(cost, srcs, 2, SIdx(i.rd));
-      break;
-    }
-    case Mn::kUmulh: case Mn::kSmulh: {
-      const uint64_t a = ReadReg(i.rn);
-      const uint64_t b = ReadReg(i.rm);
-      uint64_t hi;
-      if (i.mn == Mn::kUmulh) {
-        hi = static_cast<uint64_t>(
-            (static_cast<unsigned __int128>(a) * b) >> 64);
-      } else {
-        hi = static_cast<uint64_t>(
-            (static_cast<__int128>(static_cast<int64_t>(a)) *
-             static_cast<int64_t>(b)) >> 64);
-      }
-      WriteReg(i.rd, hi);
-      const int srcs[] = {SIdx(i.rn), SIdx(i.rm)};
-      timing_.Issue(cost, srcs, 2, SIdx(i.rd));
-      break;
-    }
-    case Mn::kCcmp: case Mn::kCcmpImm: case Mn::kCcmn: case Mn::kCcmnImm: {
-      const bool immform = i.mn == Mn::kCcmpImm || i.mn == Mn::kCcmnImm;
-      const bool neg = i.mn == Mn::kCcmn || i.mn == Mn::kCcmnImm;
-      if (EvalCond(s, i.cond)) {
-        const uint64_t a = ReadReg(i.rn);
-        const uint64_t b =
-            immform ? static_cast<uint64_t>(i.imm) : ReadReg(i.rm);
-        if (neg) {
-          AddWithFlags(a, b, false, w, &s);
-        } else {
-          AddWithFlags(a, MaskW(~b, w), true, w, &s);
-        }
-      } else {
-        s.n = (i.nzcv >> 3) & 1;
-        s.z = (i.nzcv >> 2) & 1;
-        s.c = (i.nzcv >> 1) & 1;
-        s.v = i.nzcv & 1;
-      }
-      const int srcs[] = {SIdx(i.rn), SIdx(i.rm), Timing::kFlagsIdx};
-      const uint64_t done = timing_.Issue(cost, srcs, 3, -1);
-      timing_.SetReady(Timing::kFlagsIdx, done);
-      break;
-    }
-    case Mn::kExtr: {
-      const unsigned bits = w == Width::kX ? 64 : 32;
-      const uint64_t hi_val = MaskW(ReadReg(i.rn), w);
-      const uint64_t lo_val = MaskW(ReadReg(i.rm), w);
-      uint64_t r;
-      if (i.imms == 0) {
-        r = lo_val;
-      } else {
-        r = (lo_val >> i.imms) | (hi_val << (bits - i.imms));
-      }
-      WriteReg(i.rd, MaskW(r, w));
-      const int srcs[] = {SIdx(i.rn), SIdx(i.rm)};
-      timing_.Issue(cost, srcs, 2, SIdx(i.rd));
-      break;
-    }
-    // ---- Conditional select ----
-    case Mn::kCsel: case Mn::kCsinc: case Mn::kCsinv: case Mn::kCsneg: {
-      const bool take = EvalCond(s, i.cond);
-      uint64_t r;
-      if (take) {
-        r = ReadReg(i.rn);
-      } else {
-        const uint64_t m = ReadReg(i.rm);
-        switch (i.mn) {
-          case Mn::kCsel: r = m; break;
-          case Mn::kCsinc: r = m + 1; break;
-          case Mn::kCsinv: r = ~m; break;
-          default: r = ~m + 1; break;
-        }
-      }
-      WriteReg(i.rd, MaskW(r, w));
-      const int srcs[] = {SIdx(i.rn), SIdx(i.rm), Timing::kFlagsIdx};
-      timing_.Issue(cost, srcs, 3, SIdx(i.rd));
-      break;
-    }
-    // ---- Bit manipulation ----
-    case Mn::kClz: {
-      const uint64_t v = MaskW(ReadReg(i.rn), w);
-      const unsigned bits = w == Width::kX ? 64 : 32;
-      unsigned n = 0;
-      for (int b = bits - 1; b >= 0 && !((v >> b) & 1); --b) ++n;
-      WriteReg(i.rd, n);
-      const int srcs[] = {SIdx(i.rn)};
-      timing_.Issue(cost, srcs, 1, SIdx(i.rd));
-      break;
-    }
-    case Mn::kRbit: {
-      const uint64_t v = MaskW(ReadReg(i.rn), w);
-      const unsigned bits = w == Width::kX ? 64 : 32;
-      uint64_t r = 0;
-      for (unsigned b = 0; b < bits; ++b) {
-        if ((v >> b) & 1) r |= uint64_t{1} << (bits - 1 - b);
-      }
-      WriteReg(i.rd, r);
-      const int srcs[] = {SIdx(i.rn)};
-      timing_.Issue(cost, srcs, 1, SIdx(i.rd));
-      break;
-    }
-    case Mn::kRev: {
-      const uint64_t v = MaskW(ReadReg(i.rn), w);
-      const unsigned bytes = w == Width::kX ? 8 : 4;
-      uint64_t r = 0;
-      for (unsigned b = 0; b < bytes; ++b) {
-        r |= ((v >> (8 * b)) & 0xff) << (8 * (bytes - 1 - b));
-      }
-      WriteReg(i.rd, r);
-      const int srcs[] = {SIdx(i.rn)};
-      timing_.Issue(cost, srcs, 1, SIdx(i.rd));
-      break;
-    }
-    // ---- PC-relative ----
-    case Mn::kAdr:
-      WriteReg(i.rd, s.pc + static_cast<uint64_t>(i.imm));
-      timing_.Issue(cost, nullptr, 0, SIdx(i.rd));
-      break;
-    case Mn::kAdrp:
-      WriteReg(i.rd, (s.pc & ~uint64_t{0xfff}) + static_cast<uint64_t>(i.imm));
-      timing_.Issue(cost, nullptr, 0, SIdx(i.rd));
-      break;
-    // ---- Loads / stores ----
-    case Mn::kLdr: {
-      uint64_t wb = 0;
-      const uint64_t addr = effaddr(&wb);
-      auto v = mem_->Read(addr, i.msize);
-      if (!v) return memfault();
-      uint64_t r = *v;
-      if (i.msigned) {
-        const unsigned fbits = 8 * i.msize;
-        if ((r >> (fbits - 1)) & 1) r |= ~((uint64_t{1} << fbits) - 1);
-        r = MaskW(r, w);
-      }
-      WriteReg(i.rt, r);
-      if (i.mem.HasWriteback()) WriteReg(i.mem.base, wb);
-      const int srcs[] = {SIdx(i.mem.base), SIdx(i.mem.index)};
-      const uint64_t extra = timing_.MemoryExtra(addr, false);
-      const uint64_t done =
-          timing_.Issue(cost, srcs, 2, SIdx(i.rt), nullptr, 0, -1, extra);
-      if (i.mem.HasWriteback()) {
-        timing_.SetReady(SIdx(i.mem.base), done - cost.latency - extra + 1);
-      }
-      break;
-    }
-    case Mn::kStr: {
-      uint64_t wb = 0;
-      const uint64_t addr = effaddr(&wb);
-      if (!mem_->Write(addr, MaskW(ReadReg(i.rt), w), i.msize).ok()) {
-        return memfault();
-      }
-      if (i.mem.HasWriteback()) WriteReg(i.mem.base, wb);
-      const int srcs[] = {SIdx(i.mem.base), SIdx(i.mem.index), SIdx(i.rt)};
-      const uint64_t extra = timing_.MemoryExtra(addr, true);
-      const uint64_t done = timing_.Issue(
-          cost, srcs, 3, i.mem.HasWriteback() ? SIdx(i.mem.base) : -1,
-          nullptr, 0, -1, extra);
-      (void)done;
-      break;
-    }
-    case Mn::kLdp: {
-      uint64_t wb = 0;
-      const uint64_t addr = effaddr(&wb);
-      auto v1 = mem_->Read(addr, i.msize);
-      if (!v1) return memfault();
-      auto v2 = mem_->Read(addr + i.msize, i.msize);
-      if (!v2) return memfault();
-      WriteReg(i.rt, *v1);
-      WriteReg(i.rt2, *v2);
-      if (i.mem.HasWriteback()) WriteReg(i.mem.base, wb);
-      const int srcs[] = {SIdx(i.mem.base)};
-      const uint64_t extra = timing_.MemoryExtra(addr, false);
-      const uint64_t done =
-          timing_.Issue(cost, srcs, 1, SIdx(i.rt), nullptr, 0, -1, extra);
-      timing_.SetReady(SIdx(i.rt2), done);
-      if (i.mem.HasWriteback()) {
-        timing_.SetReady(SIdx(i.mem.base), done - cost.latency - extra + 1);
-      }
-      break;
-    }
-    case Mn::kStp: {
-      uint64_t wb = 0;
-      const uint64_t addr = effaddr(&wb);
-      if (!mem_->Write(addr, MaskW(ReadReg(i.rt), w), i.msize).ok()) {
-        return memfault();
-      }
-      if (!mem_->Write(addr + i.msize, MaskW(ReadReg(i.rt2), w), i.msize)
-               .ok()) {
-        return memfault();
-      }
-      if (i.mem.HasWriteback()) WriteReg(i.mem.base, wb);
-      const int srcs[] = {SIdx(i.mem.base), SIdx(i.rt), SIdx(i.rt2)};
-      const uint64_t extra = timing_.MemoryExtra(addr, true);
-      timing_.Issue(cost, srcs, 3,
-                    i.mem.HasWriteback() ? SIdx(i.mem.base) : -1, nullptr, 0,
-                    -1, extra);
-      break;
-    }
-    case Mn::kLdxr: case Mn::kLdar: {
-      const uint64_t addr = ReadReg(i.mem.base);
-      if (addr % i.msize != 0) {
-        fault_ = {CpuFault::Kind::kMemory, s.pc,
-                  {MemFault::Kind::kPermission, Access::kRead, addr},
-                  "unaligned exclusive"};
-        stop_ = StopReason::kFault;
-        return false;
-      }
-      auto v = mem_->Read(addr, i.msize);
-      if (!v) return memfault();
-      WriteReg(i.rt, *v);
-      if (i.mn == Mn::kLdxr) {
-        s.excl_valid = true;
-        s.excl_addr = addr;
-      }
-      const int srcs[] = {SIdx(i.mem.base)};
-      const uint64_t extra = timing_.MemoryExtra(addr, false);
-      timing_.Issue(cost, srcs, 1, SIdx(i.rt), nullptr, 0, -1, extra + 2);
-      break;
-    }
-    case Mn::kStxr: {
-      const uint64_t addr = ReadReg(i.mem.base);
-      if (s.excl_valid && s.excl_addr == addr) {
-        if (!mem_->Write(addr, MaskW(ReadReg(i.rt), w), i.msize).ok()) {
-          return memfault();
-        }
-        WriteReg(i.rs, 0);
-      } else {
-        WriteReg(i.rs, 1);
-      }
-      s.excl_valid = false;
-      const int srcs[] = {SIdx(i.mem.base), SIdx(i.rt)};
-      const uint64_t extra = timing_.MemoryExtra(addr, true);
-      timing_.Issue(cost, srcs, 2, SIdx(i.rs), nullptr, 0, -1, extra + 2);
-      break;
-    }
-    case Mn::kStlr: {
-      const uint64_t addr = ReadReg(i.mem.base);
-      if (!mem_->Write(addr, MaskW(ReadReg(i.rt), w), i.msize).ok()) {
-        return memfault();
-      }
-      const int srcs[] = {SIdx(i.mem.base), SIdx(i.rt)};
-      const uint64_t extra = timing_.MemoryExtra(addr, true);
-      timing_.Issue(cost, srcs, 2, -1, nullptr, 0, -1, extra + 2);
-      break;
-    }
-    case Mn::kLdrF: {
-      uint64_t wb = 0;
-      const uint64_t addr = effaddr(&wb);
-      VRegVal val;
-      if (i.msize <= 8) {
-        auto v = mem_->Read(addr, i.msize);
-        if (!v) return memfault();
-        val.lo = *v;
-      } else {
-        auto lo = mem_->Read(addr, 8);
-        if (!lo) return memfault();
-        auto hi = mem_->Read(addr + 8, 8);
-        if (!hi) return memfault();
-        val.lo = *lo;
-        val.hi = *hi;
-      }
-      s.vr[i.vt.id()] = val;
-      if (i.mem.HasWriteback()) WriteReg(i.mem.base, wb);
-      const int srcs[] = {SIdx(i.mem.base), SIdx(i.mem.index)};
-      const uint64_t extra = timing_.MemoryExtra(addr, false);
-      timing_.Issue(cost, srcs, 2, -1, nullptr, 0, i.vt.id(), extra);
-      break;
-    }
-    case Mn::kStrF: {
-      uint64_t wb = 0;
-      const uint64_t addr = effaddr(&wb);
-      const VRegVal& val = s.vr[i.vt.id()];
-      if (i.msize <= 8) {
-        if (!mem_->Write(addr, val.lo, i.msize).ok()) return memfault();
-      } else {
-        if (!mem_->Write(addr, val.lo, 8).ok()) return memfault();
-        if (!mem_->Write(addr + 8, val.hi, 8).ok()) return memfault();
-      }
-      if (i.mem.HasWriteback()) WriteReg(i.mem.base, wb);
-      const int srcs[] = {SIdx(i.mem.base), SIdx(i.mem.index)};
-      const int vsrcs[] = {i.vt.id()};
-      const uint64_t extra = timing_.MemoryExtra(addr, true);
-      timing_.Issue(cost, srcs, 2,
-                    i.mem.HasWriteback() ? SIdx(i.mem.base) : -1, vsrcs, 1,
-                    -1, extra);
-      break;
-    }
-    // ---- Branches ----
-    case Mn::kB:
-      next_pc = s.pc + static_cast<uint64_t>(i.imm);
-      timing_.Issue(cost, nullptr, 0, -1);
-      break;
-    case Mn::kBl:
-      WriteReg(Reg::X(30), s.pc + 4);
-      next_pc = s.pc + static_cast<uint64_t>(i.imm);
-      timing_.Issue(cost, nullptr, 0, 30);
-      break;
-    case Mn::kBCond: {
-      const bool taken = EvalCond(s, i.cond);
-      if (taken) next_pc = s.pc + static_cast<uint64_t>(i.imm);
-      const int srcs[] = {Timing::kFlagsIdx};
-      const uint64_t done = timing_.Issue(cost, srcs, 1, -1);
-      if (!timing_.predictor().PredictConditional(s.pc, taken)) {
-        timing_.Mispredict(done);
-      }
-      break;
-    }
-    case Mn::kCbz: case Mn::kCbnz: {
-      const uint64_t v = MaskW(ReadReg(i.rt), w);
-      const bool taken = (i.mn == Mn::kCbz) == (v == 0);
-      if (taken) next_pc = s.pc + static_cast<uint64_t>(i.imm);
-      const int srcs[] = {SIdx(i.rt)};
-      const uint64_t done = timing_.Issue(cost, srcs, 1, -1);
-      if (!timing_.predictor().PredictConditional(s.pc, taken)) {
-        timing_.Mispredict(done);
-      }
-      break;
-    }
-    case Mn::kTbz: case Mn::kTbnz: {
-      const bool bit = (ReadReg(i.rt) >> i.bit) & 1;
-      const bool taken = (i.mn == Mn::kTbnz) == bit;
-      if (taken) next_pc = s.pc + static_cast<uint64_t>(i.imm);
-      const int srcs[] = {SIdx(i.rt)};
-      const uint64_t done = timing_.Issue(cost, srcs, 1, -1);
-      if (!timing_.predictor().PredictConditional(s.pc, taken)) {
-        timing_.Mispredict(done);
-      }
-      break;
-    }
-    case Mn::kBr: case Mn::kBlr: case Mn::kRet: {
-      const uint64_t target = ReadReg(i.rn);
-      if (i.mn == Mn::kBlr) WriteReg(Reg::X(30), s.pc + 4);
-      next_pc = target;
-      const int srcs[] = {SIdx(i.rn)};
-      const uint64_t done =
-          timing_.Issue(cost, srcs, 1, i.mn == Mn::kBlr ? 30 : -1);
-      if (!timing_.predictor().PredictIndirect(s.pc, target)) {
-        timing_.Mispredict(done);
-      }
-      break;
-    }
-    // ---- Scalar FP ----
-    case Mn::kFadd: case Mn::kFsub: case Mn::kFmul: case Mn::kFdiv: {
-      const VRegVal& a = s.vr[i.vn.id()];
-      const VRegVal& b = s.vr[i.vm.id()];
-      uint64_t r;
-      if (i.fsize == FpSize::kD) {
-        double x = BitsToF64(a.lo), y = BitsToF64(b.lo), z = 0;
-        switch (i.mn) {
-          case Mn::kFadd: z = x + y; break;
-          case Mn::kFsub: z = x - y; break;
-          case Mn::kFmul: z = x * y; break;
-          default: z = x / y; break;
-        }
-        r = F64ToBits(z);
-      } else {
-        float x = BitsToF32(a.lo), y = BitsToF32(b.lo), z = 0;
-        switch (i.mn) {
-          case Mn::kFadd: z = x + y; break;
-          case Mn::kFsub: z = x - y; break;
-          case Mn::kFmul: z = x * y; break;
-          default: z = x / y; break;
-        }
-        r = F32ToBits(z);
-      }
-      s.vr[i.vd.id()] = {r, 0};
-      const int vsrcs[] = {i.vn.id(), i.vm.id()};
-      timing_.Issue(cost, nullptr, 0, -1, vsrcs, 2, i.vd.id());
-      break;
-    }
-    case Mn::kFsqrt: {
-      const VRegVal& a = s.vr[i.vn.id()];
-      uint64_t r = i.fsize == FpSize::kD
-                       ? F64ToBits(std::sqrt(BitsToF64(a.lo)))
-                       : F32ToBits(std::sqrt(BitsToF32(a.lo)));
-      s.vr[i.vd.id()] = {r, 0};
-      const int vsrcs[] = {i.vn.id()};
-      timing_.Issue(cost, nullptr, 0, -1, vsrcs, 1, i.vd.id());
-      break;
-    }
-    case Mn::kFmadd: {
-      const VRegVal& a = s.vr[i.vn.id()];
-      const VRegVal& b = s.vr[i.vm.id()];
-      const VRegVal& c = s.vr[i.va.id()];
-      uint64_t r = i.fsize == FpSize::kD
-                       ? F64ToBits(std::fma(BitsToF64(a.lo), BitsToF64(b.lo),
-                                            BitsToF64(c.lo)))
-                       : F32ToBits(std::fma(BitsToF32(a.lo), BitsToF32(b.lo),
-                                            BitsToF32(c.lo)));
-      s.vr[i.vd.id()] = {r, 0};
-      const int vsrcs[] = {i.vn.id(), i.vm.id(), i.va.id()};
-      timing_.Issue(cost, nullptr, 0, -1, vsrcs, 3, i.vd.id());
-      break;
-    }
-    case Mn::kFcmp: {
-      double x, y;
-      if (i.fsize == FpSize::kD) {
-        x = BitsToF64(s.vr[i.vn.id()].lo);
-        y = BitsToF64(s.vr[i.vm.id()].lo);
-      } else {
-        x = BitsToF32(s.vr[i.vn.id()].lo);
-        y = BitsToF32(s.vr[i.vm.id()].lo);
-      }
-      if (std::isnan(x) || std::isnan(y)) {
-        s.n = false; s.z = false; s.c = true; s.v = true;
-      } else if (x == y) {
-        s.n = false; s.z = true; s.c = true; s.v = false;
-      } else if (x < y) {
-        s.n = true; s.z = false; s.c = false; s.v = false;
-      } else {
-        s.n = false; s.z = false; s.c = true; s.v = false;
-      }
-      const int vsrcs[] = {i.vn.id(), i.vm.id()};
-      const uint64_t done =
-          timing_.Issue(cost, nullptr, 0, -1, vsrcs, 2, -1);
-      timing_.SetReady(Timing::kFlagsIdx, done);
-      break;
-    }
-    case Mn::kScvtf: {
-      const int64_t v = w == Width::kX
-                            ? static_cast<int64_t>(ReadReg(i.rn))
-                            : static_cast<int32_t>(ReadReg(i.rn));
-      uint64_t r = i.fsize == FpSize::kD
-                       ? F64ToBits(static_cast<double>(v))
-                       : F32ToBits(static_cast<float>(v));
-      s.vr[i.vd.id()] = {r, 0};
-      const int srcs[] = {SIdx(i.rn)};
-      timing_.Issue(cost, srcs, 1, -1, nullptr, 0, i.vd.id());
-      break;
-    }
-    case Mn::kFcvtzs: {
-      const double v = i.fsize == FpSize::kD
-                           ? BitsToF64(s.vr[i.vn.id()].lo)
-                           : BitsToF32(s.vr[i.vn.id()].lo);
-      int64_t r;
-      if (std::isnan(v)) {
-        r = 0;
-      } else if (w == Width::kX) {
-        r = v >= 9.2233720368547758e18
-                ? std::numeric_limits<int64_t>::max()
-                : (v <= -9.2233720368547758e18
-                       ? std::numeric_limits<int64_t>::min()
-                       : static_cast<int64_t>(v));
-      } else {
-        r = v >= 2147483647.0
-                ? 2147483647
-                : (v <= -2147483648.0 ? -2147483648
-                                      : static_cast<int32_t>(v));
-      }
-      WriteReg(i.rd, MaskW(static_cast<uint64_t>(r), w));
-      const int vsrcs[] = {i.vn.id()};
-      timing_.Issue(cost, nullptr, 0, SIdx(i.rd), vsrcs, 1, -1);
-      break;
-    }
-    case Mn::kFmov: {
-      if (!i.vd.IsNone() && !i.vn.IsNone()) {
-        s.vr[i.vd.id()] = {i.fsize == FpSize::kS
-                               ? (s.vr[i.vn.id()].lo & 0xffffffffu)
-                               : s.vr[i.vn.id()].lo,
-                           0};
-        const int vsrcs[] = {i.vn.id()};
-        timing_.Issue(cost, nullptr, 0, -1, vsrcs, 1, i.vd.id());
-      } else if (!i.rd.IsNone()) {
-        const uint64_t v = i.fsize == FpSize::kS
-                               ? (s.vr[i.vn.id()].lo & 0xffffffffu)
-                               : s.vr[i.vn.id()].lo;
-        WriteReg(i.rd, v);
-        const int vsrcs[] = {i.vn.id()};
-        timing_.Issue(cost, nullptr, 0, SIdx(i.rd), vsrcs, 1, -1);
-      } else {
-        const uint64_t v = MaskW(ReadReg(i.rn), w);
-        s.vr[i.vd.id()] = {v, 0};
-        const int srcs[] = {SIdx(i.rn)};
-        timing_.Issue(cost, srcs, 1, -1, nullptr, 0, i.vd.id());
-      }
-      break;
-    }
-    // ---- Vector ----
-    case Mn::kVAdd: case Mn::kVFadd: case Mn::kVFmul: {
-      const VRegVal& a = s.vr[i.vn.id()];
-      const VRegVal& b = s.vr[i.vm.id()];
-      VRegVal r;
-      if (i.mn == Mn::kVAdd) {
-        if (i.fsize == FpSize::kV4S) {
-          for (int lane = 0; lane < 2; ++lane) {
-            const uint64_t av = lane ? a.hi : a.lo;
-            const uint64_t bv = lane ? b.hi : b.lo;
-            const uint64_t lo32 = (av + bv) & 0xffffffffu;
-            const uint64_t hi32 =
-                (((av >> 32) + (bv >> 32)) & 0xffffffffu) << 32;
-            (lane ? r.hi : r.lo) = lo32 | hi32;
-          }
-        } else {
-          r.lo = a.lo + b.lo;
-          r.hi = a.hi + b.hi;
-        }
-      } else if (i.fsize == FpSize::kV4S) {
-        for (int lane = 0; lane < 4; ++lane) {
-          const uint64_t aw = lane < 2 ? a.lo : a.hi;
-          const uint64_t bw = lane < 2 ? b.lo : b.hi;
-          const unsigned sh = (lane % 2) * 32;
-          const float x = BitsToF32((aw >> sh) & 0xffffffffu);
-          const float y = BitsToF32((bw >> sh) & 0xffffffffu);
-          const float z = i.mn == Mn::kVFadd ? x + y : x * y;
-          uint64_t& out = lane < 2 ? r.lo : r.hi;
-          out |= (F32ToBits(z) & 0xffffffffu) << sh;
-        }
-      } else {
-        const double x0 = BitsToF64(a.lo), y0 = BitsToF64(b.lo);
-        const double x1 = BitsToF64(a.hi), y1 = BitsToF64(b.hi);
-        r.lo = F64ToBits(i.mn == Mn::kVFadd ? x0 + y0 : x0 * y0);
-        r.hi = F64ToBits(i.mn == Mn::kVFadd ? x1 + y1 : x1 * y1);
-      }
-      s.vr[i.vd.id()] = r;
-      const int vsrcs[] = {i.vn.id(), i.vm.id()};
-      timing_.Issue(cost, nullptr, 0, -1, vsrcs, 2, i.vd.id());
-      break;
-    }
-    // ---- System ----
-    case Mn::kNop:
-      timing_.Issue(cost, nullptr, 0, -1);
-      break;
-    case Mn::kBrk:
-      fault_ = {CpuFault::Kind::kIllegal, s.pc, {}, "brk"};
-      stop_ = StopReason::kBrk;
-      return false;
-    case Mn::kSvc: case Mn::kMrs: case Mn::kMsr:
-      // Sandboxed code must never contain these (the verifier rejects
-      // them); executing one is a hard fault.
-      fault_ = {CpuFault::Kind::kIllegal, s.pc, {}, arch::MnName(i)};
-      stop_ = StopReason::kFault;
-      return false;
+#define LFI_EMU_CASE(mn) case Mn::mn:
+#define EXEC_OP(...) LFI_EMU_MAP(LFI_EMU_CASE, __VA_ARGS__) {
+#define EXEC_OP_END \
+  }                 \
+  break;
+#define EXEC_READ(addr, size) mem_->Read((addr), (size))
+#define EXEC_WRITE(addr, value, size) mem_->Write((addr), (value), (size)).ok()
+#define EXEC_MEMFAULT() return MemFaultStop()
+#define EXEC_STOP() return false
+#define EXEC_MEM_EXTRA(addr, is_store) timing_.MemoryExtra((addr), (is_store))
+#define EXEC_PREDICT_COND(pc, taken) \
+  timing_.predictor().PredictConditional((pc), (taken))
+#define EXEC_PREDICT_IND(pc, target) \
+  timing_.predictor().PredictIndirect((pc), (target))
+#include "emu/exec_ops.inc"  // NOLINT(build/include)
+#undef EXEC_PREDICT_IND
+#undef EXEC_PREDICT_COND
+#undef EXEC_MEM_EXTRA
+#undef EXEC_STOP
+#undef EXEC_MEMFAULT
+#undef EXEC_WRITE
+#undef EXEC_READ
+#undef EXEC_OP_END
+#undef EXEC_OP
+#undef LFI_EMU_CASE
   }
 
   s.pc = next_pc;

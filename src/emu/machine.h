@@ -24,8 +24,30 @@
 // the generation cannot close is an instruction overwriting *its own*
 // basic block mid-flight; real hardware requires an ISB there, and the
 // runtime's W^X policy forbids it entirely.
+//
+// Backends. Run() routes through a small strategy interface (EmuBackend,
+// emu/backend.h) selected by set_dispatch(). kBlock and kStep are the
+// reference interpreters (the switch in ExecInst); kChained is the
+// optimized backend (backend_chained.cc): blocks record their static
+// fallthrough/direct-branch successors and hot loops jump block->block
+// without re-entering the dispatch loop, the inner loop is
+// direct-threaded (computed goto) where the compiler supports it, and
+// data accesses go through a small per-Machine page-pointer TLB validated
+// against AddressSpace::payload_epoch(). All backends share the op bodies
+// in exec_ops.inc, and kChained is required to keep simulated cycles,
+// retired counts, ExecCounters, and traces bit-identical to kBlock (see
+// docs/DISPATCH.md for the argument and the invalidation contract).
 #ifndef LFI_EMU_MACHINE_H_
 #define LFI_EMU_MACHINE_H_
+
+// Hot helpers shared by both interpreter backends must actually inline
+// into each backend's dispatch loop (GCC leaves the bigger ones, e.g.
+// the EffAddr switch, out of line at -O2 without this).
+#if defined(__GNUC__) || defined(__clang__)
+#define LFI_EMU_ALWAYS_INLINE __attribute__((always_inline)) inline
+#else
+#define LFI_EMU_ALWAYS_INLINE inline
+#endif
 
 #include <array>
 #include <cstdint>
@@ -108,8 +130,9 @@ struct CpuFault {
 
 // How Run() fetches instructions.
 enum class Dispatch : uint8_t {
-  kBlock,  // basic-block cache, one probe per block (default)
-  kStep,   // per-instruction page cache (legacy; baseline for benchmarks)
+  kChained,  // block chaining + direct-threaded inner loop (default)
+  kBlock,    // basic-block cache, one probe per block (reference)
+  kStep,     // per-instruction page cache (legacy; baseline for benchmarks)
 };
 
 // The emulated CPU. One Machine per hardware context; multiple sandboxes
@@ -136,9 +159,10 @@ class Machine {
 
   const CpuFault& fault() const { return fault_; }
 
-  // Selects the fetch strategy (see Dispatch). kStep exists so benchmarks
-  // can compare against the pre-block-cache interpreter; both modes are
-  // semantically identical, including cycle accounting.
+  // Selects the fetch strategy (see Dispatch). kBlock/kStep exist so
+  // benchmarks and the differential fuzzer can compare against the
+  // reference interpreter; all modes are semantically identical,
+  // including cycle accounting.
   void set_dispatch(Dispatch d) { dispatch_ = d; }
   Dispatch dispatch() const { return dispatch_; }
 
@@ -150,8 +174,21 @@ class Machine {
 
   // Reads a general-purpose register by Inst operand conventions
   // (zr reads 0; sp reads the stack pointer). Exposed for the runtime.
-  uint64_t ReadReg(arch::Reg r) const;
-  void WriteReg(arch::Reg r, uint64_t v);
+  // Defined inline: these run several times per retired instruction in
+  // every backend translation unit.
+  LFI_EMU_ALWAYS_INLINE uint64_t ReadReg(arch::Reg r) const {
+    if (r.IsZr() || r.IsNone()) return 0;
+    if (r.IsSp()) return state_.sp;
+    return state_.x[r.id()];
+  }
+  LFI_EMU_ALWAYS_INLINE void WriteReg(arch::Reg r, uint64_t v) {
+    if (r.IsZr() || r.IsNone()) return;
+    if (r.IsSp()) {
+      state_.sp = v;
+      return;
+    }
+    state_.x[r.id()] = v;
+  }
 
   // Attaches (or detaches, with nullptr) the per-instruction hook. The
   // hook must outlive the Machine or be detached first.
@@ -187,12 +224,35 @@ class Machine {
     arch::Inst inst;
     arch::InstCost cost;
     uint8_t class_flags;
+    // Direct-threading slot: the chained backend caches the computed-goto
+    // label for inst.mn here on a block's first execution, so steady-state
+    // dispatch is one load + one indirect jump (no table indexing). The
+    // reference backends never read it.
+    mutable const void* exec_label = nullptr;
   };
+
+  // PC sentinel for "no successor". ~0 is never 4-aligned, so it can
+  // never equal a real block-start PC.
+  static constexpr uint64_t kNoSucc = ~uint64_t{0};
 
   // A decoded straight-line run: starts at its cache key's PC and ends at
   // the first branch/system instruction, page end, or undecodable word.
+  //
+  // Chaining fields: fall_pc/branch_pc are the block's *static* successor
+  // PCs, computed at decode time (fallthrough after a conditional branch
+  // or a split block; the target of a direct b/bl/b.cond/cbz/tbz).
+  // fall_link/branch_link are lazily resolved pointers to the successor
+  // blocks, installed by the chained backend so a hot loop transfers
+  // block->block with two compares. Links point into block_cache_ nodes
+  // and die with them: every ClearCaches() severs all chains, and the
+  // chained backend re-checks the mutation generation before following a
+  // link, so a stale chain is never executed (see docs/DISPATCH.md).
   struct Block {
     std::vector<DecodedInst> insts;
+    uint64_t fall_pc = kNoSucc;
+    uint64_t branch_pc = kNoSucc;
+    mutable const Block* fall_link = nullptr;
+    mutable const Block* branch_link = nullptr;
   };
 
   // Legacy per-page decode cache (Dispatch::kStep).
@@ -204,9 +264,55 @@ class Machine {
   StopReason RunBlocks(uint64_t max_instructions);
   StopReason RunSteps(uint64_t max_instructions);
 
+  // Optimized backend (backend_chained.cc). RunChained falls back to
+  // RunBlocks while an ExecHook is attached (observation wants the
+  // reference loop + access tracing, not speed).
+  StopReason RunChained(uint64_t max_instructions);
+  template <bool kCounting>
+  StopReason RunChainedImpl(uint64_t max_instructions);
+  // Executes insts[0, take) of a block with the direct-threaded inner
+  // loop (switch fallback off GCC/Clang); returns false on stop.
+  template <bool kCounting>
+  bool ExecChainedRange(const Block& b, size_t take);
+
   // Executes one pre-decoded instruction; returns false if execution must
   // stop (fault or brk), with stop_ set.
   bool ExecInst(const arch::Inst& i, const arch::InstCost& cost);
+
+  // Records the pending data fault and stop reason; always returns false
+  // so op bodies can `return MemFaultStop()`.
+  bool MemFaultStop() {
+    fault_ = {CpuFault::Kind::kMemory, state_.pc, mem_->last_fault(), "data"};
+    stop_ = StopReason::kFault;
+    return false;
+  }
+
+  // Effective address of a load/store, plus (for writeback modes) the new
+  // base value. Shared by both backends' op bodies.
+  LFI_EMU_ALWAYS_INLINE uint64_t EffAddr(const arch::Inst& i,
+                                         uint64_t* writeback) const {
+    const auto& m = i.mem;
+    const uint64_t base = ReadReg(m.base);
+    switch (m.mode) {
+      case arch::AddrMode::kImm:
+        return base + static_cast<uint64_t>(m.imm);
+      case arch::AddrMode::kPreIndex:
+        *writeback = base + static_cast<uint64_t>(m.imm);
+        return *writeback;
+      case arch::AddrMode::kPostIndex:
+        *writeback = base + static_cast<uint64_t>(m.imm);
+        return base;
+      case arch::AddrMode::kRegLsl:
+        return base + (ReadReg(m.index) << m.shift);
+      case arch::AddrMode::kRegUxtw:
+        return base + ((ReadReg(m.index) & 0xffffffffu) << m.shift);
+      case arch::AddrMode::kRegSxtw:
+        return base +
+               (static_cast<uint64_t>(static_cast<int64_t>(
+                    static_cast<int32_t>(ReadReg(m.index)))) << m.shift);
+    }
+    return base;
+  }
 
   // ExecInst with the observation hook wrapped around it: clears the
   // access trace, executes, then consults hook_ (which must be non-null).
@@ -246,10 +352,14 @@ class Machine {
   trace::ExecCounters* counters_ = nullptr;
   StopReason stop_ = StopReason::kStepLimit;
   uint64_t rt_base_ = 0, rt_len_ = 0;
-  Dispatch dispatch_ = Dispatch::kBlock;
+  Dispatch dispatch_ = Dispatch::kChained;
   // Generation stamp both caches were filled under; ~0 forces the first
   // RevalidateCaches() to start clean.
   uint64_t cache_generation_ = ~uint64_t{0};
+  // Counts ClearCaches() calls. The chained backend snapshots this around
+  // a FetchBlock during link resolution: if a clear happened, the
+  // predecessor block was destroyed and no link may be installed into it.
+  uint64_t cache_clears_ = 0;
   std::unordered_map<uint64_t, Block> block_cache_;
   std::unordered_map<uint64_t, DecodedPage> decode_cache_;
   // Direct-mapped front cache over block_cache_: the common case (a hot
@@ -265,6 +375,49 @@ class Machine {
   static size_t LutIndex(uint64_t pc) {
     return (pc >> 2) & ((size_t{1} << kBlockLutBits) - 1);
   }
+
+  // Memoized address translation for the chained backend's load/store
+  // fast path: a direct-mapped TLB of page-payload pointers, so a hit
+  // costs one compare + memcpy instead of a hash probe + shared_ptr
+  // dereference. Entries are only trusted while dtlb_epoch_ matches
+  // AddressSpace::payload_epoch(), which bumps whenever any payload
+  // pointer, sharing state, or permission can change (COW, snapshot
+  // export, fork, Protect, ...) — checked on every access because a
+  // store inside the current block can itself trigger a COW. rw is
+  // cached only for writable non-executable pages, so stores that must
+  // bump the mutation generation always take the slow path.
+  struct DtlbEntry {
+    uint64_t pageno = ~uint64_t{0};
+    const uint8_t* ro = nullptr;
+    uint8_t* rw = nullptr;
+  };
+  static constexpr size_t kDtlbBits = 6;
+  static constexpr size_t kDtlbSize = size_t{1} << kDtlbBits;
+  std::array<DtlbEntry, kDtlbSize> dtlb_{};
+  uint64_t dtlb_epoch_ = ~uint64_t{0};
+
+  // Result of a chained-backend fast read; mimics Result<uint64_t>'s
+  // interface so exec_ops.inc bodies work against either.
+  struct FastVal {
+    uint64_t val;
+    bool ok;
+    explicit operator bool() const { return ok; }
+    uint64_t operator*() const { return val; }
+  };
+  LFI_EMU_ALWAYS_INLINE FastVal FastRead(uint64_t addr, unsigned size);
+  LFI_EMU_ALWAYS_INLINE bool FastWrite(uint64_t addr, uint64_t value,
+                                       unsigned size);
+  void SyncDtlbEpoch() {
+    const uint64_t e = mem_->payload_epoch();
+    if (e != dtlb_epoch_) {
+      for (DtlbEntry& d : dtlb_) d = DtlbEntry{};
+      dtlb_epoch_ = e;
+    }
+  }
+
+  friend class StepBackend;
+  friend class BlockBackend;
+  friend class ChainedBackend;
 };
 
 }  // namespace lfi::emu

@@ -1,0 +1,181 @@
+// Shared internals of the interpreter backends.
+//
+// The instruction semantics in exec_ops.inc are compiled twice: once into
+// the reference switch interpreter (machine.cc) and once into the
+// direct-threaded chained backend (backend_chained.cc). Everything both
+// translation units need — the small pure helpers the op bodies call and
+// the master mnemonic list that builds the computed-goto dispatch table —
+// lives here so the two backends cannot drift apart.
+#ifndef LFI_EMU_MACHINE_INTERNAL_H_
+#define LFI_EMU_MACHINE_INTERNAL_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "arch/inst.h"
+#include "emu/machine.h"
+#include "emu/timing.h"
+
+namespace lfi::emu::internal {
+
+// Scoreboard index for a register operand (-1 = no dependency).
+inline int SIdx(arch::Reg r) {
+  if (r.IsNone() || r.IsZr()) return -1;
+  if (r.IsSp()) return Timing::kSpIdx;
+  return r.id();
+}
+
+inline uint64_t MaskW(uint64_t v, arch::Width w) {
+  return w == arch::Width::kW ? (v & 0xffffffffu) : v;
+}
+
+inline uint64_t ShiftVal(uint64_t v, arch::Shift s, unsigned amt,
+                         arch::Width w) {
+  using arch::Shift;
+  const unsigned bits = w == arch::Width::kX ? 64 : 32;
+  v = MaskW(v, w);
+  if (amt == 0 && s != Shift::kRor) return v;
+  switch (s) {
+    case Shift::kLsl:
+      return MaskW(amt >= bits ? 0 : v << amt, w);
+    case Shift::kLsr:
+      return amt >= bits ? 0 : v >> amt;
+    case Shift::kAsr: {
+      const int64_t sv = w == arch::Width::kX
+                             ? static_cast<int64_t>(v)
+                             : static_cast<int64_t>(static_cast<int32_t>(v));
+      return MaskW(static_cast<uint64_t>(sv >> (amt >= bits ? bits - 1 : amt)),
+                   w);
+    }
+    case Shift::kRor:
+      amt %= bits;
+      if (amt == 0) return v;
+      return MaskW((v >> amt) | (v << (bits - amt)), w);
+  }
+  return v;
+}
+
+inline uint64_t ExtendVal(uint64_t v, arch::Extend e, unsigned amt) {
+  using arch::Extend;
+  switch (e) {
+    case Extend::kUxtb: v &= 0xff; break;
+    case Extend::kUxth: v &= 0xffff; break;
+    case Extend::kUxtw: v &= 0xffffffff; break;
+    case Extend::kUxtx: break;
+    case Extend::kSxtb:
+      v = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(v)));
+      break;
+    case Extend::kSxth:
+      v = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int16_t>(v)));
+      break;
+    case Extend::kSxtw:
+      v = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(v)));
+      break;
+    case Extend::kSxtx:
+      break;
+  }
+  return v << amt;
+}
+
+inline bool EvalCond(const CpuState& s, arch::Cond c) {
+  using arch::Cond;
+  switch (c) {
+    case Cond::kEq: return s.z;
+    case Cond::kNe: return !s.z;
+    case Cond::kHs: return s.c;
+    case Cond::kLo: return !s.c;
+    case Cond::kMi: return s.n;
+    case Cond::kPl: return !s.n;
+    case Cond::kVs: return s.v;
+    case Cond::kVc: return !s.v;
+    case Cond::kHi: return s.c && !s.z;
+    case Cond::kLs: return !s.c || s.z;
+    case Cond::kGe: return s.n == s.v;
+    case Cond::kLt: return s.n != s.v;
+    case Cond::kGt: return !s.z && s.n == s.v;
+    case Cond::kLe: return s.z || s.n != s.v;
+    case Cond::kAl: return true;
+  }
+  return true;
+}
+
+// a + b + carry with NZCV, in the given width.
+inline uint64_t AddWithFlags(uint64_t a, uint64_t b, bool carry, arch::Width w,
+                             CpuState* s) {
+  if (w == arch::Width::kW) {
+    const uint32_t a32 = static_cast<uint32_t>(a);
+    const uint32_t b32 = static_cast<uint32_t>(b);
+    const uint64_t wide = uint64_t{a32} + b32 + (carry ? 1 : 0);
+    const uint32_t r = static_cast<uint32_t>(wide);
+    s->n = (r >> 31) & 1;
+    s->z = r == 0;
+    s->c = (wide >> 32) != 0;
+    s->v = (~(a32 ^ b32) & (a32 ^ r)) >> 31;
+    return r;
+  }
+  const uint64_t r = a + b + (carry ? 1 : 0);
+  s->n = (r >> 63) & 1;
+  s->z = r == 0;
+  // Carry-out of a 64-bit add.
+  s->c = (r < a) || (carry && r == a);
+  s->v = ((~(a ^ b) & (a ^ r)) >> 63) & 1;
+  return r;
+}
+
+inline double BitsToF64(uint64_t b) { return std::bit_cast<double>(b); }
+inline uint64_t F64ToBits(double d) { return std::bit_cast<uint64_t>(d); }
+inline float BitsToF32(uint64_t b) {
+  return std::bit_cast<float>(static_cast<uint32_t>(b));
+}
+inline uint64_t F32ToBits(float f) { return std::bit_cast<uint32_t>(f); }
+
+}  // namespace lfi::emu::internal
+
+// Every mnemonic the interpreter implements, i.e. every case label in
+// exec_ops.inc. The chained backend expands this list to build its
+// computed-goto table; a mnemonic listed here without an op body fails to
+// compile (undefined label), so the list cannot silently diverge from the
+// semantics.
+#define LFI_EMU_MN_LIST(X)                                                  \
+  X(kAddImm) X(kAddsImm) X(kSubImm) X(kSubsImm)                             \
+  X(kAddReg) X(kAddsReg) X(kSubReg) X(kSubsReg)                             \
+  X(kAndReg) X(kAndsReg) X(kOrrReg) X(kEorReg) X(kBicReg)                   \
+  X(kAndImm) X(kAndsImm) X(kOrrImm) X(kEorImm)                              \
+  X(kAddExt) X(kSubExt)                                                     \
+  X(kMovz) X(kMovn) X(kMovk)                                                \
+  X(kUbfm) X(kSbfm)                                                         \
+  X(kMadd) X(kMsub) X(kSdiv) X(kUdiv) X(kUmulh) X(kSmulh)                   \
+  X(kCsel) X(kCsinc) X(kCsinv) X(kCsneg)                                    \
+  X(kCcmp) X(kCcmpImm) X(kCcmn) X(kCcmnImm)                                 \
+  X(kExtr)                                                                  \
+  X(kClz) X(kRbit) X(kRev)                                                  \
+  X(kAdr) X(kAdrp)                                                          \
+  X(kLdr) X(kStr) X(kLdp) X(kStp)                                           \
+  X(kLdxr) X(kStxr) X(kLdar) X(kStlr)                                       \
+  X(kLdrF) X(kStrF)                                                         \
+  X(kB) X(kBl) X(kBCond) X(kCbz) X(kCbnz) X(kTbz) X(kTbnz)                  \
+  X(kBr) X(kBlr) X(kRet)                                                    \
+  X(kFadd) X(kFsub) X(kFmul) X(kFdiv) X(kFsqrt) X(kFmadd)                   \
+  X(kFcmp) X(kScvtf) X(kFcvtzs) X(kFmov)                                    \
+  X(kVAdd) X(kVFadd) X(kVFmul)                                              \
+  X(kNop) X(kSvc) X(kBrk) X(kMrs) X(kMsr)
+
+// Applies a one-argument macro to each listed mnemonic of an EXEC_OP head
+// (up to the 9-wide logical group).
+#define LFI_EMU_MAP_1(M, a) M(a)
+#define LFI_EMU_MAP_2(M, a, ...) M(a) LFI_EMU_MAP_1(M, __VA_ARGS__)
+#define LFI_EMU_MAP_3(M, a, ...) M(a) LFI_EMU_MAP_2(M, __VA_ARGS__)
+#define LFI_EMU_MAP_4(M, a, ...) M(a) LFI_EMU_MAP_3(M, __VA_ARGS__)
+#define LFI_EMU_MAP_5(M, a, ...) M(a) LFI_EMU_MAP_4(M, __VA_ARGS__)
+#define LFI_EMU_MAP_6(M, a, ...) M(a) LFI_EMU_MAP_5(M, __VA_ARGS__)
+#define LFI_EMU_MAP_7(M, a, ...) M(a) LFI_EMU_MAP_6(M, __VA_ARGS__)
+#define LFI_EMU_MAP_8(M, a, ...) M(a) LFI_EMU_MAP_7(M, __VA_ARGS__)
+#define LFI_EMU_MAP_9(M, a, ...) M(a) LFI_EMU_MAP_8(M, __VA_ARGS__)
+#define LFI_EMU_MAP_PICK(a1, a2, a3, a4, a5, a6, a7, a8, a9, NAME, ...) NAME
+#define LFI_EMU_MAP(M, ...)                                               \
+  LFI_EMU_MAP_PICK(__VA_ARGS__, LFI_EMU_MAP_9, LFI_EMU_MAP_8,             \
+                   LFI_EMU_MAP_7, LFI_EMU_MAP_6, LFI_EMU_MAP_5,           \
+                   LFI_EMU_MAP_4, LFI_EMU_MAP_3, LFI_EMU_MAP_2,           \
+                   LFI_EMU_MAP_1)(M, __VA_ARGS__)
+
+#endif  // LFI_EMU_MACHINE_INTERNAL_H_

@@ -4,12 +4,6 @@
 
 namespace lfi::emu {
 
-namespace {
-uint64_t HashPc(uint64_t pc, size_t bits) {
-  return (pc >> 2) & ((uint64_t{1} << bits) - 1);
-}
-}  // namespace
-
 BranchPredictor::BranchPredictor()
     : counters_(size_t{1} << kTableBits, 2),
       btb_(size_t{1} << kTableBits, 0),
@@ -17,29 +11,11 @@ BranchPredictor::BranchPredictor()
       btb_tags_(size_t{1} << kTableBits, 0) {}
 
 bool BranchPredictor::PredictConditional(uint64_t pc, bool taken) {
-  const uint64_t idx = HashPc(pc, kTableBits);
-  if (tags_[idx] != ctx_) {
-    // Entry belongs to another software context: treat as cold.
-    tags_[idx] = ctx_;
-    counters_[idx] = 2;
-  }
-  uint8_t& ctr = counters_[idx];
-  const bool predicted = ctr >= 2;
-  if (taken && ctr < 3) ++ctr;
-  if (!taken && ctr > 0) --ctr;
-  return predicted == taken;
+  return PredictConditionalFast(pc, taken);
 }
 
 bool BranchPredictor::PredictIndirect(uint64_t pc, uint64_t target) {
-  const uint64_t idx = HashPc(pc, kTableBits);
-  if (btb_tags_[idx] != ctx_) {
-    btb_tags_[idx] = ctx_;
-    btb_[idx] = 0;
-  }
-  uint64_t& entry = btb_[idx];
-  const bool correct = entry == target;
-  entry = target;
-  return correct;
+  return PredictIndirectFast(pc, target);
 }
 
 CacheModel::CacheModel(uint64_t size_bytes, unsigned ways)
@@ -48,34 +24,7 @@ CacheModel::CacheModel(uint64_t size_bytes, unsigned ways)
       tags_(sets_ * ways, 0),
       order_(sets_ * ways, 0) {}
 
-bool CacheModel::Access(uint64_t addr) {
-  const uint64_t line = addr / kLineBytes;
-  const uint64_t set = line % sets_;
-  const uint64_t tag = line / sets_ + 1;  // +1 so 0 stays "invalid"
-  uint64_t* t = &tags_[set * ways_];
-  uint32_t* o = &order_[set * ways_];
-  unsigned victim = 0;
-  for (unsigned w = 0; w < ways_; ++w) {
-    if (t[w] == tag) {
-      o[w] = stamp_++;
-      return true;
-    }
-    if (o[w] < o[victim]) victim = w;
-  }
-  t[victim] = tag;
-  o[victim] = stamp_++;
-  return false;
-}
-
 TlbModel::TlbModel(unsigned entries) : tags_(entries, ~uint64_t{0}) {}
-
-bool TlbModel::Access(uint64_t addr) {
-  const uint64_t page = addr / 16384;
-  uint64_t& slot = tags_[page % tags_.size()];
-  if (slot == page) return true;
-  slot = page;
-  return false;
-}
 
 void TlbModel::Flush() {
   std::fill(tags_.begin(), tags_.end(), ~uint64_t{0});
@@ -90,36 +39,7 @@ Timing::Timing(const arch::CoreParams& params)
       tlb_(static_cast<unsigned>(params.tlb_entries)) {}
 
 uint64_t Timing::MemoryExtra(uint64_t addr, bool is_store) {
-  uint64_t extra = 0;
-  if (!tlb_.Access(addr)) {
-    uint64_t walk = static_cast<uint64_t>(params_.tlb_walk_cycles);
-    if (nested_pagetables_) walk *= 2;  // two-dimensional page walk
-    extra += walk;
-  }
-  if (!l1d_.Access(addr)) {
-    if (l2_.Access(addr)) {
-      extra += static_cast<uint64_t>(params_.l2_latency);
-    } else {
-      extra += static_cast<uint64_t>(params_.mem_latency);
-    }
-  }
-  // Miss latency can overlap across accesses, but only up to the machine's
-  // miss-level parallelism; a stream of misses is throughput-bound on the
-  // MSHRs even when no consumer stalls on the data.
-  if (extra != 0) {
-    miss_acc_ += extra;
-    miss_q_ = miss_acc_ / static_cast<uint64_t>(params_.mlp);
-  }
-  // Stores retire without stalling consumers; charge only their miss
-  // bandwidth at a reduced weight.
-  if (is_store) extra /= 4;
-  return extra;
-}
-
-void Timing::Mispredict(uint64_t resolve_cycle) {
-  frontier_ = std::max(
-      frontier_,
-      resolve_cycle + static_cast<uint64_t>(params_.mispredict_penalty));
+  return MemoryExtraFast(addr, is_store);
 }
 
 void Timing::ChargeFlat(uint64_t cycles) {

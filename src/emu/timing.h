@@ -41,8 +41,41 @@ class BranchPredictor {
   bool PredictConditional(uint64_t pc, bool taken);
   bool PredictIndirect(uint64_t pc, uint64_t target);
 
+  // Inline twins of the two predictors, for the optimized backend's
+  // translation unit. The out-of-line versions (which the reference
+  // interpreter calls, keeping its codegen - and therefore the in-run
+  // chained-vs-block speedup gate - honest) delegate to these, so the
+  // state transitions cannot diverge.
+  bool PredictConditionalFast(uint64_t pc, bool taken) {
+    const uint64_t idx = Hash(pc);
+    if (tags_[idx] != ctx_) {
+      // Entry belongs to another software context: treat as cold.
+      tags_[idx] = ctx_;
+      counters_[idx] = 2;
+    }
+    uint8_t& ctr = counters_[idx];
+    const bool predicted = ctr >= 2;
+    if (taken && ctr < 3) ++ctr;
+    if (!taken && ctr > 0) --ctr;
+    return predicted == taken;
+  }
+  bool PredictIndirectFast(uint64_t pc, uint64_t target) {
+    const uint64_t idx = Hash(pc);
+    if (btb_tags_[idx] != ctx_) {
+      btb_tags_[idx] = ctx_;
+      btb_[idx] = 0;
+    }
+    uint64_t& entry = btb_[idx];
+    const bool correct = entry == target;
+    entry = target;
+    return correct;
+  }
+
  private:
   static constexpr size_t kTableBits = 13;
+  static uint64_t Hash(uint64_t pc) {
+    return (pc >> 2) & ((uint64_t{1} << kTableBits) - 1);
+  }
   uint32_t ctx_ = 0;
   std::vector<uint8_t> counters_;
   std::vector<uint64_t> btb_;
@@ -57,7 +90,25 @@ class CacheModel {
   CacheModel(uint64_t size_bytes, unsigned ways);
 
   // Returns true on hit; inserts the line on miss (LRU within set).
-  bool Access(uint64_t addr);
+  // Defined inline so Timing::MemoryExtraFast fully inlines.
+  bool Access(uint64_t addr) {
+    const uint64_t line = addr / kLineBytes;
+    const uint64_t set = line % sets_;
+    const uint64_t tag = line / sets_ + 1;  // +1 so 0 stays "invalid"
+    uint64_t* t = &tags_[set * ways_];
+    uint32_t* o = &order_[set * ways_];
+    unsigned victim = 0;
+    for (unsigned w = 0; w < ways_; ++w) {
+      if (t[w] == tag) {
+        o[w] = stamp_++;
+        return true;
+      }
+      if (o[w] < o[victim]) victim = w;
+    }
+    t[victim] = tag;
+    o[victim] = stamp_++;
+    return false;
+  }
 
  private:
   static constexpr uint64_t kLineBytes = 64;
@@ -72,7 +123,13 @@ class CacheModel {
 class TlbModel {
  public:
   explicit TlbModel(unsigned entries);
-  bool Access(uint64_t addr);
+  bool Access(uint64_t addr) {
+    const uint64_t page = addr / 16384;
+    uint64_t& slot = tags_[page % tags_.size()];
+    if (slot == page) return true;
+    slot = page;
+    return false;
+  }
   void Flush();
 
  private:
@@ -142,11 +199,48 @@ class Timing {
   }
 
   // Memory access bookkeeping: returns extra latency cycles from cache/TLB
-  // behaviour for an access at `addr`.
+  // behaviour for an access at `addr`. Deliberately out-of-line: the
+  // reference interpreter calls this, and its codegen anchors the in-run
+  // chained-vs-block speedup gate in bench_emu_dispatch.
   uint64_t MemoryExtra(uint64_t addr, bool is_store);
 
+  // Inline twin of MemoryExtra for the optimized backend's translation
+  // unit; MemoryExtra delegates here, so the model state transitions are
+  // the same code either way.
+  uint64_t MemoryExtraFast(uint64_t addr, bool is_store) {
+    uint64_t extra = 0;
+    if (!tlb_.Access(addr)) {
+      uint64_t walk = static_cast<uint64_t>(params_.tlb_walk_cycles);
+      if (nested_pagetables_) walk *= 2;  // two-dimensional page walk
+      extra += walk;
+    }
+    if (!l1d_.Access(addr)) {
+      if (l2_.Access(addr)) {
+        extra += static_cast<uint64_t>(params_.l2_latency);
+      } else {
+        extra += static_cast<uint64_t>(params_.mem_latency);
+      }
+    }
+    // Miss latency can overlap across accesses, but only up to the
+    // machine's miss-level parallelism; a stream of misses is
+    // throughput-bound on the MSHRs even when no consumer stalls on the
+    // data.
+    if (extra != 0) {
+      miss_acc_ += extra;
+      miss_q_ = miss_acc_ / static_cast<uint64_t>(params_.mlp);
+    }
+    // Stores retire without stalling consumers; charge only their miss
+    // bandwidth at a reduced weight.
+    if (is_store) extra /= 4;
+    return extra;
+  }
+
   // Front-end stall after a mispredicted branch resolved at `resolve_cycle`.
-  void Mispredict(uint64_t resolve_cycle);
+  void Mispredict(uint64_t resolve_cycle) {
+    frontier_ = std::max(
+        frontier_,
+        resolve_cycle + static_cast<uint64_t>(params_.mispredict_penalty));
+  }
 
   // Charges a flat number of cycles (used by the runtime for host-side work
   // such as the register save/restore in a context switch).

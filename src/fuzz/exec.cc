@@ -236,7 +236,7 @@ ExecResult ExecuteWords(std::span<const uint32_t> words,
   ExecEnv env(words, opts);
   SlotInvariantChecker checker(env.checker_config());
   emu::Machine& machine = env.machine();
-  machine.set_exec_hook(&checker);
+  if (opts.attach_checker) machine.set_exec_hook(&checker);
 
   ExecResult res;
   res.stop = machine.Run(opts.max_insts);

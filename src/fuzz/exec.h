@@ -87,6 +87,12 @@ struct ExecOptions {
   uint64_t guard_bytes = 48 * 1024;
   uint64_t table_bytes = 4096;
   emu::Dispatch dispatch = emu::Dispatch::kBlock;
+  // When false, ExecuteWords runs without the SlotInvariantChecker hook
+  // (ExecResult::violation stays empty except for the fault-based belt-and-
+  // braces checks). The chained backend falls back to the reference loop
+  // whenever a hook is attached, so the chained-vs-reference differential
+  // mode needs hook-free runs to actually exercise the optimized loop.
+  bool attach_checker = true;
 };
 
 struct ExecResult {

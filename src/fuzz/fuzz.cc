@@ -73,34 +73,42 @@ std::vector<uint32_t> GenStream(Rng& rng) {
 }
 
 // Differential comparison: first discrepancy between two runs, or "".
-std::string DescribeDiff(const ExecResult& a, const ExecResult& b) {
+// `an`/`bn` label the two runs in the message ("block"/"step",
+// "chained"/"block").
+std::string DescribeDiff(const ExecResult& a, const ExecResult& b,
+                         const std::string& an = "block",
+                         const std::string& bn = "step") {
   auto hx = [](uint64_t v) {
     char buf[32];
     snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
     return std::string(buf);
   };
   if (a.stop != b.stop) {
-    return "stop reason differs: block=" + std::to_string(int(a.stop)) +
-           " step=" + std::to_string(int(b.stop));
+    return "stop reason differs: " + an + "=" + std::to_string(int(a.stop)) +
+           " " + bn + "=" + std::to_string(int(b.stop));
   }
   if (a.retired != b.retired) {
-    return "retired differs: block=" + std::to_string(a.retired) +
-           " step=" + std::to_string(b.retired);
+    return "retired differs: " + an + "=" + std::to_string(a.retired) + " " +
+           bn + "=" + std::to_string(b.retired);
   }
   if (a.cycles != b.cycles) {
-    return "cycles differ: block=" + std::to_string(a.cycles) +
-           " step=" + std::to_string(b.cycles);
+    return "cycles differ: " + an + "=" + std::to_string(a.cycles) + " " + bn +
+           "=" + std::to_string(b.cycles);
   }
   const emu::CpuState& s = a.final_state;
   const emu::CpuState& t = b.final_state;
   for (int r = 0; r < 31; ++r) {
     if (s.x[r] != t.x[r]) {
-      return "x" + std::to_string(r) + " differs: block=" + hx(s.x[r]) +
-             " step=" + hx(t.x[r]);
+      return "x" + std::to_string(r) + " differs: " + an + "=" + hx(s.x[r]) +
+             " " + bn + "=" + hx(t.x[r]);
     }
   }
-  if (s.sp != t.sp) return "sp differs: block=" + hx(s.sp) + " step=" + hx(t.sp);
-  if (s.pc != t.pc) return "pc differs: block=" + hx(s.pc) + " step=" + hx(t.pc);
+  if (s.sp != t.sp) {
+    return "sp differs: " + an + "=" + hx(s.sp) + " " + bn + "=" + hx(t.sp);
+  }
+  if (s.pc != t.pc) {
+    return "pc differs: " + an + "=" + hx(s.pc) + " " + bn + "=" + hx(t.pc);
+  }
   if (s.n != t.n || s.z != t.z || s.c != t.c || s.v != t.v) {
     return "flags differ";
   }
@@ -374,6 +382,64 @@ FuzzReport RunDifferential(const FuzzOptions& opts) {
     } else {
       a.words = words;
     }
+    RecordCrash(opts, &report, std::move(a));
+    if (report.crashes.size() >= opts.max_crashes) break;
+  }
+  return report;
+}
+
+FuzzReport RunChainedDifferential(const FuzzOptions& opts) {
+  FuzzReport report;
+  report.mode = "chained";
+  const auto corpus = SeedCorpusWords();
+  for (uint64_t it = 0; it < opts.iters; ++it) {
+    const uint64_t iseed = DeriveSeed(opts.seed, it);
+    Rng rng(iseed);
+    std::vector<uint32_t> words =
+        it < corpus.size() ? corpus[it] : GenStream(rng);
+    ++report.iters;
+    const auto v = verifier::Verify(AsBytes(words), opts.verify);
+    if (!v.ok) {
+      ++report.rejected;
+      ++report.reject_kinds[size_t(v.kind)];
+      continue;
+    }
+    ++report.accepted;
+    // Both runs are hook-free: with an ExecHook attached the chained
+    // backend delegates to the reference loop and the comparison proves
+    // nothing. The soundness oracle still covers these streams in the
+    // soundness/differential modes.
+    ExecOptions eo;
+    eo.seed = iseed;
+    eo.max_insts = opts.max_exec_insts;
+    eo.guard_bytes = opts.verify.guard_bytes;
+    eo.table_bytes = opts.verify.table_bytes;
+    eo.attach_checker = false;
+    eo.dispatch = emu::Dispatch::kChained;
+    const ExecResult rc = ExecuteWords(words, eo);
+    eo.dispatch = emu::Dispatch::kBlock;
+    const ExecResult rb = ExecuteWords(words, eo);
+    ++report.executed;
+    const std::string diff = DescribeDiff(rc, rb, "chained", "block");
+    if (diff.empty()) continue;
+
+    CrashArtifact a;
+    a.mode = "chained";
+    a.iter = it;
+    a.seed = iseed;
+    a.detail = "chained/block divergence: " + diff;
+    a.verdict = VerdictText(v);
+    a.full_words = words;
+    auto fails = [&](const std::vector<uint32_t>& w) {
+      if (!verifier::Verify(AsBytes(w), opts.verify).ok) return false;
+      ExecOptions e2 = eo;
+      e2.dispatch = emu::Dispatch::kChained;
+      const ExecResult c2 = ExecuteWords(w, e2);
+      e2.dispatch = emu::Dispatch::kBlock;
+      const ExecResult b2 = ExecuteWords(w, e2);
+      return !DescribeDiff(c2, b2, "chained", "block").empty();
+    };
+    a.words = MinimizeWords(words, fails);
     RecordCrash(opts, &report, std::move(a));
     if (report.crashes.size() >= opts.max_crashes) break;
   }

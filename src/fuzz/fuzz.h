@@ -1,4 +1,4 @@
-// The three fuzzing modes (Section "lfi-fuzz" of docs/FUZZING.md):
+// The fuzzing modes (Section "lfi-fuzz" of docs/FUZZING.md):
 //
 //   soundness    generated/mutated word streams -> Verify; every ACCEPTED
 //                stream executes under the SlotInvariantChecker. A
@@ -10,6 +10,13 @@
 //   differential every accepted stream runs under both Dispatch::kBlock
 //                and Dispatch::kStep; final state, stop reason, retired
 //                count and cycle count must match exactly.
+//   chained      every accepted stream runs under Dispatch::kChained (the
+//                optimized backend: block chaining + direct threading +
+//                memoized translation) and Dispatch::kBlock, both without
+//                the invariant-checker hook — a hooked machine delegates
+//                chained execution to the reference loop, which would make
+//                this comparison vacuous. Same exactness bar as
+//                differential.
 //   snapshot     every accepted stream runs N instructions, checkpoints
 //                (page payloads + registers, the snapshot layer's COW
 //                export), runs M more hashing the pc/access trace, rolls
@@ -46,7 +53,7 @@ struct FuzzOptions {
 };
 
 struct CrashArtifact {
-  std::string mode;                  // soundness | completeness | differential
+  std::string mode;  // soundness | completeness | differential | chained | ...
   uint64_t iter = 0;
   uint64_t seed = 0;                 // derived seed; replays the iteration
   std::string detail;                // what went wrong
@@ -80,6 +87,7 @@ struct FuzzReport {
 FuzzReport RunSoundness(const FuzzOptions& opts);
 FuzzReport RunCompleteness(const FuzzOptions& opts);
 FuzzReport RunDifferential(const FuzzOptions& opts);
+FuzzReport RunChainedDifferential(const FuzzOptions& opts);
 FuzzReport RunSnapshotOracle(const FuzzOptions& opts);
 
 // Trivial minimizer: shortest failing prefix by bisection, then a nop-out

@@ -58,6 +58,7 @@ static_assert(static_cast<int>(snapshot::FdRec::Kind::kPipeWrite) ==
 
 Runtime::Runtime(RuntimeConfig cfg)
     : cfg_(std::move(cfg)), machine_(&space_, cfg_.core) {
+  machine_.set_dispatch(cfg_.dispatch);
   machine_.SetRuntimeRegion(
       kRuntimeEntryBase,
       kRuntimeEntryGranule * static_cast<uint64_t>(Rtcall::kCount));

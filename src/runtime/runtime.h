@@ -120,6 +120,11 @@ struct RuntimeConfig {
   arch::CoreParams core;
   verifier::VerifyOptions verify;
   bool enforce_verification = true;
+  // Interpreter backend for the shared machine (docs/DISPATCH.md). All
+  // backends produce identical simulated results; kChained is simply the
+  // fastest. kBlock/kStep remain selectable as the reference for
+  // differential testing.
+  emu::Dispatch dispatch = emu::Dispatch::kChained;
   uint64_t timeslice_insts = 100000;  // preemption quantum (alarm period)
   // Host-side cycle charges, calibrated to the paper's microbenchmarks
   // (Table 5: syscall ~22ns, pipe ~46ns, yield ~17ns on the M1).

@@ -123,9 +123,12 @@ struct TraceRun {
 // attached when given.
 TraceRun TracedRun(const std::string& src, bool spawn,
                    chaos::ChaosEngine* chaos = nullptr,
-                   const SupervisorPolicy* policy = nullptr) {
+                   const SupervisorPolicy* policy = nullptr,
+                   emu::Dispatch dispatch = emu::Dispatch::kChained) {
   TraceRun out;
-  Runtime rt(TestConfig());
+  RuntimeConfig cfg = TestConfig();
+  cfg.dispatch = dispatch;
+  Runtime rt(cfg);
   trace::TraceSink sink;
   rt.set_trace_sink(&sink);
   if (chaos != nullptr) rt.set_chaos(chaos);
@@ -173,6 +176,53 @@ TEST(Determinism, SpawnedTraceMatchesFreshLoadByteForByte) {
   EXPECT_EQ(spawned.exit_status, fresh.exit_status);
   ASSERT_FALSE(fresh.json.empty());
   EXPECT_EQ(spawned.json, fresh.json);
+}
+
+TEST(Determinism, DispatchBackendsTraceByteIdentically) {
+  // The dispatch backend is a pure execution-speed knob: the chained
+  // backend (block chaining + direct threading + memoized translation)
+  // must produce the same Chrome trace, byte for byte, as the reference
+  // block loop and the legacy step loop — every simulated timestamp,
+  // every counter, every event. kBusyProg covers fork, pipes, waits and
+  // both exit paths, so the equality spans context switches and fork
+  // copies (which must not share chain state with their parent).
+  const TraceRun chained = TracedRun(kBusyProg, /*spawn=*/false, nullptr,
+                                     nullptr, emu::Dispatch::kChained);
+  const TraceRun block = TracedRun(kBusyProg, /*spawn=*/false, nullptr,
+                                   nullptr, emu::Dispatch::kBlock);
+  const TraceRun step = TracedRun(kBusyProg, /*spawn=*/false, nullptr,
+                                  nullptr, emu::Dispatch::kStep);
+  ASSERT_EQ(chained.exit_kind, ExitKind::kExited);
+  EXPECT_EQ(chained.exit_status, 7);
+  ASSERT_FALSE(chained.json.empty());
+  EXPECT_EQ(block.json, chained.json);
+  EXPECT_EQ(step.json, chained.json);
+}
+
+TEST(Determinism, ChainedChaosRestartMatchesReferenceBackend) {
+  // Chaos + restart policy under both backends: mid-run snapshot restores
+  // rebuild machine state from pages, so the chained backend re-enters
+  // with cold chains — and must still replay the exact same trace the
+  // reference backend produces.
+  SupervisorPolicy pol;
+  pol.on_fault = FaultAction::kRestart;
+  pol.restart_budget = 8;
+  pol.restart_backoff_base_cycles = 100;
+  uint32_t total_restarts = 0;
+  for (uint64_t seed : {3ull, 4ull, 0xdeadbeefull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    chaos::ChaosEngine ca(seed, chaos::ProfileByName("storm"));
+    chaos::ChaosEngine cb(seed, chaos::ProfileByName("storm"));
+    const TraceRun chained = TracedRun(kChaosVictim, /*spawn=*/true, &ca,
+                                       &pol, emu::Dispatch::kChained);
+    const TraceRun block = TracedRun(kChaosVictim, /*spawn=*/true, &cb, &pol,
+                                     emu::Dispatch::kBlock);
+    ASSERT_FALSE(chained.json.empty());
+    EXPECT_EQ(block.json, chained.json);
+    EXPECT_EQ(block.restarts, chained.restarts);
+    total_restarts += chained.restarts;
+  }
+  EXPECT_GT(total_restarts, 0u);
 }
 
 TEST(Determinism, SpawnedChaosRunMatchesFreshLoadUnderSameSeed) {

@@ -500,6 +500,128 @@ TEST(Machine, ProtectDropsExecAndRerunFetchFaults) {
   EXPECT_EQ(vm.machine.fault().kind, CpuFault::Kind::kFetch);
 }
 
+// --- Block-chaining invalidation (Dispatch::kChained, docs/DISPATCH.md) ---
+
+// A guest store into the executing page bumps the mutation generation
+// mid-flight: the chained backend must sever its block->block links at the
+// very next edge, redecode, and execute the patched code — and do all of
+// that on the same simulated schedule as the reference backends. The store
+// lands on an instruction *after* the loop, so a stale chain would deliver
+// the pre-patch "mov x0, #1".
+TEST(Machine, ChainedSelfModifyingStoreSeversChainsMidLoop) {
+  const char* src =
+      "  movz x9, #5\n"
+      "  movz x1, #0x0040\n"
+      "  movk x1, #0xd280, lsl #16\n"  // 0xd2800040 = "mov x0, #2"
+      "loop:\n"
+      "  subs x9, x9, #1\n"
+      "  str w1, [x3]\n"  // patches the exec page every iteration
+      "  b.ne loop\n"
+      "  mov x0, #1\n"  // patch site: becomes "mov x0, #2"
+      "  brk #0\n";
+  uint64_t want_retired = 0, want_cycles = 0;
+  for (Dispatch d : {Dispatch::kChained, Dispatch::kBlock, Dispatch::kStep}) {
+    SCOPED_TRACE("dispatch " + std::to_string(int(d)));
+    TestVm vm(src);
+    ASSERT_TRUE(vm.space
+                    .Protect(kCode, 0x40000,
+                             kPermRead | kPermWrite | kPermExec)
+                    .ok());
+    vm.machine.set_dispatch(d);
+    vm.machine.state().x[3] = vm.machine.state().pc + 24;  // the patch site
+    ASSERT_EQ(vm.Run(), StopReason::kBrk);
+    EXPECT_EQ(vm.X(0), 2u);  // a live chain would still deliver #1
+    if (d == Dispatch::kChained) {
+      want_retired = vm.machine.timing().Retired();
+      want_cycles = vm.machine.timing().Cycles();
+      EXPECT_GT(want_retired, 0u);
+    } else {
+      EXPECT_EQ(vm.machine.timing().Retired(), want_retired);
+      EXPECT_EQ(vm.machine.timing().Cycles(), want_cycles);
+    }
+  }
+}
+
+// Host-side mutations between runs — HostWrite code patching, a Protect
+// permission cycle, and a full remap — must each leave the chained backend
+// executing fresh code on the reference backend's exact simulated
+// schedule. Every phase reuses the same machine, so chains built in one
+// phase are live bait for the next.
+TEST(Machine, ChainedHostMutationsMatchReferenceAcrossRuns) {
+  const char* kLoop1 =
+      "  movz x9, #100\n"
+      "l1:\n"
+      "  subs x9, x9, #1\n"
+      "  b.ne l1\n"
+      "  mov x0, #1\n"
+      "  brk #0\n";
+  const char* kLoop2 =
+      "  movz x9, #60\n"
+      "l2:\n"
+      "  subs x9, x9, #1\n"
+      "  b.ne l2\n"
+      "  mov x0, #2\n"
+      "  brk #0\n";
+  const char* kLoop3 =
+      "  movz x9, #30\n"
+      "l3:\n"
+      "  subs x9, x9, #1\n"
+      "  b.ne l3\n"
+      "  mov x0, #3\n"
+      "  brk #0\n";
+  auto run_seq = [&](Dispatch d) {
+    std::vector<uint64_t> log;
+    TestVm vm(kLoop1);
+    vm.machine.set_dispatch(d);
+    const uint64_t entry = vm.machine.state().pc;
+    auto record = [&](StopReason stop) {
+      EXPECT_EQ(stop, StopReason::kBrk);
+      log.push_back(vm.X(0));
+      log.push_back(vm.machine.timing().Retired());
+      log.push_back(vm.machine.timing().Cycles());
+    };
+    record(vm.Run());  // phase 1: builds chains for the loop
+
+    // Phase 2: HostWrite patches the loop in place.
+    const asmtext::Image img2 = AssembleAt(kLoop2);
+    EXPECT_TRUE(
+        vm.space.HostWrite(img2.text_addr, {img2.text.data(), img2.text.size()})
+            .ok());
+    vm.machine.state().pc = entry;
+    record(vm.Run());
+
+    // Phase 3: a Protect round-trip (perms unchanged in the end) still
+    // bumps the generation; the rerun must redecode, not trust chains.
+    EXPECT_TRUE(vm.space.Protect(kCode, 0x40000, kPermRead).ok());
+    EXPECT_TRUE(
+        vm.space.Protect(kCode, 0x40000, kPermRead | kPermExec).ok());
+    vm.machine.state().pc = entry;
+    record(vm.Run());
+
+    // Phase 4: full remap with different code.
+    EXPECT_TRUE(
+        vm.space.Map(kCode, 0x40000, kPermRead | kPermExec, MapMode::kFixed)
+            .ok());
+    const asmtext::Image img3 = AssembleAt(kLoop3);
+    EXPECT_TRUE(
+        vm.space.HostWrite(img3.text_addr, {img3.text.data(), img3.text.size()})
+            .ok());
+    vm.machine.state().pc = entry;
+    record(vm.Run());
+    return log;
+  };
+  const std::vector<uint64_t> chained = run_seq(Dispatch::kChained);
+  const std::vector<uint64_t> block = run_seq(Dispatch::kBlock);
+  const std::vector<uint64_t> step = run_seq(Dispatch::kStep);
+  ASSERT_EQ(chained.size(), 12u);
+  EXPECT_EQ(chained[0], 1u);
+  EXPECT_EQ(chained[3], 2u);
+  EXPECT_EQ(chained[6], 2u);  // phase 3 reruns the phase-2 code
+  EXPECT_EQ(chained[9], 3u);
+  EXPECT_EQ(block, chained);
+  EXPECT_EQ(step, chained);
+}
+
 // --- Timing model properties ---
 
 // Runs `body` inside a counted loop and returns total cycles.

@@ -92,6 +92,17 @@ TEST(FuzzSmoke, DifferentialBlockStepAgree) {
   EXPECT_GT(r.executed, 0u);
 }
 
+TEST(FuzzSmoke, ChainedDifferentialAgreesWithReference) {
+  fuzz::FuzzOptions opts;
+  opts.seed = 0xc4a1;
+  opts.iters = 200;
+  const auto r = fuzz::RunChainedDifferential(opts);
+  for (const auto& c : r.crashes) {
+    ADD_FAILURE() << "chained divergence found:\n" << fuzz::FormatArtifact(c);
+  }
+  EXPECT_GT(r.executed, 0u);
+}
+
 TEST(FuzzSmoke, CompletenessRewriterOutputAlwaysVerifies) {
   fuzz::FuzzOptions opts;
   opts.seed = 0xc0de;

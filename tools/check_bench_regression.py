@@ -16,6 +16,12 @@ Minsts/s rates are reported but never fail the check, since they either
 amplify small cycle deltas or depend on the host machine). Exit status
 is 0 unless --strict is given and a gated metric moved by more than the
 tolerance.
+
+One class of failure is loud even without --strict: a metric present in
+the baseline but absent from the run. A silently vanished metric usually
+means a bench section stopped running (or a metric was renamed without
+regenerating BENCH_BASELINE.json), and "report only" mode must not let
+that rot — exit status is 2 whenever baseline coverage is lost.
 """
 
 import argparse
@@ -61,6 +67,7 @@ def main():
 
     rows = []          # (metric, base, cur, delta_pct, flag)
     regressions = []
+    missing = []
     for metric in sorted(set(base) | set(cur)):
         b, c = base.get(metric), cur.get(metric)
         if b is None:
@@ -68,7 +75,7 @@ def main():
             continue
         if c is None:
             rows.append((metric, b, None, None, "missing"))
-            regressions.append(metric)
+            missing.append(metric)
             continue
         delta = 0.0 if b == c else (100.0 * (c - b) / b if b else float("inf"))
         gated = metric.endswith((".cycles", ".bytes"))
@@ -94,18 +101,28 @@ def main():
                    "REGRESSION": ":x: **regression**"}[flag]
         lines_md.append(f"| `{metric}` | {bs} | {cs} | {ds} | {md_mark} |")
 
+    verdicts = []
+    if missing:
+        verdicts.append(f"{len(missing)} baseline metric(s) MISSING from "
+                        f"the run: " + ", ".join(missing))
     if regressions:
-        verdict = (f"{len(regressions)} metric(s) outside tolerance: "
-                   + ", ".join(regressions))
-    else:
-        verdict = "all gated metrics within tolerance"
-    print(verdict)
-    lines_md += ["", verdict]
+        verdicts.append(f"{len(regressions)} metric(s) outside tolerance: "
+                        + ", ".join(regressions))
+    if not verdicts:
+        verdicts.append("all gated metrics within tolerance")
+    for verdict in verdicts:
+        print(verdict)
+    lines_md += [""] + verdicts
 
     if args.markdown:
         with open(args.markdown, "w") as f:
             f.write("\n".join(lines_md) + "\n")
 
+    if missing:
+        # Lost baseline coverage fails even in report-only mode: a bench
+        # section that silently stopped emitting a metric is exactly the
+        # failure "report only" must not hide.
+        return 2
     if regressions and args.strict:
         return 1
     return 0

@@ -5,12 +5,15 @@
 // accepts executes under the slot-invariant checker, which convicts any
 // access, branch target, or reserved-register value that leaves the
 // sandbox. Also runs completeness fuzzing (rewriter output must verify)
-// and differential fuzzing (block vs. step dispatch must agree), plus a
+// and differential fuzzing (block vs. step dispatch must agree), a
+// chained differential (the optimized chained backend vs. the reference
+// block loop, hook-free so the optimized loop actually runs), plus a
 // snapshot oracle (run N, checkpoint, run M, restore, re-run M; the two
 // M-phases must match in registers, retired count, and access trace).
 //
 // Usage:
-//   lfi_fuzz [--mode=soundness|completeness|differential|snapshot|all]
+//   lfi_fuzz [--mode=soundness|completeness|differential|chained|
+//             snapshot|all]
 //            [--iters=N] [--seed=N|string] [--max-insts=N]
 //            [--artifact-dir=DIR] [--replay FILE...]
 //
@@ -150,7 +153,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: lfi_fuzz [--mode=soundness|completeness|"
-                   "differential|snapshot|all] [--iters=N] [--seed=N|string]\n"
+                   "differential|chained|snapshot|all] [--iters=N] "
+                   "[--seed=N|string]\n"
                    "                [--max-insts=N] [--artifact-dir=DIR] "
                    "[--replay FILE...]\n");
       return 2;
@@ -187,6 +191,13 @@ int main(int argc, char** argv) {
     PrintReport(r);
     crashed = crashed || !r.ok();
   }
+  if (mode == "chained" || mode == "all") {
+    lfi::fuzz::FuzzOptions c = opts;
+    c.iters = opts.iters / 2 + 1;
+    const auto r = lfi::fuzz::RunChainedDifferential(c);
+    PrintReport(r);
+    crashed = crashed || !r.ok();
+  }
   if (mode == "snapshot" || mode == "all") {
     lfi::fuzz::FuzzOptions s = opts;
     s.iters = opts.iters / 2 + 1;
@@ -195,7 +206,7 @@ int main(int argc, char** argv) {
     crashed = crashed || !r.ok();
   }
   if (mode != "soundness" && mode != "completeness" && mode != "differential" &&
-      mode != "snapshot" && mode != "all") {
+      mode != "chained" && mode != "snapshot" && mode != "all") {
     std::fprintf(stderr, "lfi_fuzz: unknown mode '%s'\n", mode.c_str());
     return 2;
   }
