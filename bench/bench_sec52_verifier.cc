@@ -11,6 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <thread>
+
 #include "harness.h"
 #include "verifier/verifier.h"
 
@@ -72,6 +75,173 @@ void BM_VerifySingleWorkload(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifySingleWorkload);
 
+// A corpus large enough to engage VerifyParallel's sharded path
+// (thousands of instructions): the combined workload text, repeated.
+// Concatenation preserves acceptance — the verifier's context rules
+// (sp scan, x30 lookahead) only ever look forward, and every copy
+// discharges its obligations internally.
+const std::vector<uint8_t>& ParallelCorpus() {
+  static const std::vector<uint8_t>* corpus = [] {
+    const auto& unit = CombinedText();
+    auto* t = new std::vector<uint8_t>();
+    const size_t target = size_t{4} << 20;  // ~4 MB
+    while (t->size() < target) t->insert(t->end(), unit.begin(), unit.end());
+    return t;
+  }();
+  return *corpus;
+}
+
+void BM_VerifyParallelThroughput(benchmark::State& state) {
+  const auto& text = ParallelCorpus();
+  const unsigned nthreads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto r = verifier::VerifyParallel({text.data(), text.size()}, {},
+                                      nthreads);
+    if (!r.ok) state.SkipWithError(("verify failed: " + r.reason).c_str());
+    benchmark::DoNotOptimize(r.insts_checked);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_VerifyParallelThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+double BestOf3Seconds(const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int i = 0; i < 3; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+  }
+  return best;
+}
+
+bool SameVerdict(const verifier::VerifyResult& a,
+                 const verifier::VerifyResult& b) {
+  return a.ok == b.ok && a.kind == b.kind && a.fail_offset == b.fail_offset &&
+         a.reason == b.reason && a.insts_checked == b.insts_checked;
+}
+
+bool SameDeterministicStats(const verifier::VerifyStats& a,
+                            const verifier::VerifyStats& b) {
+  return a.calls == b.calls && a.insts_checked == b.insts_checked &&
+         a.fail_counts == b.fail_counts;
+}
+
+// Sharded-verify section: identity gates (bit-identical verdicts and
+// deterministic stats vs serial — hard-fail on any host) and throughput
+// at 2/4/8 threads (speedup gates tiered by the host's core count).
+// Returns false if a gate failed.
+bool ReportParallelJson(JsonReport* json) {
+  const auto& text = ParallelCorpus();
+  bool gates_ok = true;
+
+  verifier::VerifyStats serial_stats;
+  verifier::VerifyResult serial;
+  const double serial_secs = BestOf3Seconds([&] {
+    serial_stats = {};
+    serial = verifier::Verify({text.data(), text.size()}, {}, &serial_stats);
+  });
+  if (!serial.ok) {
+    std::fprintf(stderr, "sec52: parallel corpus failed verification: %s\n",
+                 serial.reason.c_str());
+    return false;
+  }
+  json->Add("sec52.verify.parallel.bytes", static_cast<double>(text.size()));
+  json->Add("sec52.verify.parallel.serial_mb_per_s",
+            text.size() / serial_secs / 1e6);
+
+  bool identical = true;
+  std::map<unsigned, double> speedup;
+  for (unsigned nthreads : {2u, 4u, 8u}) {
+    verifier::VerifyStats pstats;
+    verifier::VerifyResult par;
+    const double secs = BestOf3Seconds([&] {
+      pstats = {};
+      par = verifier::VerifyParallel({text.data(), text.size()}, {}, nthreads,
+                                     &pstats);
+    });
+    if (!SameVerdict(serial, par) ||
+        !SameDeterministicStats(serial_stats, pstats)) {
+      identical = false;
+      std::fprintf(stderr,
+                   "sec52: VerifyParallel(%u threads) diverged from serial\n",
+                   nthreads);
+    }
+    speedup[nthreads] = serial_secs / secs;
+    char key[64];
+    std::snprintf(key, sizeof(key), "sec52.verify.parallel.mb_per_s_%ut",
+                  nthreads);
+    json->Add(key, text.size() / secs / 1e6);
+    std::snprintf(key, sizeof(key), "sec52.verify.parallel.speedup_%ut",
+                  nthreads);
+    json->Add(key, speedup[nthreads]);
+    std::printf("sec52 parallel %ut: %.1f MB/s (%.2fx vs serial)\n", nthreads,
+                text.size() / secs / 1e6, speedup[nthreads]);
+  }
+  json->Add("sec52.verify.parallel.identical.exact", identical ? 1.0 : 0.0);
+  if (!identical) gates_ok = false;
+
+  // Batch identity over the individual workload texts.
+  std::vector<std::vector<uint8_t>> owned;
+  for (const auto& w : workloads::AllWorkloads()) {
+    const Built b = BuildLfi(workloads::Generate(w.name, 400000), Config::kO2);
+    if (!b.ok) continue;
+    auto img = elf::Read({b.elf.data(), b.elf.size()});
+    if (!img.ok()) continue;
+    for (const auto& seg : img->segments) {
+      if (seg.exec) owned.push_back(seg.data);
+    }
+  }
+  std::vector<std::span<const uint8_t>> texts;
+  for (const auto& t : owned) texts.emplace_back(t.data(), t.size());
+  verifier::VerifyStats bserial_stats;
+  std::vector<verifier::VerifyResult> bserial;
+  for (const auto& t : texts) {
+    bserial.push_back(verifier::Verify(t, {}, &bserial_stats));
+  }
+  bool batch_identical = true;
+  for (unsigned nthreads : {2u, 8u}) {
+    verifier::VerifyStats bstats;
+    const auto batch = verifier::VerifyBatch(texts, {}, nthreads, &bstats);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!SameVerdict(bserial[i], batch[i])) batch_identical = false;
+    }
+    if (!SameDeterministicStats(bserial_stats, bstats)) {
+      batch_identical = false;
+    }
+  }
+  json->Add("sec52.verify.batch.modules", static_cast<double>(texts.size()));
+  json->Add("sec52.verify.batch.identical.exact", batch_identical ? 1.0 : 0.0);
+  if (!batch_identical) {
+    std::fprintf(stderr, "sec52: VerifyBatch diverged from serial\n");
+    gates_ok = false;
+  }
+
+  // Speedup gates, tiered by available cores: a shared 4-vCPU CI runner
+  // cannot hit 3x@8, so each tier only gates when the host can support it.
+  const unsigned hc = std::thread::hardware_concurrency();
+  struct Tier { unsigned need_cores, nthreads; double min_speedup; };
+  const Tier tier = hc >= 8   ? Tier{8, 8, 3.0}
+                    : hc >= 4 ? Tier{4, 4, 1.8}
+                    : hc >= 2 ? Tier{2, 2, 1.2}
+                              : Tier{0, 0, 0.0};
+  if (tier.nthreads == 0) {
+    std::printf("sec52 parallel: single-core host, speedup gate skipped\n");
+  } else if (speedup[tier.nthreads] < tier.min_speedup) {
+    std::fprintf(stderr,
+                 "sec52: speedup gate FAILED: %.2fx at %u threads "
+                 "(need >= %.1fx on a %u-core host)\n",
+                 speedup[tier.nthreads], tier.nthreads, tier.min_speedup, hc);
+    gates_ok = false;
+  } else {
+    std::printf("sec52 parallel: speedup gate ok (%.2fx >= %.1fx at %ut)\n",
+                speedup[tier.nthreads], tier.min_speedup, tier.nthreads);
+  }
+  return gates_ok;
+}
+
 // One timed verification pass outside google-benchmark, for the JSON
 // report: the byte/instruction counts are deterministic (and act as a
 // structural regression gate); the MB/s figure is informational.
@@ -122,5 +292,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   lfi::bench::ReportJson(&json);
-  return json.Write() ? 0 : 1;
+  const bool gates_ok = lfi::bench::ReportParallelJson(&json);
+  if (!json.Write()) return 1;
+  return gates_ok ? 0 : 1;
 }

@@ -1,0 +1,79 @@
+// Encoding-class metadata for the ARMv8.0 allowlist (Section 5.2).
+//
+// Each EncClassInfo names one neighborhood of the 32-bit instruction
+// encoding space: a fixed (mask, match) pattern mirroring exactly one
+// dispatch arm of arch::Decode, plus the operand fields that vary inside
+// it. The verify_model enumerator sweeps the cartesian product of every
+// class's field-value sets, so the field tables below ARE the
+// exhaustiveness argument: a field marked kFull is swept over all 2^width
+// values; a field marked kBoundary is collapsed to a representative set
+// and carries a one-line justification (`why`) for why the collapsed
+// values cannot change the verifier-relevant behavior (documented at
+// length in docs/VERIFIER.md).
+//
+// Field value sets deliberately include encodings that do NOT decode
+// (e.g. the unallocated movwide opc=01, extend shifts > 4): the sweep
+// must prove the allowlist boundary is exactly where the model says it
+// is, not merely that accepted encodings are safe.
+//
+// This metadata is also the mutation table for the near-miss regression
+// corpus (tests/verifier_mutation_test.cc): flipping each field of a
+// known-accepted word to its boundary values produces the corpus of
+// almost-legal encodings whose verdicts are golden-snapshotted.
+#ifndef LFI_ARCH_FIELDS_H_
+#define LFI_ARCH_FIELDS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace lfi::arch {
+
+enum class FieldSweep : uint8_t {
+  kFull,      // all 2^width values enumerated
+  kBoundary,  // collapsed to a representative boundary set (see `why`)
+};
+
+struct EncField {
+  const char* name;
+  uint8_t lo = 0;     // bit position of the field's least significant bit
+  uint8_t width = 0;  // field width in bits
+  FieldSweep sweep = FieldSweep::kFull;
+  std::vector<uint32_t> values;  // materialized sweep values, each < 2^width
+  const char* why = "";          // collapse justification (kBoundary only)
+};
+
+struct EncClassInfo {
+  const char* name;    // stable kebab-case id ("addsub-ext", "ls-uimm", ...)
+  uint32_t mask = 0;   // fixed-bit mask; fields only occupy ~mask bits
+  uint32_t match = 0;  // class membership: (word & mask) == match
+  std::vector<EncField> fields;
+
+  // Number of encodings in the sweep (product of field value counts).
+  uint64_t EncodingCount() const;
+  // The index'th encoding (mixed-radix over the field value lists).
+  // index must be < EncodingCount().
+  uint32_t WordAt(uint64_t index) const;
+};
+
+// All classes, in arch::Decode dispatch order. The order is load-bearing:
+// ClassifyWord returns the first match, which must agree with the decode
+// arm that would handle the word.
+const std::vector<EncClassInfo>& AllEncClasses();
+
+// First class whose (mask, match) pattern the word satisfies, or nullptr
+// if the word lies outside every class neighborhood (always undecodable).
+const EncClassInfo* ClassifyWord(uint32_t w);
+
+// Class lookup by stable name, or nullptr.
+const EncClassInfo* FindEncClass(std::string_view name);
+
+// Small helper: the subset of `f.values` used when mutating a single
+// field of an existing accepted word (the near-miss corpus). For kFull
+// register fields this trims the full 32 values down to the boundary set
+// that matters (reserved registers, zr, and two plain registers).
+std::vector<uint32_t> MutationValues(const EncField& f);
+
+}  // namespace lfi::arch
+
+#endif  // LFI_ARCH_FIELDS_H_

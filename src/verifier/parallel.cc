@@ -1,0 +1,194 @@
+// Sharded verification drivers (the throughput leg of the verifier).
+//
+// The Section 5.2 pass is a single linear scan whose per-instruction
+// checks depend only on the decoded array (the x30 rule looks one
+// instruction ahead, the sp rule scans forward to the next branch), so
+// it shards embarrassingly: decode disjoint word ranges in parallel,
+// then check disjoint instruction ranges in parallel with every worker
+// reading the full decoded array for lookahead. Determinism is the
+// design constraint, not an afterthought: both passes reduce per-shard
+// first-failures to the global minimum offset, so the verdict — ok,
+// fail_offset, kind, reason, insts_checked — is bit-identical to the
+// serial pass for every input and every shard count.
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "arch/decode.h"
+#include "verifier/verifier.h"
+
+namespace lfi::verifier {
+
+namespace {
+
+using arch::Inst;
+
+// Below this many instructions the thread spawn/join overhead dominates
+// and the serial pass is both faster and trivially identical.
+constexpr size_t kMinShardInsts = 1024;
+
+unsigned ResolveThreads(unsigned nthreads) {
+  if (nthreads == 0) nthreads = std::thread::hardware_concurrency();
+  return nthreads == 0 ? 1 : nthreads;
+}
+
+// Evenly split [0, n) into `shards` contiguous ranges; shard s gets
+// [Bound(s), Bound(s+1)). The split depends only on (n, shards), never
+// on scheduling, so shard boundaries are reproducible.
+size_t Bound(size_t n, unsigned shards, unsigned s) {
+  return static_cast<size_t>(static_cast<uint64_t>(n) * s / shards);
+}
+
+}  // namespace
+
+VerifyResult VerifyParallel(std::span<const uint8_t> text,
+                            const VerifyOptions& opts, unsigned nthreads,
+                            VerifyStats* stats) {
+  nthreads = ResolveThreads(nthreads);
+  const size_t nwords = text.size() / 4;
+  if (nthreads <= 1 || nwords < 2 * kMinShardInsts) {
+    return Verify(text, opts, stats);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 =
+      stats != nullptr ? Clock::now() : Clock::time_point{};
+  bool decoded = false;
+  Clock::time_point decode_done = t0;
+  auto finish = [&](VerifyResult r) {
+    if (stats != nullptr) {
+      const Clock::time_point t1 = Clock::now();
+      ++stats->calls;
+      ++stats->fail_counts[static_cast<size_t>(r.kind)];
+      stats->insts_checked += r.insts_checked;
+      const Clock::time_point split = decoded ? decode_done : t1;
+      stats->decode_seconds +=
+          std::chrono::duration<double>(split - t0).count();
+      stats->check_seconds +=
+          std::chrono::duration<double>(t1 - split).count();
+    }
+    return r;
+  };
+
+  if (text.size() % 4 != 0) {
+    return finish(VerifyResult::Fail(text.size() & ~uint64_t{3},
+                                     FailKind::kTextSize,
+                                     "text size not a multiple of 4"));
+  }
+
+  const unsigned shards = static_cast<unsigned>(std::min<size_t>(
+      nthreads, std::max<size_t>(1, nwords / kMinShardInsts)));
+
+  // Pass 1: decode disjoint word ranges into a pre-sized array. A shard
+  // stops at its own first undecodable word; the earliest such offset
+  // across shards is exactly the offset the serial pass would report
+  // (everything before it decodes, so no earlier failure exists).
+  std::vector<Inst> insts(nwords);
+  std::vector<size_t> decode_fail(shards, SIZE_MAX);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+      workers.emplace_back([&, s] {
+        const size_t lo = Bound(nwords, shards, s);
+        const size_t hi = Bound(nwords, shards, s + 1);
+        for (size_t w = lo; w < hi; ++w) {
+          auto inst = arch::Decode(arch::ReadWordLE(text, w * 4));
+          if (!inst) {
+            decode_fail[s] = w;
+            break;
+          }
+          insts[w] = *inst;
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  const size_t bad_word =
+      *std::min_element(decode_fail.begin(), decode_fail.end());
+  if (bad_word != SIZE_MAX) {
+    // Re-decode the one word to regenerate the serial pass's message.
+    auto inst = arch::Decode(arch::ReadWordLE(text, bad_word * 4));
+    return finish(
+        VerifyResult::Fail(bad_word * 4, FailKind::kUndecodable,
+                           "undecodable instruction: " + inst.error()));
+  }
+  decoded = true;
+  if (stats != nullptr) decode_done = Clock::now();
+
+  // Pass 2: check disjoint instruction ranges. Workers read the whole
+  // array, so the x30 one-ahead rule and the unbounded sp forward scan
+  // cross shard boundaries with no special casing. Reasons are skipped
+  // in the hot loop and regenerated once for the winning offset.
+  std::vector<size_t> check_fail(shards, SIZE_MAX);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+      workers.emplace_back([&, s] {
+        const size_t lo = Bound(nwords, shards, s);
+        const size_t hi = Bound(nwords, shards, s + 1);
+        for (size_t k = lo; k < hi; ++k) {
+          if (CheckInst(insts, k, opts) != FailKind::kNone) {
+            check_fail[s] = k;
+            break;
+          }
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  const size_t bad_inst =
+      *std::min_element(check_fail.begin(), check_fail.end());
+  if (bad_inst != SIZE_MAX) {
+    std::string reason;
+    const FailKind kind = CheckInst(insts, bad_inst, opts, &reason);
+    return finish(VerifyResult::Fail(bad_inst * 4, kind, std::move(reason)));
+  }
+  return finish(VerifyResult::Ok(insts.size()));
+}
+
+std::vector<VerifyResult> VerifyBatch(
+    std::span<const std::span<const uint8_t>> texts,
+    const VerifyOptions& opts, unsigned nthreads, VerifyStats* stats) {
+  nthreads = ResolveThreads(nthreads);
+  const size_t n = texts.size();
+  std::vector<VerifyResult> results(n);
+  // Per-module stats buckets, merged in module order below: summing
+  // doubles in a fixed order makes even the wall-clock fields
+  // scheduling-independent for a given set of measurements.
+  std::vector<VerifyStats> mod_stats(stats != nullptr ? n : 0);
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      results[i] =
+          Verify(texts[i], opts, stats != nullptr ? &mod_stats[i] : nullptr);
+    }
+  };
+  const unsigned workers =
+      static_cast<unsigned>(std::min<size_t>(nthreads, n == 0 ? 1 : n));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (stats != nullptr) {
+    for (const VerifyStats& m : mod_stats) {
+      stats->calls += m.calls;
+      stats->insts_checked += m.insts_checked;
+      stats->decode_seconds += m.decode_seconds;
+      stats->check_seconds += m.check_seconds;
+      for (size_t k = 0; k < m.fail_counts.size(); ++k) {
+        stats->fail_counts[k] += m.fail_counts[k];
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace lfi::verifier

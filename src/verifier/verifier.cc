@@ -94,7 +94,7 @@ bool IsTableLoad(const Inst& i, const VerifyOptions& opts) {
 }
 
 // Checks writes to reserved registers in instruction `insts[k]`.
-Violation CheckReservedWrites(const std::vector<Inst>& insts, size_t k,
+Violation CheckReservedWrites(std::span<const Inst> insts, size_t k,
                               const VerifyOptions& opts) {
   const Inst& i = insts[k];
 
@@ -178,7 +178,58 @@ Violation CheckReservedWrites(const std::vector<Inst>& insts, size_t k,
   return {};
 }
 
+// The full per-instruction check: allowlist/system, ll/sc, memory
+// addressing, indirect branches, then reserved-register writes — in the
+// exact precedence order the linear pass applies, since precedence is
+// observable through FailKind when one instruction violates several
+// rules at once.
+Violation CheckInstImpl(std::span<const Inst> insts, size_t k,
+                        const VerifyOptions& opts) {
+  const Inst& i = insts[k];
+
+  // Property 3: instruction allowlist. The decoder already rejects
+  // everything outside the supported ARMv8.0 subset; system instructions
+  // that do decode are forbidden here.
+  if (i.mn == Mn::kSvc || i.mn == Mn::kMrs || i.mn == Mn::kMsr) {
+    return {FailKind::kSystemInstruction, "system instruction"};
+  }
+  if (!opts.allow_llsc && (i.mn == Mn::kLdxr || i.mn == Mn::kStxr)) {
+    return {FailKind::kLlscDisallowed,
+            "ll/sc disallowed (timerless side-channel mitigation)"};
+  }
+
+  // Property 1a: memory accesses.
+  if (arch::IsMemAccess(i)) {
+    const bool pure_load = arch::IsLoad(i) && !arch::IsStore(i);
+    if (opts.check_loads || !pure_load) {
+      if (auto v = CheckAccess(i, opts); !v.ok()) return v;
+    } else if (i.mem.HasWriteback() && !i.mem.base.IsSp() &&
+               arch::IsReservedGpr(i.mem.base)) {
+      return {FailKind::kReservedWriteback,
+              "writeback on reserved register"};
+    }
+  }
+
+  // Property 1b: indirect branches.
+  if (arch::IsIndirectBranch(i)) {
+    if (!IsAddressReg(i.rn) && i.rn != arch::kRegLink) {
+      return {FailKind::kUnguardedIndirectBranch,
+              "indirect branch through unguarded register"};
+    }
+  }
+
+  // Property 2: reserved-register integrity.
+  return CheckReservedWrites(insts, k, opts);
+}
+
 }  // namespace
+
+FailKind CheckInst(std::span<const arch::Inst> insts, size_t k,
+                   const VerifyOptions& opts, std::string* reason) {
+  Violation v = CheckInstImpl(insts, k, opts);
+  if (!v.ok() && reason != nullptr) *reason = std::move(v.reason);
+  return v.kind;
+}
 
 const char* FailKindName(FailKind k) {
   switch (k) {
@@ -248,48 +299,8 @@ VerifyResult Verify(std::span<const uint8_t> text,
   if (stats != nullptr) decode_done = Clock::now();
 
   for (size_t k = 0; k < insts.size(); ++k) {
-    const uint64_t off = k * 4;
-    const Inst& i = insts[k];
-
-    // Property 3: instruction allowlist. The decoder already rejects
-    // everything outside the supported ARMv8.0 subset; system instructions
-    // that do decode are forbidden here.
-    if (i.mn == Mn::kSvc || i.mn == Mn::kMrs || i.mn == Mn::kMsr) {
-      return finish(VerifyResult::Fail(off, FailKind::kSystemInstruction,
-                                       "system instruction"));
-    }
-    if (!opts.allow_llsc && (i.mn == Mn::kLdxr || i.mn == Mn::kStxr)) {
-      return finish(VerifyResult::Fail(
-          off, FailKind::kLlscDisallowed,
-          "ll/sc disallowed (timerless side-channel mitigation)"));
-    }
-
-    // Property 1a: memory accesses.
-    if (arch::IsMemAccess(i)) {
-      const bool pure_load = arch::IsLoad(i) && !arch::IsStore(i);
-      if (opts.check_loads || !pure_load) {
-        if (auto v = CheckAccess(i, opts); !v.ok()) {
-          return finish(VerifyResult::Fail(off, v.kind, std::move(v.reason)));
-        }
-      } else if (i.mem.HasWriteback() && !i.mem.base.IsSp() &&
-                 arch::IsReservedGpr(i.mem.base)) {
-        return finish(VerifyResult::Fail(off, FailKind::kReservedWriteback,
-                                         "writeback on reserved register"));
-      }
-    }
-
-    // Property 1b: indirect branches.
-    if (arch::IsIndirectBranch(i)) {
-      if (!IsAddressReg(i.rn) && i.rn != arch::kRegLink) {
-        return finish(VerifyResult::Fail(
-            off, FailKind::kUnguardedIndirectBranch,
-            "indirect branch through unguarded register"));
-      }
-    }
-
-    // Property 2: reserved-register integrity.
-    if (auto v = CheckReservedWrites(insts, k, opts); !v.ok()) {
-      return finish(VerifyResult::Fail(off, v.kind, std::move(v.reason)));
+    if (auto v = CheckInstImpl(insts, k, opts); !v.ok()) {
+      return finish(VerifyResult::Fail(k * 4, v.kind, std::move(v.reason)));
     }
   }
   return finish(VerifyResult::Ok(insts.size()));

@@ -1,0 +1,54 @@
+// Emulator cross-validation: executes a stratified sample of verifier-
+// accepted encodings from each class on the real emulator and asserts
+// that the concrete effect on the reserved state (x18, x21-x24, x30, sp)
+// matches the symbolic model's prediction (model.h PredictEffect). This
+// closes the model <-> verifier <-> emulator triangle: the sweep proves
+// the verifier agrees with the model about which words are safe, and
+// this proves the model's notion of "safe effect" agrees with what the
+// machine actually does.
+#ifndef LFI_VERIFY_MODEL_CROSSVAL_H_
+#define LFI_VERIFY_MODEL_CROSSVAL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "verify_model/sweep.h"
+
+namespace lfi::verify_model {
+
+struct CrossvalOptions {
+  // Cap on samples executed per class (the sweep's sample is already
+  // about this size; this is a second guard for hand-fed word lists).
+  size_t max_samples_per_class = 64;
+};
+
+struct CrossvalFailure {
+  std::string class_name;
+  uint32_t word = 0;
+  std::string detail;
+};
+
+struct CrossvalResult {
+  uint64_t executed = 0;       // samples run on the emulator
+  uint64_t faulted = 0;        // samples that (correctly) faulted
+  uint64_t branches = 0;       // branch samples (next-pc checked)
+  std::vector<CrossvalFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+// Cross-validates one class's accepted words. One Machine and
+// AddressSpace serve all of a call's samples; each sample runs from a
+// freshly reset CpuState against re-patterned memory.
+CrossvalResult CrossValidateWords(std::string_view class_name,
+                                  std::span<const uint32_t> words,
+                                  const CrossvalOptions& opts = {});
+
+// Cross-validates the accepted_sample of every sweep result.
+CrossvalResult CrossValidate(std::span<const SweepResult> sweeps,
+                             const CrossvalOptions& opts = {});
+
+}  // namespace lfi::verify_model
+
+#endif  // LFI_VERIFY_MODEL_CROSSVAL_H_

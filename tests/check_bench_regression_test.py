@@ -47,6 +47,7 @@ BASE = {
     "bench.a.cycles": 1000,
     "bench.a.overhead_pct": 5.0,
     "bench.b.bytes": 512,
+    "bench.d.identical.exact": 1.0,
 }
 
 
@@ -103,6 +104,22 @@ class CheckBenchRegressionTest(unittest.TestCase):
         del cur["bench.a.overhead_pct"]
         p = run_check(BASE, cur)
         self.assertEqual(p.returncode, 2, p.stdout + p.stderr)
+
+    def test_exact_metric_gates_with_zero_tolerance(self):
+        # Any drift at all on a .exact metric is a regression, even with
+        # a huge --tolerance.
+        cur = dict(BASE, **{"bench.d.identical.exact": 0.0})
+        p = run_check(BASE, cur)
+        self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+        self.assertIn("REGRESSION", p.stdout)
+        p = run_check(BASE, cur, "--strict")
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        p = run_check(BASE, cur, "--strict", "--tolerance", "1000")
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+
+    def test_exact_metric_identical_passes(self):
+        p = run_check(BASE, dict(BASE), "--strict", "--tolerance", "0")
+        self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
 
     def test_tolerance_flag_respected(self):
         cur = dict(BASE, **{"bench.a.cycles": 1150})  # +15%

@@ -1,0 +1,169 @@
+// Near-miss mutation regression corpus (satellite of the verify_model
+// sweep): every distinct instruction word the rewriter emits across the
+// synthetic workload pipeline is mutated one operand field at a time to
+// its boundary values (arch::MutationValues), and the verifier's verdict
+// for every mutant is snapshotted into a committed golden file. A change
+// to the verifier that silently shifts the accept/reject boundary for
+// any almost-legal encoding shows up as a golden diff.
+//
+// Regenerate after an intentional verifier change with:
+//   LFI_UPDATE_GOLDEN=1 ./build/tests/verifier_mutation_test
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/fields.h"
+#include "asmtext/assemble.h"
+#include "asmtext/parser.h"
+#include "rewriter/rewriter.h"
+#include "verifier/verifier.h"
+#include "workloads/workloads.h"
+
+#ifndef LFI_MUTATION_GOLDEN
+#error "build must define LFI_MUTATION_GOLDEN (path to the golden file)"
+#endif
+
+namespace lfi {
+namespace {
+
+// Distinct instruction words of every rewritten+assembled workload.
+// (void so ASSERT_* can bail out.)
+void CollectCorpus(std::vector<uint32_t>* out) {
+  std::set<uint32_t> words;
+  for (const auto& w : workloads::AllWorkloads()) {
+    const std::string src = workloads::Generate(w.name, 500);
+    ASSERT_FALSE(src.empty()) << w.name;
+    auto parsed = asmtext::Parse(src);
+    ASSERT_TRUE(parsed.ok()) << w.name << ": " << parsed.error();
+    rewriter::RewriteOptions ropts;
+    auto rewritten = rewriter::Rewrite(*parsed, ropts);
+    ASSERT_TRUE(rewritten.ok()) << w.name << ": " << rewritten.error();
+    asmtext::LayoutSpec spec;
+    auto img = asmtext::Assemble(*rewritten, spec);
+    ASSERT_TRUE(img.ok()) << w.name << ": " << img.error();
+    const auto r = verifier::Verify(img->text);
+    ASSERT_TRUE(r.ok) << w.name << " does not verify: " << r.reason;
+    for (size_t off = 0; off + 4 <= img->text.size(); off += 4) {
+      uint32_t word;
+      std::memcpy(&word, img->text.data() + off, 4);
+      words.insert(word);
+    }
+  }
+  out->assign(words.begin(), words.end());
+}
+
+std::string VerdictOf(uint32_t word) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&word);
+  const auto r = verifier::Verify({p, 4});
+  return r.ok ? "ok" : verifier::FailKindName(r.kind);
+}
+
+// One line per (word, field): the base word's bare verdict plus the
+// verdict of every boundary mutant of that field.
+std::string Snapshot(const std::vector<uint32_t>& corpus) {
+  std::ostringstream out;
+  out << "# verifier near-miss mutation golden\n"
+      << "# word=<hex> <class> <field> base=<verdict>: "
+      << "<fieldvalue>=<verdict> ...\n";
+  for (uint32_t word : corpus) {
+    const arch::EncClassInfo* cls = arch::ClassifyWord(word);
+    if (cls == nullptr) continue;  // data words embedded in text
+    const std::string base = VerdictOf(word);
+    for (const arch::EncField& f : cls->fields) {
+      const uint32_t fmask = ((1u << f.width) - 1u) << f.lo;
+      const uint32_t cur = (word & fmask) >> f.lo;
+      std::ostringstream line;
+      bool any = false;
+      for (uint32_t v : arch::MutationValues(f)) {
+        if (v == cur) continue;
+        const uint32_t mutant = (word & ~fmask) | (v << f.lo);
+        line << " " << v << "=" << VerdictOf(mutant);
+        any = true;
+      }
+      if (!any) continue;
+      char head[64];
+      std::snprintf(head, sizeof(head), "word=%08X %s %s base=%s:", word,
+                    cls->name, f.name, base.c_str());
+      out << head << line.str() << "\n";
+    }
+  }
+  return out.str();
+}
+
+TEST(VerifierMutation, GoldenVerdictSnapshot) {
+  std::vector<uint32_t> corpus;
+  CollectCorpus(&corpus);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_GT(corpus.size(), 50u) << "suspiciously small rewriter corpus";
+  const std::string snapshot = Snapshot(corpus);
+
+  const char* golden_path = LFI_MUTATION_GOLDEN;
+  if (std::getenv("LFI_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << snapshot;
+    std::printf("updated %s (%zu bytes)\n", golden_path, snapshot.size());
+    return;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << golden_path
+      << "; regenerate with LFI_UPDATE_GOLDEN=1 " << std::flush;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string golden = buf.str();
+
+  if (snapshot == golden) return;
+
+  // Line-level diff so an intentional verifier change is reviewable.
+  std::vector<std::string> want, got;
+  for (std::istringstream s(golden); !s.eof();) {
+    std::string l;
+    if (std::getline(s, l)) want.push_back(l);
+  }
+  for (std::istringstream s(snapshot); !s.eof();) {
+    std::string l;
+    if (std::getline(s, l)) got.push_back(l);
+  }
+  size_t shown = 0;
+  const size_t n = std::max(want.size(), got.size());
+  for (size_t i = 0; i < n && shown < 20; ++i) {
+    const std::string& a = i < want.size() ? want[i] : "<missing>";
+    const std::string& b = i < got.size() ? got[i] : "<missing>";
+    if (a != b) {
+      ADD_FAILURE() << "golden line " << i + 1 << ":\n  golden: " << a
+                    << "\n  actual: " << b;
+      ++shown;
+    }
+  }
+  FAIL() << "verifier mutation verdicts diverged from " << golden_path
+         << " (" << want.size() << " -> " << got.size()
+         << " lines); if intentional, regenerate with LFI_UPDATE_GOLDEN=1";
+}
+
+// The mutation tables themselves: every class field's mutation set is
+// non-empty, in range, and includes at least one boundary value.
+TEST(VerifierMutation, MutationValuesAreWellFormed) {
+  for (const auto& cls : arch::AllEncClasses()) {
+    for (const auto& f : cls.fields) {
+      const auto vals = arch::MutationValues(f);
+      EXPECT_FALSE(vals.empty()) << cls.name << "." << f.name;
+      for (uint32_t v : vals) {
+        EXPECT_LT(v, 1u << f.width) << cls.name << "." << f.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lfi

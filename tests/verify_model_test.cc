@@ -1,0 +1,206 @@
+// Model-based exhaustive verifier validation (docs/VERIFIER.md): the
+// symbolic per-class effect model must agree with the real verifier on
+// every swept encoding, the emulator must agree with the model's effect
+// predictions on a stratified sample of accepted encodings, and — the
+// meta-test — a deliberately seeded model bug must be caught by the
+// sweep, proving the harness can actually detect disagreement.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "asmtext/assemble.h"
+#include "asmtext/parser.h"
+#include "verify_model/crossval.h"
+#include "verify_model/model.h"
+#include "verify_model/sweep.h"
+
+// Sanitizer builds run the interpreter-heavy sweep ~5x slower; thin the
+// enumeration with a prime stride (coprime to every field radix, so all
+// field regions stay covered).
+#if defined(__SANITIZE_ADDRESS__)
+#define LFI_VM_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LFI_VM_SANITIZED 1
+#endif
+#endif
+
+namespace lfi::verify_model {
+namespace {
+
+using verifier::FailKind;
+
+uint64_t SweepStride() {
+#ifdef LFI_VM_SANITIZED
+  return 7;
+#else
+  return 1;
+#endif
+}
+
+std::vector<uint32_t> AssembleWords(const std::string& src) {
+  auto f = asmtext::Parse(src);
+  EXPECT_TRUE(f.ok()) << (f.ok() ? "" : f.error());
+  asmtext::LayoutSpec spec;
+  auto img = asmtext::Assemble(*f, spec);
+  EXPECT_TRUE(img.ok()) << (img.ok() ? "" : img.error());
+  std::vector<uint32_t> words;
+  if (img.ok()) {
+    words.resize(img->text.size() / 4);
+    std::memcpy(words.data(), img->text.data(), words.size() * 4);
+  }
+  return words;
+}
+
+TEST(VerifyModel, ExhaustiveSweepMatchesVerifierOnEveryClass) {
+  SweepOptions opts;
+  opts.stride = SweepStride();
+  const auto results = SweepAll(opts);
+  ASSERT_EQ(results.size(), arch::AllEncClasses().size());
+  uint64_t accepted = 0, checked = 0;
+  for (const auto& r : results) {
+    EXPECT_GT(r.checked, 0u) << r.class_name;
+    EXPECT_EQ(r.mismatches, 0u)
+        << r.class_name << ": "
+        << (r.recorded.empty() ? "(none recorded)" : r.recorded[0].detail);
+    accepted += r.accepted;
+    checked += r.checked;
+  }
+  // The allowlist is not vacuous: millions of encodings checked, a
+  // substantial accepted population, and samples collected everywhere.
+  EXPECT_GT(checked, 1000000u);
+  EXPECT_GT(accepted, 100000u);
+}
+
+TEST(VerifyModel, SweepCatchesSeededAddressRegModelBug) {
+  // Seed a model bug: pretend every write to an address register is
+  // legal (as if the model forgot the guard-only rule for x18/x23/x24).
+  // The sweep must flag the disagreement with the real verifier.
+  SweepOptions opts;
+  opts.stride = 97;
+  opts.model_override = [](const MFacts&, Verdict* v) {
+    if (!v->ok && v->kind == FailKind::kAddressRegWrite) {
+      v->ok = true;
+      v->kind = FailKind::kNone;
+    }
+  };
+  const auto* cls = arch::FindEncClass("addsub-shift");
+  ASSERT_NE(cls, nullptr);
+  const SweepResult r = SweepClass(*cls, opts);
+  EXPECT_GT(r.mismatches, 0u)
+      << "seeded model bug was not detected by the sweep";
+}
+
+TEST(VerifyModel, SweepCatchesSeededGuardRangeModelBug) {
+  // Second seeded bug, in a different predicate family: the model
+  // accepts out-of-range immediate offsets.
+  SweepOptions opts;
+  opts.stride = 13;
+  opts.model_override = [](const MFacts&, Verdict* v) {
+    if (!v->ok && v->kind == FailKind::kGuardRangeOverflow) {
+      v->ok = true;
+      v->kind = FailKind::kNone;
+    }
+  };
+  const auto* cls = arch::FindEncClass("ls-uimm");
+  ASSERT_NE(cls, nullptr);
+  const SweepResult r = SweepClass(*cls, opts);
+  EXPECT_GT(r.mismatches, 0u)
+      << "seeded model bug was not detected by the sweep";
+}
+
+TEST(VerifyModel, EmulatorAgreesWithEffectPredictions) {
+  SweepOptions opts;
+  opts.stride = 101;
+  opts.sample_per_class = 32;
+  const auto sweeps = SweepAll(opts);
+  const CrossvalResult cv = CrossValidate(sweeps);
+  EXPECT_GT(cv.executed, 300u);
+  EXPECT_GT(cv.branches, 0u);
+  for (const auto& f : cv.failures) {
+    ADD_FAILURE() << f.class_name << " word 0x" << std::hex << f.word
+                  << std::dec << ": " << f.detail;
+  }
+}
+
+TEST(VerifyModel, PredictVerdictMatchesVerifyOnCuratedSequences) {
+  const verifier::VerifyOptions vopts;
+  const std::vector<std::string> programs = {
+      // Legal guard patterns.
+      "add x18, x21, w1, uxtw\nldr x0, [x18]\nret\n",
+      "add x30, x21, w5, uxtw\nret\n",
+      "mov w22, w1\nadd sp, x21, x22\n",
+      "ldr x30, [x21, #24]\nblr x30\n",
+      "sub sp, sp, #32\nstr x0, [sp, #8]\n",
+      // Context violations.
+      "ldr x30, [x21, #24]\nnop\n",
+      "sub sp, sp, #32\nret\n",
+      "add sp, sp, #16\nadd sp, sp, #16\nstr x0, [sp]\n",
+      // Plain rejections.
+      "ldr x0, [x1]\n",
+      "add x21, x0, #1\n",
+      "mov x22, x0\n",
+      "br x1\n",
+      "svc #0\n",
+  };
+  for (const std::string& src : programs) {
+    const std::vector<uint32_t> words = AssembleWords(src);
+    ASSERT_FALSE(words.empty()) << src;
+    std::vector<uint8_t> bytes(words.size() * 4);
+    std::memcpy(bytes.data(), words.data(), bytes.size());
+    const verifier::VerifyResult real = verifier::Verify(bytes, vopts);
+    const Verdict model =
+        PredictVerdict(std::span<const uint32_t>(words), vopts);
+    EXPECT_EQ(model.ok, real.ok) << src;
+    if (!real.ok && !model.ok) {
+      EXPECT_EQ(model.kind, real.kind) << src;
+      EXPECT_EQ(model.fail_index * 4, real.fail_offset) << src;
+    }
+  }
+}
+
+TEST(VerifyModel, ExtractFactsSeesGuardShapes) {
+  const std::vector<uint32_t> words = AssembleWords(
+      "add x18, x21, w1, uxtw\n"
+      "add sp, x21, x22\n"
+      "add sp, sp, #48\n"
+      "ldr x30, [x21, #16]\n");
+  ASSERT_EQ(words.size(), 4u);
+
+  const MFacts guard = ExtractFacts(words[0]);
+  EXPECT_TRUE(guard.decodable);
+  EXPECT_EQ(guard.guard_for, 18);
+  EXPECT_EQ(guard.guard_rm, 1);
+
+  const MFacts spg = ExtractFacts(words[1]);
+  EXPECT_TRUE(spg.sp_guard);
+
+  const MFacts adj = ExtractFacts(words[2]);
+  EXPECT_TRUE(adj.sp_small_adjust);
+  EXPECT_EQ(adj.adjust, 48);
+
+  const MFacts tl = ExtractFacts(words[3]);
+  EXPECT_TRUE(tl.plain_int_ldr);
+  EXPECT_EQ(tl.rt, 30);
+  EXPECT_EQ(tl.base, 21);
+  const auto suffix = DischargeSuffix(tl, {});
+  ASSERT_EQ(suffix.size(), 1u);
+  EXPECT_EQ(suffix[0], 0xD63F03C0u);  // blr x30
+}
+
+TEST(VerifyModel, DischargeSuffixesAreStandaloneLegal) {
+  // The sweep's rejection-anchoring argument requires every suffix word
+  // to be accepted by itself.
+  for (uint32_t w : {0xD63F03C0u,                          // blr x30
+                     0x8B200000u | (1u << 16) | (2u << 13) |
+                         (21u << 5) | 30u,                 // x30 guard
+                     0xF90003FFu}) {                       // str xzr, [sp]
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&w);
+    const auto r = verifier::Verify({p, 4}, {});
+    EXPECT_TRUE(r.ok) << std::hex << w << ": " << r.reason;
+  }
+}
+
+}  // namespace
+}  // namespace lfi::verify_model

@@ -10,12 +10,15 @@ noise. Usage:
     bench_table5_microbench --json current.json   # merges into same file
     tools/check_bench_regression.py BENCH_BASELINE.json current.json
 
-Only `.cycles` and `.bytes` metrics gate (both are exact under the
-deterministic simulator; derived metrics like overhead_pct, ns, and
-Minsts/s rates are reported but never fail the check, since they either
-amplify small cycle deltas or depend on the host machine). Exit status
-is 0 unless --strict is given and a gated metric moved by more than the
-tolerance.
+Only `.cycles`, `.bytes`, and `.exact` metrics gate. The first two are
+exact under the deterministic simulator but tolerate small drift (a
+changed workload mix legitimately moves them); `.exact` metrics are
+pass/fail facts (e.g. "sharded verify was bit-identical to serial") and
+gate with ZERO tolerance, ignoring --tolerance. Derived metrics like
+overhead_pct, ns, and Minsts/s rates are reported but never fail the
+check, since they either amplify small cycle deltas or depend on the
+host machine. Exit status is 0 unless --strict is given and a gated
+metric moved by more than its tolerance.
 
 One class of failure is loud even without --strict: a metric present in
 the baseline but absent from the run. A silently vanished metric usually
@@ -54,8 +57,9 @@ def main():
     ap.add_argument("baseline", help="committed BENCH_BASELINE.json")
     ap.add_argument("current", help="json from this run's benches")
     ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE_PCT,
-                    help="allowed +/- %% drift on .cycles metrics "
-                         "(default %(default)s)")
+                    help="allowed +/- %% drift on .cycles/.bytes metrics "
+                         "(default %(default)s; .exact metrics always "
+                         "gate at zero)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 on regressions (default: report only)")
     ap.add_argument("--markdown", metavar="PATH",
@@ -78,8 +82,11 @@ def main():
             missing.append(metric)
             continue
         delta = 0.0 if b == c else (100.0 * (c - b) / b if b else float("inf"))
-        gated = metric.endswith((".cycles", ".bytes"))
-        ok = not gated or abs(delta) <= args.tolerance
+        if metric.endswith(".exact"):
+            ok = b == c
+        else:
+            gated = metric.endswith((".cycles", ".bytes"))
+            ok = not gated or abs(delta) <= args.tolerance
         rows.append((metric, b, c, delta, "ok" if ok else "REGRESSION"))
         if not ok:
             regressions.append(metric)
