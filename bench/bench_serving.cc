@@ -9,6 +9,10 @@
 //   storm    chaos storm injected mid-serving with parked sandboxes
 //            killed behind the pool's back: victims (tier 0) restart and
 //            fail, bystander tenants (tier 1) must keep a clean SLO
+//   resilience  tenant-scoped chaos (ServeConfig::chaos): tenant 0 faults
+//            continuously under a tight-gap storm while retries, its
+//            circuit breaker, and binding-scoped victimhood keep the
+//            other tenants' SLOs spotless
 //   closed   closed-loop clients with think time
 //   bursty   synchronized arrival batches against admission control
 //
@@ -172,6 +176,56 @@ ServeReport RunStorm(const Built& b, uint64_t traffic_seed,
   return srv.report();
 }
 
+// Resilience phase: tenant 0 is storm-scoped through ServeConfig::chaos
+// (victimhood follows the tenant *binding* — marked at dispatch, unmarked
+// at completion — so recycling stays on and healthy tenants may reuse a
+// sandbox that previously served the faulting tenant). A tight fault gap
+// guarantees every tenant-0 attempt faults; the kill policy turns each
+// fault into a failed request, so retries burn down and the tenant's
+// circuit opens, after which its arrivals fast-fail without consuming a
+// sandbox. Healthy tenants (1-3) must come through spotless.
+ServeReport RunResilience(const Built& b, uint64_t traffic_seed,
+                          uint64_t chaos_seed, std::string* error,
+                          std::string* transcript) {
+  Stack s(b);
+  if (s.pool == nullptr) {
+    *error = s.error;
+    return {};
+  }
+  lfi::chaos::ChaosProfile profile;
+  profile.name = "bench-resilience";
+  profile.cpu_faults = true;
+  // The handler retires ~1500 instructions: a gap well below that makes
+  // every victim attempt fault before it can finish.
+  profile.min_fault_gap = 200;
+  profile.max_fault_gap = 1000;
+  lfi::chaos::ChaosEngine storm(chaos_seed, profile);
+  s.rt.set_chaos(&storm);
+
+  ServeConfig cfg = BaseConfig(TrafficKind::kPoisson, traffic_seed, 600);
+  cfg.traffic.rate_per_mcycle = 400;
+  cfg.tiers.resize(2);
+  cfg.tiers[0].name = "storm";
+  cfg.tiers[0].policy.on_fault = lfi::runtime::FaultAction::kKill;
+  cfg.tiers[0].slo_cycles = 20000000;
+  cfg.tiers[1].name = "healthy";
+  cfg.tiers[1].slo_cycles = 20000000;
+  cfg.retry.budget = 2;
+  cfg.retry.backoff_base_cycles = 10000;
+  cfg.retry.backoff_cap_cycles = 100000;
+  cfg.breaker.failure_threshold = 4;
+  cfg.breaker.open_cycles = 1000000;
+  cfg.breaker.close_successes = 2;
+  cfg.chaos = &storm;
+  cfg.chaos_tenants = {0};
+
+  Server srv(&s.rt, cfg, s.pool.get());
+  const ServeReport& rep = srv.Run();
+  if (transcript != nullptr) *transcript = rep.Format();
+  s.rt.set_chaos(nullptr);
+  return rep;
+}
+
 }  // namespace
 }  // namespace lfi::bench
 
@@ -250,6 +304,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Resilience: storm-scoped tenant vs healthy tenants ----------------
+  std::string resilience_err, resilience_transcript, resilience_replay;
+  const ServeReport resilience =
+      RunResilience(b, kSeed + 4, 777, &resilience_err,
+                    &resilience_transcript);
+  if (!resilience_err.empty()) {
+    std::fprintf(stderr, "error: resilience: %s\n", resilience_err.c_str());
+    return 1;
+  }
+  (void)RunResilience(b, kSeed + 4, 777, &resilience_err, &resilience_replay);
+  const bool resilience_deterministic =
+      resilience_replay == resilience_transcript;
+  uint64_t healthy_shed = 0, healthy_slo = 0, healthy_failed = 0;
+  uint64_t healthy_done = 0;
+  for (const auto& [tenant, s] : resilience.tenants) {
+    if (tenant == 0) continue;
+    healthy_shed += s.shed;
+    healthy_slo += s.slo_violations;
+    healthy_failed += s.failed;
+    healthy_done += s.completed;
+  }
+  const lfi::serve::TenantStats storm_tenant =
+      resilience.tenants.count(0) ? resilience.tenants.at(0)
+                                  : lfi::serve::TenantStats{};
+
   // ---- Closed-loop and bursty shapes -------------------------------------
   ServeConfig closed_cfg = BaseConfig(TrafficKind::kClosed, kSeed + 2, 800);
   closed_cfg.traffic.closed_clients = 8;
@@ -293,6 +372,17 @@ int main(int argc, char** argv) {
               (unsigned long long)victim_disrupted,
               (unsigned long long)bystander_failed,
               (unsigned long long)bystander_slo);
+  std::printf("resilience: storm tenant trips=%llu shed_breaker=%llu "
+              "retried=%llu injected=%llu; healthy completed=%llu shed=%llu "
+              "slo_viol=%llu failed=%llu\n",
+              (unsigned long long)storm_tenant.breaker_trips,
+              (unsigned long long)storm_tenant.shed_breaker,
+              (unsigned long long)storm_tenant.retried,
+              (unsigned long long)storm_tenant.injected_faults,
+              (unsigned long long)healthy_done,
+              (unsigned long long)healthy_shed,
+              (unsigned long long)healthy_slo,
+              (unsigned long long)healthy_failed);
   std::printf("closed: %llu completed, p99 %llu; bursty: %llu shed_queue, "
               "%llu shed_deadline\n",
               (unsigned long long)closed.completed,
@@ -315,6 +405,18 @@ int main(int argc, char** argv) {
              static_cast<double>(burst.shed_queue));
   report.Add("serving.bursty.shed_deadline",
              static_cast<double>(burst.shed_deadline));
+  report.Add("serving.resilience.healthy_completed",
+             static_cast<double>(healthy_done));
+  report.Add("serving.resilience.healthy_shed",
+             static_cast<double>(healthy_shed));
+  report.Add("serving.resilience.healthy_slo_violations",
+             static_cast<double>(healthy_slo));
+  report.Add("serving.resilience.storm_breaker_trips",
+             static_cast<double>(storm_tenant.breaker_trips));
+  report.Add("serving.resilience.storm_shed_breaker",
+             static_cast<double>(storm_tenant.shed_breaker));
+  report.Add("serving.resilience.storm_retried",
+             static_cast<double>(storm_tenant.retried));
   if (!report.Write()) return 1;
 
   // ---- Gates -------------------------------------------------------------
@@ -342,6 +444,34 @@ int main(int argc, char** argv) {
                  (unsigned long long)bystander_failed,
                  (unsigned long long)bystander_slo,
                  (unsigned long long)bystander_done);
+    rc = 1;
+  }
+  if (!resilience_deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: resilience same-seed replay diverged\n");
+    rc = 1;
+  }
+  if (healthy_shed != 0 || healthy_slo != 0 || healthy_failed != 0 ||
+      healthy_done == 0) {
+    std::fprintf(stderr,
+                 "FAIL: healthy tenants disturbed under storm-scoped chaos "
+                 "(shed=%llu slo=%llu failed=%llu completed=%llu)\n",
+                 (unsigned long long)healthy_shed,
+                 (unsigned long long)healthy_slo,
+                 (unsigned long long)healthy_failed,
+                 (unsigned long long)healthy_done);
+    rc = 1;
+  }
+  if (storm_tenant.breaker_trips == 0 || storm_tenant.shed_breaker == 0 ||
+      storm_tenant.retried == 0 || storm_tenant.injected_faults == 0) {
+    std::fprintf(stderr,
+                 "FAIL: resilience phase did not exercise the storm tenant "
+                 "(trips=%llu shed_breaker=%llu retried=%llu "
+                 "injected=%llu)\n",
+                 (unsigned long long)storm_tenant.breaker_trips,
+                 (unsigned long long)storm_tenant.shed_breaker,
+                 (unsigned long long)storm_tenant.retried,
+                 (unsigned long long)storm_tenant.injected_faults);
     rc = 1;
   }
   if (warm.completed == 0 || cold.completed == 0 ||

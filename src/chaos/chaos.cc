@@ -64,13 +64,23 @@ ChaosEngine::PidPlan& ChaosEngine::Plan(int pid) {
 
 bool ChaosEngine::IsVictim(int pid) { return Plan(pid).victim; }
 
-void ChaosEngine::MarkVictim(int pid) {
+void ChaosEngine::PinVictims() {
   if (!pinned_victims_) {
     // First pin wins: drop any auto-selected victims already planned.
     pinned_victims_ = true;
     for (auto& [id, plan] : plans_) plan.victim = false;
   }
+}
+
+void ChaosEngine::MarkVictim(int pid) {
+  PinVictims();
   Plan(pid).victim = true;
+}
+
+void ChaosEngine::UnmarkVictim(int pid) {
+  if (!pinned_victims_) return;
+  auto it = plans_.find(pid);
+  if (it != plans_.end()) it->second.victim = false;
 }
 
 bool ChaosEngine::OnInst(const arch::Inst& inst, uint64_t pc,

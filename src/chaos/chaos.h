@@ -66,6 +66,18 @@ class ChaosEngine final : public emu::ExecHook {
   // auto-selection is disabled once any pid is marked.
   void MarkVictim(int pid);
 
+  // Switches to an explicitly pinned (initially empty) victim set without
+  // naming a pid. The serving layer calls this up front so that only the
+  // pids it later MarkVictim()s — sandboxes bound to storm-scoped tenants
+  // — are ever injected into.
+  void PinVictims();
+
+  // Removes pid from the pinned victim set (no-op when unpinned or not a
+  // victim). Lets victimhood track a *binding* rather than a pid: a
+  // recycled sandbox that served a storm tenant is unmarked before it can
+  // be handed to a healthy tenant.
+  void UnmarkVictim(int pid);
+
   // Whether the runtime needs to attach the per-instruction hook (only
   // cpu-fault injection pays the hook cost).
   bool WantsExecHook() const { return profile_.cpu_faults; }

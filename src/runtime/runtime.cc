@@ -533,6 +533,7 @@ Status Runtime::Recycle(int pid) {
   p->fault_detail.clear();
   p->term_signal = 0;
   p->disposition = Disposition::kNone;
+  p->fault_injected = false;
   p->restarts = 0;
   p->cpu_cycles = 0;
   p->insts_retired = 0;

@@ -78,6 +78,9 @@ struct Proc {
   std::string fault_detail;  // populated when killed by a fault
   int term_signal = 0;       // signal number recorded at kill
   Disposition disposition = Disposition::kNone;  // last fault resolution
+  bool fault_injected = false;  // last fault came from the chaos engine
+                                // (serving tells injected storms apart
+                                // from organic handler faults)
 
   // Fault policy, limits, and signal-delivery state (supervisor.h).
   SupervisorPolicy policy;

@@ -53,6 +53,14 @@ bool SpawnPool::Recycle(int pid) {
   return true;
 }
 
+int SpawnPool::Reconcile(int target) {
+  PurgeDead();
+  const int warm_now = static_cast<int>(warm_.size());
+  if (warm_now < target) return Prewarm(target);
+  if (warm_now > target) return -Evict(1);
+  return 0;
+}
+
 int SpawnPool::Evict(int n) {
   int evicted = 0;
   while (evicted < n && !warm_.empty()) {

@@ -55,6 +55,14 @@ class SpawnPool {
   // actually evicted.
   int Evict(int n);
 
+  // One sizing-policy step: purge dead entries, then move warm capacity
+  // toward `target` — top up fully when below (warmth must get ahead of
+  // demand) but evict at most one per call when above (gradual drain, so
+  // an oscillating load does not thrash spawn/kill cycles). Returns the
+  // net change in warm capacity. The serving sizer calls this once per
+  // control-plane step with whatever target its policy computed.
+  int Reconcile(int target);
+
   // Drops entries whose parked sandbox was killed behind the pool's back
   // (counted in dead_parked()). Called by Prewarm and Take; public so
   // sizing policies can reconcile warm() on demand.

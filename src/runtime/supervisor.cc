@@ -68,6 +68,7 @@ Disposition Supervisor::HandleFault(Proc* p, const emu::CpuFault& f,
   const int signo = FaultSignal(f.kind);
   std::string detail = f.detail + " pc=" + std::to_string(f.pc);
   if (injected) detail += " [chaos]";
+  p->fault_injected = injected;
   switch (p->policy.on_fault) {
     case FaultAction::kSignal: {
       std::string why_not;

@@ -43,6 +43,7 @@ constexpr const char* kEventKindNames[] = {
     "signal-deliver", "sigreturn", "proc-restart", "limit-hit",
     "chaos-inject",  "snapshot-restore", "snapshot-spawn",
     "serve-dispatch", "serve-complete", "serve-shed",
+    "serve-retry",   "serve-breaker", "serve-degrade",
 };
 static_assert(sizeof(kEventKindNames) / sizeof(kEventKindNames[0]) ==
               static_cast<size_t>(EventKind::kCount));

@@ -130,7 +130,16 @@ enum class EventKind : uint8_t {
   kServeComplete,   // request finished; arg0 = request id, arg1 = latency
                     // in cycles
   kServeShed,       // request shed by admission control (pid 0); arg0 =
-                    // request id, arg1 = 0 queue-full / 1 deadline
+                    // request id, arg1 = 0 queue-full / 1 deadline /
+                    // 2 tenant-quota / 3 breaker-open / 4 degraded
+  kServeRetry,      // failed request re-enqueued (pid 0); arg0 = request
+                    // id, arg1 = backoff cycles until it is eligible
+  kServeBreaker,    // tenant circuit-breaker transition (pid 0); arg0 =
+                    // tenant, arg1 = new state (0 closed / 1 open /
+                    // 2 half-open)
+  kServeDegrade,    // overload-ladder transition (pid 0); arg0 = new
+                    // level (0 normal / 1 shed-low-tier / 2 no-retry /
+                    // 3 fast-fail), arg1 = queue-depth EWMA
   kCount,
 };
 

@@ -6,7 +6,9 @@
 // divergence (an extra event, a cycle of drift, a different fault point)
 // shows up as a string mismatch. The same must hold under chaos
 // injection with mid-run snapshot restarts: the restore path may not
-// perturb the replay contract.
+// perturb the replay contract. The final test extends the contract to
+// the serving control plane's resilience stack — retry backoff jitter,
+// breaker clocks, tenant-scoped chaos — across dispatch backends.
 
 #include <gtest/gtest.h>
 
@@ -17,6 +19,8 @@
 #include "chaos/chaos.h"
 #include "pipeline_util.h"
 #include "runtime/runtime.h"
+#include "runtime/spawn_pool.h"
+#include "serve/serve.h"
 #include "snapshot/snapshot.h"
 #include "trace/trace.h"
 
@@ -272,6 +276,103 @@ TEST(Determinism, ChaosRestartReplayIsByteIdenticalAndRestoresFromSnapshot) {
   // Across the seed set the storm must actually have triggered restarts,
   // or this test proves nothing.
   EXPECT_GT(total_restarts, 0u);
+}
+
+// Request handler for the serving runs: spins long enough that the storm
+// profile below (fault gap well under the spin) hits nearly every
+// victim-tenant attempt, then exits cleanly.
+const char* kServeHandler = R"(
+    movz x19, #2000
+  spin:
+    sub x19, x19, #1
+    cbnz x19, spin
+    mov x0, #0
+    rtcall #0
+)";
+
+struct ServedRun {
+  std::string trace_json;
+  std::string transcript;
+  uint64_t retried = 0;
+};
+
+// Runs the full serving control plane — warm pool, tenant-scoped chaos
+// on tenant 0, deadline-aware retries, circuit breakers — under the given
+// dispatch backend and returns the Chrome trace plus the canonical
+// serving transcript.
+ServedRun ServedRetryStorm(emu::Dispatch dispatch) {
+  ServedRun out;
+  RuntimeConfig cfg = TestConfig();
+  cfg.dispatch = dispatch;
+  Runtime rt(cfg);
+  trace::TraceSink sink;
+  rt.set_trace_sink(&sink);
+  chaos::ChaosProfile profile;
+  profile.name = "retry-storm";
+  profile.cpu_faults = true;
+  profile.min_fault_gap = 300;
+  profile.max_fault_gap = 1500;
+  chaos::ChaosEngine storm(0xfeed, profile);
+  rt.set_chaos(&storm);
+
+  auto elf = test::BuildElf(kServeHandler);
+  EXPECT_TRUE(elf.ok()) << (elf.ok() ? "" : elf.error());
+  if (!elf.ok()) return out;
+  auto pid = rt.Load({elf->data(), elf->size()});
+  EXPECT_TRUE(pid.ok()) << (pid.ok() ? "" : pid.error());
+  if (!pid.ok()) return out;
+  auto snap = rt.CaptureSnapshot(*pid);
+  EXPECT_TRUE(snap.ok()) << (snap.ok() ? "" : snap.error());
+  if (!snap.ok()) return out;
+  EXPECT_TRUE(rt.Kill(*pid, "template").ok());
+  SpawnPool pool(&rt,
+                 std::make_shared<const snapshot::Snapshot>(*std::move(snap)));
+
+  serve::ServeConfig scfg;
+  scfg.traffic.seed = 606;
+  scfg.traffic.requests = 60;
+  scfg.traffic.tenants = 4;
+  scfg.traffic.rate_per_mcycle = 200;
+  scfg.tiers.resize(1);
+  scfg.tiers[0].slo_cycles = 10000000;
+  scfg.admission.max_queue_depth = 128;
+  scfg.max_concurrency = 4;
+  scfg.pool_min = 2;
+  scfg.pool_max = 16;
+  scfg.retry.budget = 2;
+  scfg.retry.backoff_base_cycles = 5000;
+  scfg.retry.backoff_cap_cycles = 50000;
+  scfg.breaker.failure_threshold = 3;
+  scfg.breaker.open_cycles = 200000;
+  scfg.chaos = &storm;
+  scfg.chaos_tenants = {0};
+  serve::Server srv(&rt, scfg, &pool);
+  const serve::ServeReport& rep = srv.Run();
+  EXPECT_FALSE(rep.aborted);
+  out.retried = rep.retried;
+  out.transcript = rep.Format();
+  std::ostringstream ss;
+  sink.WriteChromeTrace(ss, TestConfig().core.ghz, RtcallName);
+  out.trace_json = ss.str();
+  return out;
+}
+
+TEST(Determinism, ServingRetryStormReplaysAcrossRunsAndBackends) {
+  // The whole resilience stack — retry backoff jitter, breaker clocks,
+  // tenant-scoped chaos victimhood — runs off the simulated clock and the
+  // config seeds, so a full serving run under storm chaos must replay
+  // byte-identically: same Chrome trace, same serving transcript, across
+  // repeat runs AND across dispatch backends (the backend is a pure
+  // execution-speed knob even with retries re-entering the queue).
+  const ServedRun a = ServedRetryStorm(emu::Dispatch::kChained);
+  const ServedRun b = ServedRetryStorm(emu::Dispatch::kChained);
+  const ServedRun c = ServedRetryStorm(emu::Dispatch::kBlock);
+  ASSERT_FALSE(a.trace_json.empty());
+  EXPECT_GT(a.retried, 0u);  // the retry path actually ran
+  EXPECT_EQ(b.trace_json, a.trace_json);
+  EXPECT_EQ(b.transcript, a.transcript);
+  EXPECT_EQ(c.trace_json, a.trace_json);
+  EXPECT_EQ(c.transcript, a.transcript);
 }
 
 }  // namespace

@@ -3,7 +3,11 @@
 // killed behind the pool's back), recycle-and-repark, deterministic
 // traffic replay, queue-depth and deadline shedding, the warm-vs-cold
 // throughput gap, and storm chaos mid-serving leaving bystander tenants'
-// SLOs intact.
+// SLOs intact — plus the resilience layer: inclusive deadline/SLO
+// boundaries, config validation, per-tenant quotas and DRR fairness
+// under a flooding tenant, deadline-aware retries, the circuit-breaker
+// state machine, the degradation ladder, and tenant-scoped chaos with
+// recycling left on.
 
 #include <gtest/gtest.h>
 
@@ -383,6 +387,342 @@ TEST(Server, StormChaosLeavesBystanderTenantsClean) {
     t.rt.set_trace_sink(nullptr);
   }
   // Storm-while-serving replays byte-identically for the same seeds.
+  EXPECT_EQ(transcripts[0], transcripts[1]);
+}
+
+// ---- Deadline/SLO boundary rules (shared helpers) --------------------------
+
+TEST(DeadlineBoundary, ExpiryAndViolationAreInclusiveAtTheEdge) {
+  // A request is late the moment `now` reaches its deadline...
+  EXPECT_TRUE(DeadlineExpired(1000, 1000));
+  EXPECT_FALSE(DeadlineExpired(999, 1000));
+  EXPECT_TRUE(DeadlineExpired(1001, 1000));
+  // ...and a completion at exactly the SLO is a violation. Historically
+  // shedding used `now > deadline` while accounting used `latency > slo`,
+  // so a request landing exactly on the edge was counted in-SLO.
+  EXPECT_TRUE(SloViolated(500, 500));
+  EXPECT_FALSE(SloViolated(499, 500));
+  EXPECT_TRUE(SloViolated(501, 500));
+}
+
+TEST(DeadlineBoundary, CompletionAtExactSloCountsAsViolation) {
+  // Learn the handler's deterministic latency, then pin the SLO exactly
+  // on it: the boundary must count as a violation; one cycle of headroom
+  // must not.
+  auto run_with_slo = [](uint64_t slo) {
+    Pooled t;
+    EXPECT_NE(t.pool, nullptr);
+    ServeConfig cfg = SmallServeConfig(TrafficKind::kClosed, 3, 1);
+    cfg.traffic.closed_clients = 1;
+    cfg.tiers[0].slo_cycles = slo;
+    cfg.admission.shed_on_deadline = false;  // judge at completion only
+    Server srv(&t.rt, cfg, t.pool.get());
+    return srv.Run();
+  };
+  const ServeReport probe = run_with_slo(10000000);
+  ASSERT_EQ(probe.completed, 1u);
+  ASSERT_EQ(probe.slo_violations, 0u);
+  const uint64_t latency = probe.latencies[0];
+  ASSERT_GT(latency, 0u);
+  EXPECT_EQ(run_with_slo(latency).slo_violations, 1u);
+  EXPECT_EQ(run_with_slo(latency + 1).slo_violations, 0u);
+}
+
+// ---- Config validation -----------------------------------------------------
+
+TEST(ValidateConfig, AcceptsDefaultsAndRejectsDegenerateSettings) {
+  std::string err;
+  ServeConfig ok = SmallServeConfig(TrafficKind::kPoisson, 1, 10);
+  EXPECT_TRUE(ValidateServeConfig(ok, &err)) << err;
+
+  ServeConfig cfg = ok;
+  cfg.admission.max_queue_depth = 0;
+  EXPECT_FALSE(ValidateServeConfig(cfg, &err));
+  EXPECT_NE(err.find("max_queue_depth"), std::string::npos) << err;
+
+  cfg = ok;
+  cfg.max_concurrency = 0;
+  EXPECT_FALSE(ValidateServeConfig(cfg, &err));
+
+  cfg = ok;
+  cfg.tiers[0].slo_cycles = 0;  // retries would have no deadline to honor
+  cfg.retry.budget = 2;
+  EXPECT_FALSE(ValidateServeConfig(cfg, &err));
+  EXPECT_NE(err.find("slo_cycles"), std::string::npos) << err;
+
+  cfg = ok;
+  cfg.default_quota.max_queued = cfg.admission.max_queue_depth + 1;
+  EXPECT_FALSE(ValidateServeConfig(cfg, &err));
+  EXPECT_NE(err.find("exceeds"), std::string::npos) << err;
+
+  cfg = ok;
+  cfg.quotas[2].weight = 0;
+  EXPECT_FALSE(ValidateServeConfig(cfg, &err));
+
+  cfg = ok;
+  cfg.traffic.tenant_weights = {1, 2};  // 4 tenants
+  EXPECT_FALSE(ValidateServeConfig(cfg, &err));
+
+  cfg = ok;
+  cfg.retry.budget = 1;
+  cfg.retry.backoff_base_cycles = 100;
+  cfg.retry.backoff_cap_cycles = 10;  // base exceeds cap
+  EXPECT_FALSE(ValidateServeConfig(cfg, &err));
+
+  cfg = ok;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.open_cycles = 0;
+  EXPECT_FALSE(ValidateServeConfig(cfg, &err));
+
+  cfg = ok;
+  cfg.degrade.enabled = true;
+  cfg.degrade.shed_tier_depth = 50;
+  cfg.degrade.no_retry_depth = 50;  // not strictly increasing
+  cfg.degrade.fast_fail_depth = 60;
+  EXPECT_FALSE(ValidateServeConfig(cfg, &err));
+  EXPECT_NE(err.find("increasing"), std::string::npos) << err;
+}
+
+// ---- Per-tenant quotas and fair-share dispatch -----------------------------
+
+TEST(Server, TenantQuotaShedsBeyondQueuedCap) {
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  ServeConfig cfg = SmallServeConfig(TrafficKind::kBursty, 9, 32);
+  cfg.traffic.tenants = 1;
+  cfg.traffic.burst_size = 16;
+  cfg.traffic.burst_period_cycles = 500000;
+  cfg.max_concurrency = 1;
+  cfg.default_quota.max_queued = 2;
+  Server srv(&t.rt, cfg, t.pool.get());
+  const ServeReport& rep = srv.Run();
+  EXPECT_FALSE(rep.aborted);
+  EXPECT_GT(rep.shed_quota, 0u);
+  EXPECT_EQ(rep.shed_queue, 0u);  // the tenant cap fires first
+  ASSERT_TRUE(rep.tenants.count(0));
+  EXPECT_EQ(rep.tenants.at(0).shed_quota, rep.shed_quota);
+  EXPECT_EQ(rep.offered, rep.completed + rep.failed + rep.shed_queue +
+                             rep.shed_deadline + rep.shed_quota +
+                             rep.dispatch_failures);
+}
+
+TEST(Server, FloodingTenantCannotPushBystanderPastSlo) {
+  // Tenant 0 floods at 10x the share of each bystander while capped by a
+  // per-tenant quota; deficit-round-robin dispatch must keep tenants 1-3
+  // inside their SLO with nothing shed.
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  ServeConfig cfg = SmallServeConfig(TrafficKind::kPoisson, 21, 260);
+  cfg.traffic.rate_per_mcycle = 1500;  // saturating in aggregate
+  cfg.traffic.tenant_weights = {30, 3, 3, 3};  // 10x flood
+  cfg.quotas[0].max_queued = 8;  // quota the flood rides against
+  cfg.tiers[0].slo_cycles = 2000000;
+  Server srv(&t.rt, cfg, t.pool.get());
+  const ServeReport& rep = srv.Run();
+  EXPECT_FALSE(rep.aborted);
+  ASSERT_TRUE(rep.tenants.count(0));
+  const TenantStats& flood = rep.tenants.at(0);
+  EXPECT_GT(flood.offered, 100u);     // the flood really was 10x
+  EXPECT_GT(flood.shed_quota, 0u);    // and the quota really bit
+  for (const auto& [tenant, s] : rep.tenants) {
+    if (tenant == 0) continue;
+    EXPECT_GT(s.completed, 0u) << "tenant " << tenant;
+    EXPECT_EQ(s.shed, 0u) << "tenant " << tenant;
+    EXPECT_EQ(s.slo_violations, 0u)
+        << "tenant " << tenant << " p99="
+        << PercentileOf(s.latencies, 99);
+  }
+}
+
+// ---- Deadline-aware retry --------------------------------------------------
+
+// Handler that always exits nonzero: every attempt fails, so retries
+// burn the whole budget before the request is declared failed.
+const char* kFailingProg = R"(
+    movz x19, #200
+  spin:
+    sub x19, x19, #1
+    cbnz x19, spin
+    mov x0, #1
+    rtcall #0
+)";
+
+TEST(Server, RetryBurnsBudgetThenFails) {
+  Pooled t(kFailingProg);
+  ASSERT_NE(t.pool, nullptr);
+  ServeConfig cfg = SmallServeConfig(TrafficKind::kPoisson, 13, 10);
+  cfg.traffic.tenants = 1;
+  cfg.traffic.rate_per_mcycle = 50;
+  cfg.retry.budget = 2;
+  cfg.retry.backoff_base_cycles = 1000;
+  cfg.retry.backoff_cap_cycles = 8000;
+  Server srv(&t.rt, cfg, t.pool.get());
+  const ServeReport& rep = srv.Run();
+  EXPECT_FALSE(rep.aborted);
+  EXPECT_EQ(rep.completed, 0u);
+  EXPECT_EQ(rep.failed, 10u);           // every request eventually fails...
+  EXPECT_EQ(rep.retried, 20u);          // ...after its full retry budget
+  ASSERT_TRUE(rep.tenants.count(0));
+  EXPECT_EQ(rep.tenants.at(0).retried, 20u);
+  // Retries are attempts, not offered requests: the outcome identity
+  // still balances without them.
+  EXPECT_EQ(rep.offered, rep.completed + rep.failed + rep.shed_queue +
+                             rep.shed_deadline + rep.dispatch_failures);
+}
+
+TEST(Server, RetryGivesUpWhenBackoffWouldMissDeadline) {
+  Pooled t(kFailingProg);
+  ASSERT_NE(t.pool, nullptr);
+  ServeConfig cfg = SmallServeConfig(TrafficKind::kPoisson, 13, 10);
+  cfg.traffic.tenants = 1;
+  cfg.traffic.rate_per_mcycle = 50;
+  cfg.retry.budget = 3;
+  // Backoff alone overshoots the whole SLO window: no retry is ever
+  // worth scheduling, deadline-aware give-up must see that up front.
+  cfg.tiers[0].slo_cycles = 4000;
+  cfg.retry.backoff_base_cycles = 1000000;
+  cfg.retry.backoff_cap_cycles = 2000000;
+  cfg.admission.shed_on_deadline = false;
+  Server srv(&t.rt, cfg, t.pool.get());
+  const ServeReport& rep = srv.Run();
+  EXPECT_FALSE(rep.aborted);
+  EXPECT_EQ(rep.retried, 0u);
+  EXPECT_EQ(rep.failed, 10u);
+}
+
+// ---- Circuit breaker -------------------------------------------------------
+
+TEST(Server, BreakerOpensAtThresholdAndFastFailsArrivals) {
+  Pooled t(kFailingProg);
+  ASSERT_NE(t.pool, nullptr);
+  ServeConfig cfg = SmallServeConfig(TrafficKind::kPoisson, 31, 10);
+  cfg.traffic.tenants = 1;
+  cfg.traffic.rate_per_mcycle = 50;  // one request in flight at a time
+  cfg.max_concurrency = 1;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.open_cycles = 1000000000;  // never cools down in this run
+  Server srv(&t.rt, cfg, t.pool.get());
+  const ServeReport& rep = srv.Run();
+  EXPECT_FALSE(rep.aborted);
+  // Exactly `threshold` failures burn sandboxes; every later arrival is
+  // fast-failed at admission without touching the pool.
+  EXPECT_EQ(rep.failed, 3u);
+  EXPECT_EQ(rep.shed_breaker, 7u);
+  EXPECT_EQ(rep.breaker_trips, 1u);
+  ASSERT_TRUE(rep.tenants.count(0));
+  EXPECT_EQ(rep.tenants.at(0).breaker_state, BreakerState::kOpen);
+  EXPECT_EQ(rep.tenants.at(0).breaker_trips, 1u);
+}
+
+TEST(Server, BreakerHalfOpenProbeRecoversAfterFaultsStop) {
+  // Failures are induced from outside (the dispatched sandbox is killed
+  // for the first three requests), then stop: the breaker must open at
+  // the threshold, fast-fail during the cool-down, admit a half-open
+  // probe, and close after two probe successes.
+  Pooled t;
+  ASSERT_NE(t.pool, nullptr);
+  ServeConfig cfg = SmallServeConfig(TrafficKind::kPoisson, 57, 14);
+  cfg.traffic.tenants = 1;
+  cfg.traffic.rate_per_mcycle = 50;
+  cfg.max_concurrency = 1;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.open_cycles = 40000;
+  cfg.breaker.close_successes = 2;
+  int kills = 0;
+  cfg.on_dispatch = [&](int pid, const Request&) {
+    if (kills < 3) {
+      ++kills;
+      (void)t.rt.Kill(pid, "induced failure");
+    }
+  };
+  Server srv(&t.rt, cfg, t.pool.get());
+  const ServeReport& rep = srv.Run();
+  EXPECT_FALSE(rep.aborted);
+  EXPECT_EQ(rep.failed, 3u);
+  EXPECT_EQ(rep.breaker_trips, 1u);
+  EXPECT_EQ(rep.breaker_recoveries, 1u);
+  EXPECT_GT(rep.shed_breaker, 0u);      // something arrived while open
+  EXPECT_GT(rep.completed, 0u);         // probes and later traffic served
+  ASSERT_TRUE(rep.tenants.count(0));
+  EXPECT_EQ(rep.tenants.at(0).breaker_state, BreakerState::kClosed);
+}
+
+// ---- Graceful-degradation ladder -------------------------------------------
+
+TEST(Server, OverloadClimbsDegradationLadderAndShedsLowTier) {
+  RuntimeConfig rcfg = TestConfig();
+  rcfg.timeslice_insts = 1000;
+  Pooled t(kServiceProg, rcfg);
+  ASSERT_NE(t.pool, nullptr);
+  ServeConfig cfg = SmallServeConfig(TrafficKind::kBursty, 17, 192);
+  // Bursts land faster than the backlog drains, so later bursts arrive
+  // while the ladder is already elevated (shedding needs arrivals to hit
+  // an elevated level, and the EWMA lags a lone burst).
+  cfg.traffic.burst_size = 48;
+  cfg.traffic.burst_period_cycles = 40000;
+  cfg.max_concurrency = 1;
+  cfg.slice_insts = 1000;
+  cfg.admission.max_queue_depth = 256;
+  cfg.admission.shed_on_deadline = false;
+  cfg.tiers.resize(2);
+  cfg.tiers[0].slo_cycles = 100000000;
+  cfg.tiers[1].slo_cycles = 100000000;  // lowest-QoS tier, shed first
+  cfg.degrade.enabled = true;
+  cfg.degrade.ewma_shift = 1;  // fast-reacting EWMA for a short test
+  cfg.degrade.shed_tier_depth = 8;
+  cfg.degrade.no_retry_depth = 24;
+  cfg.degrade.fast_fail_depth = 48;
+  Server srv(&t.rt, cfg, t.pool.get());
+  const ServeReport& rep = srv.Run();
+  EXPECT_FALSE(rep.aborted);
+  EXPECT_GE(rep.max_degrade_level, 2u);
+  EXPECT_GT(rep.degrade_transitions, 1u);  // up and back down
+  EXPECT_GT(rep.shed_degrade, 0u);
+  // The ladder recovered once the backlog drained.
+  EXPECT_EQ(srv.degrade_level(), 0u);
+  EXPECT_EQ(rep.offered, rep.completed + rep.failed + rep.shed_queue +
+                             rep.shed_deadline + rep.shed_quota +
+                             rep.shed_degrade + rep.dispatch_failures);
+}
+
+// ---- Tenant-scoped chaos with recycling ------------------------------------
+
+TEST(Server, TenantScopedChaosIsSafeWithRecycling) {
+  // Victimhood tracks the tenant *binding* (marked at dispatch, unmarked
+  // at completion), so sandbox recycling can stay on: a pid that served
+  // the storm tenant and was recycled must be injectable no longer when
+  // it later serves a healthy tenant.
+  std::string transcripts[2];
+  for (int run = 0; run < 2; ++run) {
+    Pooled t;
+    ASSERT_NE(t.pool, nullptr);
+    chaos::ChaosProfile profile;
+    profile.cpu_faults = true;
+    profile.min_fault_gap = 200;
+    profile.max_fault_gap = 1000;  // well under the handler's ~2000 insts
+    chaos::ChaosEngine storm(4321, profile);
+    t.rt.set_chaos(&storm);
+
+    ServeConfig cfg = SmallServeConfig(TrafficKind::kPoisson, 88, 80);
+    cfg.tiers.resize(2);
+    cfg.tiers[0].policy.on_fault = runtime::FaultAction::kKill;
+    cfg.chaos = &storm;
+    cfg.chaos_tenants = {0};
+    Server srv(&t.rt, cfg, t.pool.get());
+    const ServeReport& rep = srv.Run();
+    EXPECT_FALSE(rep.aborted);
+    ASSERT_TRUE(rep.tenants.count(0));
+    EXPECT_GT(rep.tenants.at(0).injected_faults, 0u);
+    for (const auto& [tenant, s] : rep.tenants) {
+      if (tenant == 0) continue;
+      EXPECT_EQ(s.failed, 0u) << "tenant " << tenant;
+      EXPECT_EQ(s.faults, 0u) << "tenant " << tenant;
+      EXPECT_EQ(s.slo_violations, 0u) << "tenant " << tenant;
+      EXPECT_GT(s.completed, 0u) << "tenant " << tenant;
+    }
+    transcripts[run] = rep.Format();
+    t.rt.set_chaos(nullptr);
+  }
   EXPECT_EQ(transcripts[0], transcripts[1]);
 }
 

@@ -41,6 +41,22 @@
 //   --serve-pool=MIN:MAX      warm-pool sizing bounds
 //   --serve-slo=N             per-request latency SLO in cycles
 //   --serve-cold              cold-load the ELF per request (no pool)
+//   --serve-quota=I:Q         per-tenant caps: I in flight, Q queued
+//                             (0 = uncapped)
+//   --serve-retries=N         retry budget per request (deadline-aware,
+//                             capped exponential backoff)
+//   --serve-retry-backoff=B:C backoff base and cap in cycles
+//   --serve-breaker=T:O       circuit breaker: open after T consecutive
+//                             failures, probe after O cycles
+//   --serve-degrade[=A:B:C]   overload ladder on (EWMA depths for
+//                             shed-low-tier / no-retry / fast-fail)
+//   --chaos-tenants=LIST      comma-separated tenants whose sandboxes the
+//                             chaos engine targets (serving mode; other
+//                             tenants' sandboxes are never victims)
+//
+// Contradictory or degenerate serving configs (zero queue, zero SLO with
+// retries, a quota wider than the queue, ...) are rejected up front with
+// a one-line error and exit status 2.
 //
 // Usage: lfi-run [--no-verify] [--core=m1|t2a] [--stats] [--trace out.json]
 //                [--policy=...] [--chaos-seed=N] prog.elf [prog2.elf ...]
@@ -134,10 +150,17 @@ int main(int argc, char** argv) {
   std::string chaos_profile = "storm";
   std::string snapshot_out, snapshot_in;
   uint64_t snapshot_spawn = 1;
+  // kUnset distinguishes "flag not given" from an explicit zero: explicit
+  // zeros reach the validator and are rejected instead of being ignored.
+  constexpr uint64_t kUnset = ~uint64_t{0};
   uint64_t serve_requests = 0;
   std::string serve_arrival = "poisson", serve_pool_bounds;
-  uint64_t serve_seed = 1, serve_rate = 0, serve_tenants = 4;
-  uint64_t serve_concurrency = 0, serve_queue = 0, serve_slo = 0;
+  std::string serve_quota, serve_retry_backoff, serve_breaker, serve_degrade;
+  std::string chaos_tenants;
+  uint64_t serve_seed = 1, serve_rate = kUnset, serve_tenants = 4;
+  uint64_t serve_concurrency = kUnset, serve_queue = kUnset;
+  uint64_t serve_slo = kUnset, serve_retries = 0;
+  bool serve_degrade_on = false;
   bool serve_cold = false;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
@@ -199,6 +222,20 @@ int main(int argc, char** argv) {
     } else if (U64Flag(arg, "--serve-slo", &serve_slo)) {
     } else if (arg == "--serve-cold") {
       serve_cold = true;
+    } else if (arg.rfind("--serve-quota=", 0) == 0) {
+      serve_quota = arg.substr(std::strlen("--serve-quota="));
+    } else if (U64Flag(arg, "--serve-retries", &serve_retries)) {
+    } else if (arg.rfind("--serve-retry-backoff=", 0) == 0) {
+      serve_retry_backoff = arg.substr(std::strlen("--serve-retry-backoff="));
+    } else if (arg.rfind("--serve-breaker=", 0) == 0) {
+      serve_breaker = arg.substr(std::strlen("--serve-breaker="));
+    } else if (arg == "--serve-degrade") {
+      serve_degrade_on = true;
+    } else if (arg.rfind("--serve-degrade=", 0) == 0) {
+      serve_degrade_on = true;
+      serve_degrade = arg.substr(std::strlen("--serve-degrade="));
+    } else if (arg.rfind("--chaos-tenants=", 0) == 0) {
+      chaos_tenants = arg.substr(std::strlen("--chaos-tenants="));
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: lfi-run [--no-verify] [--core=m1|t2a] [--stats] "
@@ -216,7 +253,11 @@ int main(int argc, char** argv) {
                    "                [--serve-rate=N] [--serve-tenants=N] "
                    "[--serve-concurrency=N]\n"
                    "                [--serve-queue=N] [--serve-pool=MIN:MAX] "
-                   "[--serve-slo=N] [--serve-cold]]\n"
+                   "[--serve-slo=N] [--serve-cold]\n"
+                   "                [--serve-quota=I:Q] [--serve-retries=N] "
+                   "[--serve-retry-backoff=B:C]\n"
+                   "                [--serve-breaker=T:O] "
+                   "[--serve-degrade[=A:B:C]] [--chaos-tenants=LIST]]\n"
                    "               prog.elf [...]\n");
       return 0;
     } else {
@@ -225,6 +266,10 @@ int main(int argc, char** argv) {
   }
   if (paths.empty() && snapshot_in.empty()) {
     std::fprintf(stderr, "lfi-run: no executables given\n");
+    return 2;
+  }
+  if (!chaos_tenants.empty() && serve_requests == 0) {
+    std::fprintf(stderr, "lfi-run: --chaos-tenants only applies to --serve\n");
     return 2;
   }
   if (!snapshot_out.empty() && paths.empty()) {
@@ -256,11 +301,11 @@ int main(int argc, char** argv) {
                    serve_arrival.c_str());
       return 2;
     }
-    if (serve_rate != 0) scfg.traffic.rate_per_mcycle = serve_rate;
-    if (serve_queue != 0) {
+    if (serve_rate != kUnset) scfg.traffic.rate_per_mcycle = serve_rate;
+    if (serve_queue != kUnset) {
       scfg.admission.max_queue_depth = static_cast<uint32_t>(serve_queue);
     }
-    if (serve_concurrency != 0) {
+    if (serve_concurrency != kUnset) {
       scfg.max_concurrency = static_cast<uint32_t>(serve_concurrency);
     }
     if (!serve_pool_bounds.empty()) {
@@ -273,12 +318,97 @@ int main(int argc, char** argv) {
       scfg.pool_min = lo;
       scfg.pool_max = hi;
     }
+    if (!serve_quota.empty()) {
+      unsigned inflight = 0, queued = 0;
+      if (std::sscanf(serve_quota.c_str(), "%u:%u", &inflight, &queued) != 2) {
+        std::fprintf(stderr, "lfi-run: --serve-quota wants INFLIGHT:QUEUED\n");
+        return 2;
+      }
+      scfg.default_quota.max_inflight = inflight;
+      scfg.default_quota.max_queued = queued;
+    }
+    scfg.retry.budget = static_cast<uint32_t>(serve_retries);
+    if (!serve_retry_backoff.empty()) {
+      unsigned long long base = 0, cap = 0;
+      if (std::sscanf(serve_retry_backoff.c_str(), "%llu:%llu", &base,
+                      &cap) != 2) {
+        std::fprintf(stderr, "lfi-run: --serve-retry-backoff wants BASE:CAP\n");
+        return 2;
+      }
+      scfg.retry.backoff_base_cycles = base;
+      scfg.retry.backoff_cap_cycles = cap;
+    }
+    if (!serve_breaker.empty()) {
+      unsigned threshold = 0;
+      unsigned long long open_cycles = 0;
+      if (std::sscanf(serve_breaker.c_str(), "%u:%llu", &threshold,
+                      &open_cycles) != 2) {
+        std::fprintf(stderr,
+                     "lfi-run: --serve-breaker wants THRESHOLD:OPEN_CYCLES\n");
+        return 2;
+      }
+      scfg.breaker.failure_threshold = threshold;
+      scfg.breaker.open_cycles = open_cycles;
+    }
+    if (serve_degrade_on) {
+      scfg.degrade.enabled = true;
+      if (!serve_degrade.empty()) {
+        unsigned long long a = 0, b = 0, c = 0;
+        if (std::sscanf(serve_degrade.c_str(), "%llu:%llu:%llu", &a, &b,
+                        &c) != 3) {
+          std::fprintf(stderr,
+                       "lfi-run: --serve-degrade wants "
+                       "SHED_DEPTH:NO_RETRY_DEPTH:FAST_FAIL_DEPTH\n");
+          return 2;
+        }
+        scfg.degrade.shed_tier_depth = a;
+        scfg.degrade.no_retry_depth = b;
+        scfg.degrade.fast_fail_depth = c;
+      }
+    }
+    if (!chaos_tenants.empty()) {
+      if (!chaos_enabled) {
+        std::fprintf(stderr,
+                     "lfi-run: --chaos-tenants needs --chaos-seed or "
+                     "--chaos-profile\n");
+        return 2;
+      }
+      std::stringstream ss(chaos_tenants);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        if (tok.empty() ||
+            tok.find_first_not_of("0123456789") != std::string::npos) {
+          std::fprintf(stderr,
+                       "lfi-run: --chaos-tenants wants a comma-separated "
+                       "tenant list\n");
+          return 2;
+        }
+        scfg.chaos_tenants.push_back(
+            static_cast<uint32_t>(std::strtoul(tok.c_str(), nullptr, 10)));
+      }
+      scfg.chaos = &chaos;
+    }
     // Every tenant serves under the CLI-configured fault policy and
     // limits; --serve-slo overrides the default latency target.
     lfi::serve::QosTier tier;
     tier.policy = cfg.default_policy;
-    if (serve_slo != 0) tier.slo_cycles = serve_slo;
+    if (serve_slo != kUnset) tier.slo_cycles = serve_slo;
     scfg.tiers.push_back(tier);
+
+    // Reject degenerate or contradictory serving configs up front: a
+    // silent "0 means default" would make --serve-queue=0 serve with a
+    // 64-deep queue, which is exactly the kind of config drift the
+    // deterministic transcripts exist to rule out.
+    std::string cfg_err;
+    if (!lfi::serve::ValidateServeConfig(scfg, &cfg_err)) {
+      if (serve_retries > 0 && serve_slo == 0) {
+        cfg_err = "retry budget without a deadline (--serve-retries needs "
+                  "--serve-slo > 0)";
+      }
+      std::fprintf(stderr, "lfi-run: invalid serving config: %s\n",
+                   cfg_err.c_str());
+      return 2;
+    }
 
     std::vector<uint8_t> bytes;
     if (!paths.empty()) {
