@@ -75,6 +75,8 @@ Result<Image> Assemble(const AsmFile& file, const LayoutSpec& spec) {
         break;
       case AsmStmt::Kind::kRtcall:
         return Error{"assemble: unexpanded rtcall (run the rewriter first)"};
+      case AsmStmt::Kind::kHostcall:
+        return Error{"assemble: unexpanded hostcall (run the rewriter first)"};
       case AsmStmt::Kind::kInst:
         if (cur != Section::kText) {
           return Error{"assemble: instruction outside .text at line " +
@@ -167,6 +169,8 @@ Result<Image> Assemble(const AsmFile& file, const LayoutSpec& spec) {
       }
       case AsmStmt::Kind::kRtcall:
         return Error{"assemble: unexpanded rtcall"};
+      case AsmStmt::Kind::kHostcall:
+        return Error{"assemble: unexpanded hostcall"};
       case AsmStmt::Kind::kInst: {
         Inst inst = s.inst;
         const uint64_t addr = img.text_addr + off;

@@ -52,7 +52,12 @@ struct AsmStmt {
   // runtime through the call table at the sandbox base (Section 4.4). The
   // rewriter expands it into the `ldr x30, [x21, #8n]; blr x30` sequence;
   // it cannot be assembled directly. The call number lives in `inst.imm`.
-  enum class Kind : uint8_t { kLabel, kDirective, kInst, kRtcall };
+  //
+  // kHostcall is the `hostcall #i` pseudo used by embedded guests
+  // (src/embed/): it expands to `movz x9, #i` followed by the kHostcall
+  // rtcall, invoking host callback slot `i`. The slot index lives in
+  // `inst.imm`.
+  enum class Kind : uint8_t { kLabel, kDirective, kInst, kRtcall, kHostcall };
   Kind kind = Kind::kInst;
 
   std::string label;  // kLabel: the name being bound

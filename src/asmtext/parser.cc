@@ -1113,6 +1113,13 @@ Result<AsmStmt> BuildInst(const ParsedLine& l) {
     s.inst.imm = ops[0].imm;
     return s;
   }
+  if (m == "hostcall") {
+    if (ops.size() != 1 || !IsImm(ops[0])) return ErrLine("hostcall #i");
+    AsmStmt s;
+    s.kind = AsmStmt::Kind::kHostcall;
+    s.inst.imm = ops[0].imm;
+    return s;
+  }
   return ErrLine("unknown mnemonic: " + m);
 }
 

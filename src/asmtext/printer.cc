@@ -307,6 +307,8 @@ std::string PrintStmt(const AsmStmt& s) {
       return DirectiveStr(s.dir);
     case AsmStmt::Kind::kRtcall:
       return "rtcall #" + std::to_string(s.inst.imm);
+    case AsmStmt::Kind::kHostcall:
+      return "hostcall #" + std::to_string(s.inst.imm);
     case AsmStmt::Kind::kInst:
       return "\t" + InstStr(s);
   }

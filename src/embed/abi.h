@@ -1,0 +1,97 @@
+// Guest-side ABI of the typed embedding API (docs/EMBEDDING.md).
+//
+// An embeddable guest module is an ordinary LFI sandbox program whose
+// entry point, instead of running a main program, announces an *export
+// table* to the host and parks:
+//
+//   _start:  adr x0, __lfi_exports ; rtcall #20   (kEmbedReady)
+//
+// The host (lfi::embed::Sandbox) parses the table, snapshots the
+// post-ready state as the sandbox's baseline, and from then on drives
+// individual exported functions directly: it writes the AAPCS64 argument
+// registers, sets pc to the function and x30 to the module's *return
+// stub*, and runs. The stub moves the per-call cookie the host planted in
+// callee-saved x19 into x9 and issues rtcall #19 (kCallRet); the runtime
+// compares x9 against the expected cookie and kills the sandbox on a
+// mismatch, so a guest cannot forge a return frame it was never given
+// (the same fail-closed posture sigreturn takes with its frame magic).
+//
+// Export-table layout (8-byte little-endian words, in guest memory):
+//
+//   +0   magic       kExportMagic ("LFIEMBD1")
+//   +8   ret_stub    address of the return stub
+//   +16  count       number of exports (bounded by kMaxExports)
+//   +24  name[0]     address of a NUL-terminated export name
+//   +32  fn[0]       address of the exported function
+//   ...  (name, fn) pairs, `count` of them
+//
+// All addresses are canonicalized by the host to base | low32 before use,
+// so a hostile table cannot point outside the slot.
+#ifndef LFI_EMBED_ABI_H_
+#define LFI_EMBED_ABI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lfi::embed {
+
+// ".quad kExportMagic" == the bytes "LFIEMBD1" in guest memory.
+inline constexpr uint64_t kExportMagic = 0x3144424D4549464CULL;
+
+// Fail-closed bounds on table parsing (a corrupt count must not make the
+// host walk the whole slot).
+inline constexpr uint64_t kMaxExports = 256;
+inline constexpr uint64_t kMaxExportNameLen = 64;
+
+// One exported function, for GuestModuleSource.
+struct GuestExport {
+  std::string name;   // name the host looks up (Sandbox::Fn)
+  std::string label;  // assembly label of the function
+};
+
+// Assembly prelude every embeddable module starts with: the _start
+// announce sequence and the return stub. Must be the first text in the
+// module (the ELF entry point is the start of .text). The `rtcall #20`
+// never returns control here while embedded; if the module is ever run
+// under the normal scheduler instead, the runtime kills it at that rtcall
+// (embed transitions are invalid outside an embedded call).
+inline std::string GuestModulePrelude() {
+  return R"(
+  adr x0, __lfi_exports
+  rtcall #20
+__lfi_ret_stub:
+  mov x9, x19
+  rtcall #19
+  b __lfi_ret_stub
+)";
+}
+
+// Export-table data section for `exports`. Emits the table plus the name
+// strings; function labels must be defined by the module body.
+inline std::string GuestExportTable(const std::vector<GuestExport>& exports) {
+  std::string s = "\n.rodata\n.balign 16\n__lfi_exports:\n";
+  s += "  .quad 0x3144424D4549464C\n";  // kExportMagic
+  s += "  .quad __lfi_ret_stub\n";
+  s += "  .quad " + std::to_string(exports.size()) + "\n";
+  for (size_t i = 0; i < exports.size(); ++i) {
+    s += "  .quad __lfi_name_" + std::to_string(i) + "\n";
+    s += "  .quad " + exports[i].label + "\n";
+  }
+  for (size_t i = 0; i < exports.size(); ++i) {
+    s += "__lfi_name_" + std::to_string(i) + ":\n  .asciz \"" +
+         exports[i].name + "\"\n";
+  }
+  return s;
+}
+
+// Convenience: full module source = prelude + body (function definitions,
+// starting in .text) + export table.
+inline std::string GuestModuleSource(const std::vector<GuestExport>& exports,
+                                     const std::string& body) {
+  return GuestModulePrelude() + body + GuestExportTable(exports);
+}
+
+}  // namespace lfi::embed
+
+#endif  // LFI_EMBED_ABI_H_

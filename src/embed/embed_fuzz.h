@@ -1,0 +1,30 @@
+// Embedding-transition fuzz mode (lfi-fuzz --mode=embed).
+//
+// Drives a fixed guest module through randomized typed calls — marshalled
+// scalars, buffers, stack spills, callback round-trips, nested chains —
+// interleaved with deliberately hostile operations (cookie clobbering,
+// host-range returned pointers, guard-region faults, mid-call exits),
+// with the SlotInvariantChecker attached to the runtime's machine for
+// every transition. Two oracles:
+//
+//   1. the checker: no retired guest instruction may break the slot
+//      invariants, no matter what the host marshals in (a violation is a
+//      sandbox escape through the embedding layer);
+//   2. the Err taxonomy: every hostile operation must fail closed with
+//      exactly its documented error, every benign operation must return
+//      the semantically correct value, and Restart() must always bring a
+//      killed sandbox back.
+//
+// Deterministic in (seed, iters), like every other mode.
+#ifndef LFI_EMBED_EMBED_FUZZ_H_
+#define LFI_EMBED_EMBED_FUZZ_H_
+
+#include "fuzz/fuzz.h"
+
+namespace lfi::embed {
+
+fuzz::FuzzReport RunEmbedFuzz(const fuzz::FuzzOptions& opts);
+
+}  // namespace lfi::embed
+
+#endif  // LFI_EMBED_EMBED_FUZZ_H_

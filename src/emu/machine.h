@@ -84,6 +84,21 @@ struct CpuState {
   bool operator==(const CpuState&) const = default;
 };
 
+// Forces the LFI reserved registers of `cpu` back onto their invariants
+// for the sandbox at `base`: x21 = base, and x18/x23/x24/x30, sp, and pc
+// each base|low32 (exactly what a guard would compute). Every host-built
+// or untrusted register frame must pass through this before the machine
+// executes it — sigreturn frames, snapshot rebases, and embedded-call
+// entry/callback-return states all get the same treatment, so even a
+// bit-flipped (but otherwise accepted) frame cannot produce an
+// out-of-slot reserved register.
+inline void CanonicalizeSandboxRegs(CpuState& cpu, uint64_t base) {
+  cpu.x[21] = base;
+  for (int r : {18, 23, 24, 30}) cpu.x[r] = base | (cpu.x[r] & 0xffffffffu);
+  cpu.sp = base | (cpu.sp & 0xffffffffu);
+  cpu.pc = base | (cpu.pc & 0xffffffffu);
+}
+
 // Why Run() returned.
 enum class StopReason : uint8_t {
   kStepLimit,     // executed the requested number of instructions

@@ -767,6 +767,27 @@ Result<AsmFile> RewriterImpl::Run(const AsmFile& in) {
         }
         break;
       }
+      case AsmStmt::Kind::kHostcall: {
+        ResetBlockState();
+        if (s.inst.imm < 0 || s.inst.imm > 0xffff) {
+          return Error{"hostcall index out of range: " +
+                       std::to_string(s.inst.imm) + " at line " +
+                       std::to_string(s.line)};
+        }
+        // movz x9, #i: the kHostcall rtcall reads the callback slot index
+        // from x9 (see runtime/layout.h).
+        Inst mv;
+        mv.mn = Mn::kMovz;
+        mv.width = Width::kX;
+        mv.rd = Reg::X(9);
+        mv.imm = s.inst.imm;
+        Emit(mv);
+        auto st = ExpandRtcall(kHostcallRtcall);
+        if (!st.ok()) {
+          return Error{st.error() + " at line " + std::to_string(s.line)};
+        }
+        break;
+      }
       case AsmStmt::Kind::kInst: {
         if (!in_text_) {
           return Error{"instruction outside .text at line " +

@@ -51,6 +51,11 @@ struct RewriteOptions {
   int64_t rtcall_entries = 512;
 };
 
+// Runtime-call number the `hostcall #i` pseudo dispatches through
+// (runtime/layout.h Rtcall::kHostcall). The rewriter cannot depend on the
+// runtime, so the number is pinned here; layout_test checks they agree.
+inline constexpr int64_t kHostcallRtcall = 18;
+
 // Statistics from a rewrite, used by the code-size evaluation (§6.3).
 struct RewriteStats {
   size_t input_insts = 0;

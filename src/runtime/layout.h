@@ -68,7 +68,13 @@ enum class Rtcall : int {
   kLseek = 15,
   kSigaction = 16,  // register a fault-signal handler (supervisor.h)
   kSigreturn = 17,  // return from a delivered fault signal
-  kCount = 18,
+  // Embedding transitions (src/embed/, docs/EMBEDDING.md). These numbers
+  // are only meaningful while the host is driving an embedded call
+  // (Runtime::RunEmbedded); a scheduled sandbox issuing one is killed.
+  kHostcall = 18,    // guest -> host callback; x9 = callback index
+  kCallRet = 19,     // guest function returned to the host; x9 = cookie
+  kEmbedReady = 20,  // guest init done; x0 = export-table pointer
+  kCount = 21,
 };
 
 // Display name for a runtime-call number ("write", "yield-to", ...);
@@ -94,6 +100,9 @@ constexpr const char* RtcallName(int call) {
     case Rtcall::kLseek: return "lseek";
     case Rtcall::kSigaction: return "sigaction";
     case Rtcall::kSigreturn: return "sigreturn";
+    case Rtcall::kHostcall: return "hostcall";
+    case Rtcall::kCallRet: return "call-ret";
+    case Rtcall::kEmbedReady: return "embed-ready";
     case Rtcall::kCount: break;
   }
   return nullptr;

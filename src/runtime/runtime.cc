@@ -293,10 +293,7 @@ emu::CpuState Runtime::RelativizeCpu(const emu::CpuState& cpu) {
 
 emu::CpuState Runtime::RebaseCpu(const emu::CpuState& rel, uint64_t base) {
   emu::CpuState cpu = rel;
-  cpu.x[21] = base;
-  for (int reg : {18, 23, 24, 30}) cpu.x[reg] = base | (rel.x[reg] & 0xffffffffu);
-  cpu.sp = base | (rel.sp & 0xffffffffu);
-  cpu.pc = base | (rel.pc & 0xffffffffu);
+  emu::CanonicalizeSandboxRegs(cpu, base);
   cpu.excl_addr = rel.excl_valid ? base | (rel.excl_addr & 0xffffffffu) : 0;
   return cpu;
 }
@@ -843,6 +840,270 @@ void Runtime::AttributeSlice(Proc* p, const trace::ExecCounters& before,
               Cycles(), static_cast<uint64_t>(stop));
 }
 
+// ---- Embedding primitives (src/embed/, docs/EMBEDDING.md) ----
+
+void Runtime::DequeuePid(int pid) {
+  for (auto it = ready_.begin(); it != ready_.end();) {
+    if (*it == pid) {
+      it = ready_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status Runtime::BeginEmbed(int pid) {
+  Proc* p = proc(pid);
+  if (p == nullptr) return Status::Fail("embed: no such pid");
+  if (p->state != ProcState::kReady) {
+    return Status::Fail("embed: proc is not runnable");
+  }
+  DequeuePid(pid);
+  // Parked procs are never enqueued by Activate-less paths, and every
+  // Enqueue a runtime call performs inside DriveEmbedded is immediately
+  // undone there — the scheduler never sees an embedded sandbox.
+  p->parked = true;
+  // Faults and exits must keep the slot mapped so the embed layer can
+  // Recycle() back to its baseline snapshot instead of losing the slot.
+  p->retain_on_exit = true;
+  return Status::Ok();
+}
+
+void Runtime::KillEmbedded(int pid, const std::string& why) {
+  Proc* p = proc(pid);
+  if (p == nullptr || p->state == ProcState::kZombie ||
+      p->state == ProcState::kDead) {
+    return;
+  }
+  // Unlike Kill(), retain_on_exit survives: embedded sandboxes always
+  // keep their slot so the host can restart them from the snapshot.
+  KillProc(p, why, kSigSys);
+}
+
+Result<uint64_t> Runtime::GuestAlloc(int pid, uint64_t len) {
+  Proc* p = proc(pid);
+  if (p == nullptr) return Error{"guest-alloc: no such pid"};
+  if (p->state == ProcState::kZombie || p->state == ProcState::kDead) {
+    return Error{"guest-alloc: sandbox has exited"};
+  }
+  const uint64_t r = SysMmap(p, len);
+  if (static_cast<int64_t>(r) < 0) {
+    return Error{"guest-alloc: mmap failed (" +
+                 std::to_string(static_cast<int64_t>(r)) + ")"};
+  }
+  return r;
+}
+
+Runtime::EmbedStop Runtime::RunEmbedded(int pid, const emu::CpuState& enter,
+                                        uint64_t expected_cookie,
+                                        uint64_t fuel, EmbedEnter how) {
+  EmbedStop out;
+  Proc* p = proc(pid);
+  if (p == nullptr || p->state != ProcState::kReady) {
+    out.kind = EmbedStop::Kind::kProtocol;
+    out.detail = "embedded call on a dead or missing sandbox";
+    return out;
+  }
+  p->cpu = enter;
+  // Host-built and callback-resumed frames get the same reserved-register
+  // treatment as sigreturn frames: nothing the embed layer (or a hostile
+  // callback return value) writes can place a reserved register, sp, or
+  // pc outside the slot.
+  emu::CanonicalizeSandboxRegs(p->cpu, p->base);
+  p->cpu.excl_valid = false;
+  p->cpu.excl_addr = 0;
+  switch (how) {
+    case EmbedEnter::kInit:
+      break;  // uncharged, like instantiation (equivalent runs must
+              // trace identically whether init happened before or after
+              // an unrelated sandbox's work)
+    case EmbedEnter::kCall:
+      machine_.timing().ChargeFlat(cfg_.embed_call_cycles);
+      break;
+    case EmbedEnter::kResume:
+      machine_.timing().ChargeFlat(cfg_.embed_hostcall_ret_cycles);
+      break;
+  }
+  return DriveEmbedded(p, expected_cookie, fuel,
+                       how == EmbedEnter::kInit);
+}
+
+Runtime::EmbedStop Runtime::DriveEmbedded(Proc* p, uint64_t expected_cookie,
+                                          uint64_t fuel, bool init) {
+  EmbedStop out;
+  const uint64_t start_retired = machine_.timing().Retired();
+  machine_.state() = p->cpu;
+  current_pid_ = p->pid;
+  // Tallies the embed-transition rtcall like a syscall (counter + per-
+  // number split) but emits no kSyscall ring event: the embed layer's
+  // kEmbedCall/kEmbedCallback events are the trace record of these
+  // transitions.
+  auto tally = [&](Rtcall call) {
+    if (sink_ != nullptr) {
+      trace::Metrics& m = sink_->metrics(p->pid);
+      m.Add(trace::Counter::kSyscalls);
+      m.AddSyscall(static_cast<int>(call));
+    }
+  };
+  while (true) {
+    const uint64_t used = machine_.timing().Retired() - start_retired;
+    if (used >= fuel) {
+      KillProc(p, "embedded call exhausted its fuel (" +
+                   std::to_string(fuel) + " insts)", kSigXcpu);
+      out.kind = EmbedStop::Kind::kFuel;
+      out.detail = p->fault_detail;
+      return out;
+    }
+    uint64_t slice = std::min(cfg_.timeslice_insts, fuel - used);
+    if (chaos_ != nullptr) {
+      chaos_->BeginSlice(p->pid);
+      slice = chaos_->PerturbTimeslice(slice);
+    }
+    trace::ExecCounters ctr_before;
+    uint64_t slice_start = 0;
+    if (sink_ != nullptr) {
+      ctr_before = exec_counters_;
+      slice_start = Cycles();
+    }
+    const uint64_t cyc0 = Cycles();
+    const uint64_t ret0 = machine_.timing().Retired();
+    const auto stop = machine_.Run(slice);
+    p->cpu = machine_.state();
+    p->cpu_cycles += Cycles() - cyc0;
+    p->insts_retired += machine_.timing().Retired() - ret0;
+    if (sink_ != nullptr) AttributeSlice(p, ctr_before, slice_start, stop);
+    switch (stop) {
+      case emu::StopReason::kStepLimit:
+        // No preemption here: the embedded call owns the machine until it
+        // completes or burns its fuel.
+        continue;
+      case emu::StopReason::kRuntimeEntry: {
+        const int call = static_cast<int>(
+            (p->cpu.pc - kRuntimeEntryBase) / kRuntimeEntryGranule);
+        if (call == static_cast<int>(Rtcall::kHostcall)) {
+          tally(Rtcall::kHostcall);
+          machine_.timing().ChargeFlat(cfg_.embed_hostcall_cycles);
+          if (init) {
+            KillProc(p, "hostcall before embed-ready", kSigSys);
+            out.kind = EmbedStop::Kind::kProtocol;
+            out.detail = p->fault_detail;
+            return out;
+          }
+          out.kind = EmbedStop::Kind::kHostcall;
+          out.hostcall_index = static_cast<int>(p->cpu.x[9]);
+          // Resume point: the instruction after the expanded blr (the
+          // rewriter's x30 restore), exactly like a normal rtcall return.
+          p->cpu.pc = Canon(p, p->cpu.x[30]);
+          out.saved = p->cpu;
+          return out;
+        }
+        if (call == static_cast<int>(Rtcall::kCallRet)) {
+          tally(Rtcall::kCallRet);
+          machine_.timing().ChargeFlat(cfg_.embed_ret_cycles);
+          if (init) {
+            KillProc(p, "embedded-call return before embed-ready", kSigSys);
+            out.kind = EmbedStop::Kind::kProtocol;
+            out.detail = p->fault_detail;
+            return out;
+          }
+          if (p->cpu.x[9] != expected_cookie) {
+            // A real return arrives through the ret stub, which moves the
+            // x19 cookie the host planted at entry into x9. Anything else
+            // is a forged or replayed return frame.
+            KillProc(p, "forged embedded-call return (bad cookie)", kSigSys);
+            out.kind = EmbedStop::Kind::kForged;
+            out.detail = p->fault_detail;
+            return out;
+          }
+          out.kind = EmbedStop::Kind::kReturned;
+          out.x0 = p->cpu.x[0];
+          out.v0 = p->cpu.vr[0].lo;
+          return out;
+        }
+        if (call == static_cast<int>(Rtcall::kEmbedReady)) {
+          tally(Rtcall::kEmbedReady);
+          if (!init) {
+            KillProc(p, "embed-ready during an embedded call", kSigSys);
+            out.kind = EmbedStop::Kind::kProtocol;
+            out.detail = p->fault_detail;
+            return out;
+          }
+          out.kind = EmbedStop::Kind::kReady;
+          out.x0 = p->cpu.x[0];
+          // Leave the proc resumable past the rtcall, mirroring the
+          // normal return path (the embed layer snapshots this state).
+          p->cpu.pc = Canon(p, p->cpu.x[30]);
+          return out;
+        }
+        // Ordinary runtime call (write to a pipe, brk, clock, ...): let
+        // the normal dispatcher service it, then undo its Enqueue — the
+        // scheduler must never see an embedded sandbox.
+        HandleRuntimeEntry(p);
+        DequeuePid(p->pid);
+        if (p->state == ProcState::kReady) {
+          machine_.state() = p->cpu;
+          continue;
+        }
+        if (p->state == ProcState::kZombie || p->state == ProcState::kDead) {
+          if (p->exit_kind == ExitKind::kExited) {
+            out.kind = EmbedStop::Kind::kExited;
+            out.detail =
+                "guest exited with status " + std::to_string(p->exit_status);
+          } else {
+            out.kind = EmbedStop::Kind::kFault;
+            out.detail = p->fault_detail;
+          }
+          return out;
+        }
+        // Blocked on I/O: no scheduler runs during an embedded call, so
+        // nothing can ever complete it. Fail closed.
+        KillProc(p, "guest blocked during an embedded call", kSigSys);
+        out.kind = EmbedStop::Kind::kBlocked;
+        out.detail = p->fault_detail;
+        return out;
+      }
+      case emu::StopReason::kFault:
+      case emu::StopReason::kBrk: {
+        // No signal delivery and no restart policy mid-call: the host is
+        // suspended inside Call(), so the only sound resolution is to
+        // unwind to it. The slot survives (retain_on_exit) for Recycle.
+        const emu::CpuFault& f = machine_.fault();
+        KillProc(p, f.detail + " pc=" + std::to_string(f.pc) +
+                     " (during embedded call)", FaultSignal(f.kind));
+        out.kind = EmbedStop::Kind::kFault;
+        out.detail = p->fault_detail;
+        return out;
+      }
+      case emu::StopReason::kHookStop: {
+        emu::CpuFault injected;
+        if (chaos_ != nullptr && chaos_->TakePendingFault(&injected)) {
+          if (sink_ != nullptr) {
+            sink_->metrics(p->pid).Add(trace::Counter::kChaosInjections);
+            sink_->EmitInstant(trace::EventKind::kChaosInject, p->pid,
+                               Cycles(),
+                               static_cast<uint64_t>(injected.kind), 0);
+          }
+          p->fault_injected = true;
+          KillProc(p, injected.detail + " pc=" +
+                       std::to_string(injected.pc) +
+                       " [chaos] (during embedded call)",
+                   FaultSignal(injected.kind));
+          p->fault_injected = true;
+          out.kind = EmbedStop::Kind::kFault;
+          out.detail = p->fault_detail;
+          return out;
+        }
+        // Some other hook (invariant checker, debugger) stopped the
+        // machine; treat it as a fatal condition for this call.
+        KillProc(p, "exec hook stopped the embedded call", kSigKill);
+        out.kind = EmbedStop::Kind::kFault;
+        out.detail = p->fault_detail;
+        return out;
+      }
+    }
+  }
+}
+
 // ---- Runtime calls ----
 
 void Runtime::HandleRuntimeEntry(Proc* p) {
@@ -990,6 +1251,19 @@ void Runtime::HandleRuntimeEntry(Proc* p) {
                       static_cast<uint64_t>(call), 0);
         }
       }
+      return;
+    case Rtcall::kHostcall:
+      // The embed transition rtcalls only mean something while the host
+      // is driving an embedded call (DriveEmbedded intercepts them before
+      // this dispatcher runs); a *scheduled* sandbox issuing one is
+      // confused or hostile. Each dies with its own distinct message.
+      KillProc(p, "hostcall outside an embedded call", kSigSys);
+      return;
+    case Rtcall::kCallRet:
+      KillProc(p, "embedded-call return outside an embedded call", kSigSys);
+      return;
+    case Rtcall::kEmbedReady:
+      KillProc(p, "embed-ready without an embedding host", kSigSys);
       return;
     default:
       KillProc(p, "bad runtime call " + std::to_string(call), kSigSys);

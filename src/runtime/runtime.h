@@ -160,6 +160,22 @@ struct RuntimeConfig {
   uint64_t snapshot_spawn_page_cycles = 12;
   uint64_t snapshot_restore_base_cycles = 120;
   uint64_t snapshot_restore_page_cycles = 25;
+  // Embedded-call transition costs (src/embed/, docs/EMBEDDING.md). A
+  // typed host->guest call is cheaper than a general runtime call: no
+  // dispatch table walk, no fd work, no scheduler — the host writes the
+  // argument registers directly and enters, and the return restores only
+  // callee-saved state, like the fast direct yield ("Isolation Without
+  // Taxation"'s springboard argument). One full call round-trip
+  // (entry + return) therefore costs about one fast_yield_cycles.
+  uint64_t embed_call_cycles = 22;          // host -> guest entry
+  uint64_t embed_ret_cycles = 14;           // guest return to the host
+  uint64_t embed_hostcall_cycles = 22;      // guest -> host callback entry
+  uint64_t embed_hostcall_ret_cycles = 14;  // callback resume into guest
+  // Marshalled-buffer copy bandwidth (BufIn/BufOut scratch and Shm host
+  // views): modeled as a streaming memcpy. Charged per copy direction so
+  // per-call marshalling visibly costs more than an amortized shared
+  // mapping (bench_transitions measures the gap).
+  uint64_t embed_copy_bytes_per_cycle = 16;
 };
 
 // What the most recent instantiation (Load / SpawnFromSnapshot /
@@ -258,6 +274,77 @@ class Runtime {
   // (non-zombie, non-dead) processes remaining.
   int RunUntilIdle(uint64_t max_total_insts = ~uint64_t{0});
 
+  // ---- Embedding primitives (src/embed/, docs/EMBEDDING.md) ----
+  //
+  // The typed lfi::embed::Sandbox API sits on top of these untyped
+  // hooks: the runtime owns driving the machine and the fail-closed
+  // transition protocol (cookies, stray-rtcall kills, slot-preserving
+  // teardown); all marshalling and callback typing lives in src/embed/.
+
+  // Why RunEmbedded handed control back to the host.
+  struct EmbedStop {
+    enum class Kind : uint8_t {
+      kReturned,  // rtcall #19 with the expected cookie; x0/v0 = return
+      kHostcall,  // rtcall #18; hostcall_index set, guest suspended in
+                  // `saved` (resume with RunEmbedded(kResume))
+      kReady,     // rtcall #20 during init; x0 = export-table pointer
+      kFault,     // cpu fault / chaos injection / bad rtcall: proc killed
+      kExited,    // guest called exit mid-call (zombie, slot retained)
+      kBlocked,   // guest blocked on I/O mid-call: killed (fail closed —
+                  // nothing can ever unblock it; no scheduler runs here)
+      kFuel,      // instruction budget exhausted: killed (fail closed)
+      kForged,    // rtcall #19 with a wrong cookie: killed
+      kProtocol,  // embed rtcall out of place (ready mid-call, hostcall
+                  // during init, call on a dead sandbox): killed
+    };
+    Kind kind = Kind::kProtocol;
+    uint64_t x0 = 0;           // integer return / export-table pointer
+    uint64_t v0 = 0;           // vr[0] low lane at return (float returns)
+    int hostcall_index = -1;   // kHostcall: x9 at the trap
+    emu::CpuState saved;       // kHostcall: full guest state, resumable
+    std::string detail;        // failure kinds: human-readable cause
+  };
+
+  // How the host is entering the guest (selects the transition charge).
+  enum class EmbedEnter : uint8_t {
+    kInit,    // initial run to the embed-ready rtcall (uncharged, like
+              // instantiation)
+    kCall,    // fresh host->guest call (embed_call_cycles)
+    kResume,  // resuming after a hostcall (embed_hostcall_ret_cycles)
+  };
+
+  // Detaches pid from the scheduler for embedded use: dequeues it, parks
+  // it (RunUntilIdle never picks it again), and sets retain_on_exit so
+  // faults and exits keep the slot mapped for Recycle().
+  Status BeginEmbed(int pid);
+
+  // Installs `enter` (reserved registers re-canonicalized first — the
+  // same treatment sigreturn frames get) and drives pid until it returns,
+  // traps into a hostcall, faults, or burns `fuel` instructions. All
+  // failure kinds kill the proc fail-closed but keep the slot, so the
+  // embed layer can Recycle() back to its baseline snapshot.
+  EmbedStop RunEmbedded(int pid, const emu::CpuState& enter,
+                        uint64_t expected_cookie, uint64_t fuel,
+                        EmbedEnter how);
+
+  // Fail-closed kill from the embed layer (bad callback index, marshal
+  // failure after entry): kills pid but — unlike Kill() — preserves
+  // retain_on_exit, so the slot survives for Recycle().
+  void KillEmbedded(int pid, const std::string& why);
+
+  // Carves a fresh read-write guest region out of pid's mmap arena (the
+  // shared-memory mapping primitive). Returns the canonical base address.
+  Result<uint64_t> GuestAlloc(int pid, uint64_t len);
+
+  // Charges the simulated clock for one host<->guest bulk copy of `bytes`
+  // (marshalled buffer scratch, Shm view traffic) at the modeled memcpy
+  // bandwidth.
+  void ChargeEmbedCopy(uint64_t bytes) {
+    if (bytes == 0) return;
+    const uint64_t bpc = cfg_.embed_copy_bytes_per_cycle;
+    machine_.timing().ChargeFlat(bpc == 0 ? 0 : (bytes + bpc - 1) / bpc);
+  }
+
   Proc* proc(int pid);
   const Proc* proc(int pid) const;
   Vfs& vfs() { return vfs_; }
@@ -330,7 +417,12 @@ class Runtime {
   Proc* PickNext();
   void SwitchTo(Proc* p, bool fast);
   void Enqueue(int pid) { ready_.push_back(pid); }
+  void DequeuePid(int pid);
   bool TryUnblock(Proc* p);
+
+  // Embedded-call drive loop (RunEmbedded's body after state install).
+  EmbedStop DriveEmbedded(Proc* p, uint64_t expected_cookie, uint64_t fuel,
+                          bool init);
 
   // Adds the machine-counter deltas of the timeslice that just ran to
   // p's metrics and emits its sched-slice event. Only called with sink_

@@ -290,13 +290,11 @@ void Supervisor::SysSigreturn(Proc* p, uint64_t frame_ptr) {
   p->cpu.v = (nzcv >> 28) & 1;
   // Re-canonicalize everything a guard or the runtime relies on: even a
   // bit-flipped (but cookie-valid) frame must not produce an out-of-slot
-  // reserved register.
-  p->cpu.sp = rt_->Canon(p, GetU64(buf, kSigOffSp));
-  p->cpu.pc = rt_->Canon(p, GetU64(buf, kSigOffPc));
-  p->cpu.x[21] = p->base;
-  for (int r : {18, 23, 24, 30}) {
-    p->cpu.x[r] = rt_->Canon(p, p->cpu.x[r]);
-  }
+  // reserved register. Shared with snapshot rebase and embedded-call
+  // entry/callback-return — every host-installed frame gets this.
+  p->cpu.sp = GetU64(buf, kSigOffSp);
+  p->cpu.pc = GetU64(buf, kSigOffPc);
+  emu::CanonicalizeSandboxRegs(p->cpu, p->base);
   p->sig.in_handler = false;
   p->sig.cookie = 0;
   p->sig.frame_addr = 0;

@@ -32,6 +32,8 @@ constexpr const char* kCounterNames[] = {
     "snapshot-dirty-pages",
     "snapshot-spawns",
     "recycles",
+    "embed-calls",
+    "embed-callbacks",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
               static_cast<size_t>(Counter::kCount));
@@ -44,6 +46,7 @@ constexpr const char* kEventKindNames[] = {
     "chaos-inject",  "snapshot-restore", "snapshot-spawn",
     "serve-dispatch", "serve-complete", "serve-shed",
     "serve-retry",   "serve-breaker", "serve-degrade",
+    "embed-call",    "embed-callback",
 };
 static_assert(sizeof(kEventKindNames) / sizeof(kEventKindNames[0]) ==
               static_cast<size_t>(EventKind::kCount));

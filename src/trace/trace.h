@@ -58,6 +58,8 @@ enum class Counter : uint8_t {
   kSnapshotDirtyPages,   // pages a restore actually had to re-install
   kSnapshotSpawns,       // sandboxes instantiated from a snapshot
   kRecycles,             // exited sandboxes rolled back and re-parked
+  kEmbedCalls,           // typed host->guest calls driven into this sandbox
+  kEmbedCallbacks,       // guest->host callback round-trips
   kCount,
 };
 
@@ -140,6 +142,11 @@ enum class EventKind : uint8_t {
   kServeDegrade,    // overload-ladder transition (pid 0); arg0 = new
                     // level (0 normal / 1 shed-low-tier / 2 no-retry /
                     // 3 fast-fail), arg1 = queue-depth EWMA
+  kEmbedCall,       // one host->guest embedded call (interval); arg0 =
+                    // entry offset (low 32 bits), arg1 = embed::Err code
+                    // of the outcome (0 = ok)
+  kEmbedCallback,   // guest->host callback dispatched; arg0 = callback
+                    // index, arg1 = nesting depth at dispatch
   kCount,
 };
 

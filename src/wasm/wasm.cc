@@ -336,6 +336,7 @@ Result<AsmFile> Instrumenter::Run(const AsmFile& in) {
         EmitStmt(s);
         break;
       case AsmStmt::Kind::kRtcall:
+      case AsmStmt::Kind::kHostcall:
         base_valid_ = false;
         EmitStmt(s);
         break;

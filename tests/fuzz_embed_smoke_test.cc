@@ -1,0 +1,39 @@
+// Smoke coverage for lfi-fuzz --mode=embed: a short run must execute
+// every operation class without tripping either oracle (slot invariants,
+// Err taxonomy), and the run must be deterministic in its seed.
+
+#include <gtest/gtest.h>
+
+#include "embed/embed_fuzz.h"
+#include "fuzz/fuzz.h"
+
+namespace lfi::embed {
+namespace {
+
+TEST(FuzzEmbedSmoke, ShortRunIsCleanAndCountsAdd) {
+  fuzz::FuzzOptions opts;
+  opts.seed = 0x5eed;
+  opts.iters = 60;
+  auto report = RunEmbedFuzz(opts);
+  EXPECT_EQ(report.mode, "embed");
+  EXPECT_EQ(report.iters, 60u);
+  EXPECT_EQ(report.executed, 60u);
+  for (const auto& c : report.crashes) {
+    ADD_FAILURE() << "iter " << c.iter << ": " << c.detail;
+  }
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(FuzzEmbedSmoke, RunsAreDeterministicInTheSeed) {
+  fuzz::FuzzOptions opts;
+  opts.seed = 1234;
+  opts.iters = 40;
+  auto a = RunEmbedFuzz(opts);
+  auto b = RunEmbedFuzz(opts);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.crashes.size(), b.crashes.size());
+  EXPECT_TRUE(a.ok());
+}
+
+}  // namespace
+}  // namespace lfi::embed

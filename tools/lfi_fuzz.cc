@@ -13,7 +13,7 @@
 //
 // Usage:
 //   lfi_fuzz [--mode=soundness|completeness|differential|chained|
-//             snapshot|all]
+//             snapshot|embed|all]
 //            [--iters=N] [--seed=N|string] [--max-insts=N]
 //            [--artifact-dir=DIR] [--replay FILE...]
 //
@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "embed/embed_fuzz.h"
 #include "fuzz/fuzz.h"
 #include "fuzz/gen.h"
 
@@ -153,7 +154,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: lfi_fuzz [--mode=soundness|completeness|"
-                   "differential|chained|snapshot|all] [--iters=N] "
+                   "differential|chained|snapshot|embed|all] [--iters=N] "
                    "[--seed=N|string]\n"
                    "                [--max-insts=N] [--artifact-dir=DIR] "
                    "[--replay FILE...]\n");
@@ -205,8 +206,18 @@ int main(int argc, char** argv) {
     PrintReport(r);
     crashed = crashed || !r.ok();
   }
+  if (mode == "embed" || mode == "all") {
+    // Each iteration is a full typed call (often with callbacks); scale
+    // like the other pipeline-heavy modes.
+    lfi::fuzz::FuzzOptions e = opts;
+    e.iters = opts.iters / 10 + 1;
+    const auto r = lfi::embed::RunEmbedFuzz(e);
+    PrintReport(r);
+    crashed = crashed || !r.ok();
+  }
   if (mode != "soundness" && mode != "completeness" && mode != "differential" &&
-      mode != "chained" && mode != "snapshot" && mode != "all") {
+      mode != "chained" && mode != "snapshot" && mode != "embed" &&
+      mode != "all") {
     std::fprintf(stderr, "lfi_fuzz: unknown mode '%s'\n", mode.c_str());
     return 2;
   }
